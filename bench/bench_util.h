@@ -1,0 +1,76 @@
+#pragma once
+
+// Shared helpers for the figure-regeneration harnesses: environment-driven
+// case counts (so CI can run small and a full paper-scale run is one env var
+// away), table printing, and the standard scenario/system lists.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace vedr::bench {
+
+/// Cases per scenario: VEDR_CASES=paper reproduces the paper's 60/60/40/60;
+/// VEDR_CASES=<n> forces n; default is a CI-friendly subset.
+inline int cases_for(eval::ScenarioType type, int default_cases = 20) {
+  const char* env = std::getenv("VEDR_CASES");
+  if (env != nullptr) {
+    const std::string v(env);
+    if (v == "paper") return eval::paper_case_count(type);
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return std::min(default_cases, eval::paper_case_count(type));
+}
+
+/// Workload scale (fraction of the paper's 360 MB steps); VEDR_SCALE
+/// overrides, e.g. VEDR_SCALE=0.03125 for 1/32.
+inline double scale_from_env(double def = 1.0 / 64.0) {
+  const char* env = std::getenv("VEDR_SCALE");
+  if (env != nullptr) {
+    const double s = std::atof(env);
+    if (s > 0) return s;
+  }
+  return def;
+}
+
+inline const std::vector<eval::ScenarioType>& all_scenarios() {
+  static const std::vector<eval::ScenarioType> kAll = {
+      eval::ScenarioType::kFlowContention,
+      eval::ScenarioType::kIncast,
+      eval::ScenarioType::kPfcStorm,
+      eval::ScenarioType::kPfcBackpressure,
+  };
+  return kAll;
+}
+
+inline const std::vector<eval::SystemKind>& all_systems() {
+  static const std::vector<eval::SystemKind> kAll = {
+      eval::SystemKind::kVedrfolnir,
+      eval::SystemKind::kHawkeyeMaxR,
+      eval::SystemKind::kHawkeyeMinR,
+      eval::SystemKind::kFullPolling,
+  };
+  return kAll;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline std::string human_bytes(double b) {
+  char buf[64];
+  if (b >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fMB", b / 1e6);
+  } else if (b >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fKB", b / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fB", b);
+  }
+  return buf;
+}
+
+}  // namespace vedr::bench

@@ -1,0 +1,35 @@
+// Congestion-control ablation (no paper counterpart — the paper's §I names
+// both DCQCN and Swift as the fabrics Vedrfolnir rides on): the flow-
+// contention suite under each algorithm. Diagnosis accuracy should be
+// CC-agnostic (the provenance machinery watches queues, not the control
+// loop), while collective completion times shift with the algorithm.
+//
+// Env: VEDR_CASES, VEDR_SCALE.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vedr;
+  using namespace vedr::bench;
+
+  eval::ScenarioParams params;
+  params.scale = scale_from_env();
+  const auto scenario = eval::ScenarioType::kFlowContention;
+  const int n = cases_for(scenario, 15);
+
+  print_header("Congestion-control ablation (flow contention, Vedrfolnir)");
+  std::printf("%-8s %9s %7s %14s %12s\n", "cc", "precision", "recall", "telemetry",
+              "cc_time");
+
+  for (auto algo : {net::CcAlgorithm::kDcqcn, net::CcAlgorithm::kSwift}) {
+    eval::RunConfig cfg;
+    cfg.netcfg.cc_algorithm = algo;
+    const auto s = eval::SuiteSummary::from(
+        eval::run_scenario_suite(scenario, n, eval::SystemKind::kVedrfolnir, cfg, params));
+    std::printf("%-8s %9.3f %7.3f %14s %9.2fms\n", net::to_string(algo), s.pr.precision(),
+                s.pr.recall(), human_bytes(s.mean_telemetry_bytes).c_str(),
+                s.mean_cc_time_us / 1000.0);
+  }
+  return 0;
+}

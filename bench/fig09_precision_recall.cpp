@@ -1,0 +1,40 @@
+// Figure 9 (a: precision, b: recall): Vedrfolnir vs Hawkeye-MaxR /
+// Hawkeye-MinR / Full polling across the four anomaly scenarios.
+//
+// Paper shape to reproduce: Vedrfolnir near-1.0 precision and recall in all
+// scenarios; Hawkeye-MaxR misses small-RTT flows (recall loss) in flow
+// contention; Hawkeye-MinR's redundant triggering + 50 us retention drops
+// valid data (precision loss); full polling is accurate but pays for it in
+// Fig. 10.
+//
+// Env: VEDR_CASES (int or "paper"), VEDR_SCALE (fraction of 360 MB steps).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vedr;
+  using namespace vedr::bench;
+
+  eval::RunConfig cfg;
+  eval::ScenarioParams params;
+  params.scale = scale_from_env();
+
+  print_header("Figure 9: precision & recall vs. baselines");
+  std::printf("(scale=%.5f of paper sizes)\n\n", params.scale);
+  std::printf("%-18s %-14s %5s %5s %5s  %9s %7s\n", "scenario", "system", "TP", "FP", "FN",
+              "precision", "recall");
+
+  for (auto scenario : all_scenarios()) {
+    const int n = cases_for(scenario);
+    for (auto system : all_systems()) {
+      const auto results = eval::run_scenario_suite(scenario, n, system, cfg, params);
+      const auto s = eval::SuiteSummary::from(results);
+      std::printf("%-18s %-14s %5d %5d %5d  %9.3f %7.3f\n", eval::to_string(scenario),
+                  eval::to_string(system), s.pr.tp, s.pr.fp, s.pr.fn, s.pr.precision(),
+                  s.pr.recall());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 10 (a: processing overhead = telemetry bytes collected;
+// b: bandwidth overhead = polls + notifications + switch reports).
+//
+// Paper shape to reproduce: Vedrfolnir lowest in every scenario (~10 KB
+// telemetry, 60-98% savings vs Hawkeye); Hawkeye-MinR worst of the Hawkeyes
+// from constant re-triggering; Hawkeye cheaper than usual under pure-PFC
+// anomalies (halted flows produce no ACKs, hence no triggers); full polling
+// is the upper bound.
+//
+// Env: VEDR_CASES (int or "paper"), VEDR_SCALE.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vedr;
+  using namespace vedr::bench;
+
+  eval::RunConfig cfg;
+  eval::ScenarioParams params;
+  params.scale = scale_from_env();
+
+  print_header("Figure 10a: processing overhead (mean telemetry bytes per case)");
+  std::printf("%-18s", "scenario");
+  for (auto system : all_systems()) std::printf(" %14s", eval::to_string(system));
+  std::printf("\n");
+
+  // Cache the suites: both subfigures come from the same runs.
+  std::vector<std::vector<eval::SuiteSummary>> table;
+  for (auto scenario : all_scenarios()) {
+    const int n = cases_for(scenario);
+    std::vector<eval::SuiteSummary> row;
+    for (auto system : all_systems())
+      row.push_back(eval::SuiteSummary::from(
+          eval::run_scenario_suite(scenario, n, system, cfg, params)));
+    table.push_back(std::move(row));
+  }
+
+  for (std::size_t i = 0; i < all_scenarios().size(); ++i) {
+    std::printf("%-18s", eval::to_string(all_scenarios()[i]));
+    for (const auto& s : table[i])
+      std::printf(" %14s", human_bytes(s.mean_telemetry_bytes).c_str());
+    std::printf("\n");
+  }
+
+  print_header("Figure 10b: bandwidth overhead (polls + notifications + reports)");
+  std::printf("%-18s", "scenario");
+  for (auto system : all_systems()) std::printf(" %14s", eval::to_string(system));
+  std::printf("\n");
+  for (std::size_t i = 0; i < all_scenarios().size(); ++i) {
+    std::printf("%-18s", eval::to_string(all_scenarios()[i]));
+    for (const auto& s : table[i])
+      std::printf(" %14s", human_bytes(s.mean_bandwidth_bytes).c_str());
+    std::printf("\n");
+  }
+
+  // Headline claim check: telemetry savings vs the Hawkeye variants.
+  print_header("Savings: Vedrfolnir telemetry vs Hawkeye (per scenario)");
+  for (std::size_t i = 0; i < all_scenarios().size(); ++i) {
+    const double v = table[i][0].mean_telemetry_bytes;
+    const double hmax = table[i][1].mean_telemetry_bytes;
+    const double hmin = table[i][2].mean_telemetry_bytes;
+    const double full = table[i][3].mean_telemetry_bytes;
+    auto pct = [](double ours, double theirs) {
+      return theirs > 0 ? (1.0 - ours / theirs) * 100.0 : 0.0;
+    };
+    std::printf("%-18s vs MaxR %6.1f%%  vs MinR %6.1f%%  vs FullPolling %6.1f%%\n",
+                eval::to_string(all_scenarios()[i]), pct(v, hmax), pct(v, hmin), pct(v, full));
+  }
+  return 0;
+}

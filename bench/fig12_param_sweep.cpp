@@ -1,0 +1,45 @@
+// Figure 12: Vedrfolnir precision & recall per scenario across the two
+// detection parameters — RTT threshold multiplier {120%, 180%, 240%} and
+// detections per step {1, 3, 5}.
+//
+// Paper shape to reproduce: larger thresholds respond slower (worse in flow
+// contention / backpressure at 240%); more detections improve accuracy,
+// most visibly for PFC backpressure at 120% (its pauses are intermittent,
+// so a single detection can land in a recovery window and miss the root).
+//
+// Env: VEDR_CASES (int or "paper"), VEDR_SCALE.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vedr;
+  using namespace vedr::bench;
+
+  eval::ScenarioParams params;
+  params.scale = scale_from_env();
+
+  const double multipliers[] = {1.2, 1.8, 2.4};
+  const int counts[] = {1, 3, 5};
+
+  print_header("Figure 12: precision & recall over RTT thresholds and detection counts");
+  std::printf("%-18s %6s %6s  %9s %7s\n", "scenario", "rtt%", "count", "precision", "recall");
+
+  for (auto scenario : all_scenarios()) {
+    const int n = cases_for(scenario, 12);
+    for (double mult : multipliers) {
+      for (int count : counts) {
+        eval::RunConfig cfg;
+        cfg.detection.rtt_multiplier = mult;
+        cfg.detection.detections_per_step = count;
+        const auto results = eval::run_scenario_suite(scenario, n,
+                                                      eval::SystemKind::kVedrfolnir, cfg, params);
+        const auto s = eval::SuiteSummary::from(results);
+        std::printf("%-18s %5.0f%% %6d  %9.3f %7.3f\n", eval::to_string(scenario), mult * 100,
+                    count, s.pr.precision(), s.pr.recall());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 13: ablation of Vedrfolnir's two step-aware mechanisms, in the
+// flow-contention scenario (as in the paper).
+//
+//  (a) Step-grained RTT thresholds: precision & telemetry overhead when the
+//      threshold is a fixed constant (various values) vs recomputed per
+//      step from topology. Detections capped at 3 per step.
+//  (b) Detection-count allocation: telemetry overhead across per-step
+//      budgets, including unrestricted triggering (Hawkeye-style) as the
+//      no-constraint upper bound.
+//
+// Env: VEDR_CASES (int or "paper"), VEDR_SCALE.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vedr;
+  using namespace vedr::bench;
+
+  eval::ScenarioParams params;
+  params.scale = scale_from_env();
+  const auto scenario = eval::ScenarioType::kFlowContention;
+  const int n = cases_for(scenario, 15);
+
+  print_header("Figure 13a: step-grained vs fixed RTT thresholds (flow contention)");
+  std::printf("%-26s %9s %7s %14s\n", "threshold", "precision", "recall", "telemetry");
+
+  // Fixed thresholds bracketing the fabric's RTT range (base RTTs span
+  // ~9-26 us on the K=4 fat-tree).
+  const sim::Tick fixed[] = {12 * sim::kMicrosecond, 20 * sim::kMicrosecond,
+                             32 * sim::kMicrosecond, 64 * sim::kMicrosecond};
+  for (sim::Tick thr : fixed) {
+    eval::RunConfig cfg;
+    cfg.detection.fixed_rtt_threshold = thr;
+    cfg.detection.detections_per_step = 3;
+    const auto s = eval::SuiteSummary::from(
+        eval::run_scenario_suite(scenario, n, eval::SystemKind::kVedrfolnir, cfg, params));
+    char label[64];
+    std::snprintf(label, sizeof label, "fixed %lldus", static_cast<long long>(thr / 1000));
+    std::printf("%-26s %9.3f %7.3f %14s\n", label, s.pr.precision(), s.pr.recall(),
+                human_bytes(s.mean_telemetry_bytes).c_str());
+  }
+  {
+    eval::RunConfig cfg;  // step-grained default
+    cfg.detection.detections_per_step = 3;
+    const auto s = eval::SuiteSummary::from(
+        eval::run_scenario_suite(scenario, n, eval::SystemKind::kVedrfolnir, cfg, params));
+    std::printf("%-26s %9.3f %7.3f %14s\n", "step-grained 120% (ours)", s.pr.precision(),
+                s.pr.recall(), human_bytes(s.mean_telemetry_bytes).c_str());
+  }
+
+  print_header("Figure 13b: detection-count allocation vs unrestricted triggering");
+  std::printf("%-26s %9s %7s %14s %14s\n", "budget/step", "precision", "recall", "telemetry",
+              "bandwidth");
+  for (int budget : {1, 2, 3, 5, 8}) {
+    eval::RunConfig cfg;
+    cfg.detection.detections_per_step = budget;
+    const auto s = eval::SuiteSummary::from(
+        eval::run_scenario_suite(scenario, n, eval::SystemKind::kVedrfolnir, cfg, params));
+    char label[64];
+    std::snprintf(label, sizeof label, "budget %d", budget);
+    std::printf("%-26s %9.3f %7.3f %14s %14s\n", label, s.pr.precision(), s.pr.recall(),
+                human_bytes(s.mean_telemetry_bytes).c_str(),
+                human_bytes(s.mean_bandwidth_bytes).c_str());
+  }
+  {
+    eval::RunConfig cfg;
+    cfg.detection.unrestricted = true;
+    const auto s = eval::SuiteSummary::from(
+        eval::run_scenario_suite(scenario, n, eval::SystemKind::kVedrfolnir, cfg, params));
+    std::printf("%-26s %9.3f %7.3f %14s %14s\n", "unrestricted (Hawkeye-like)",
+                s.pr.precision(), s.pr.recall(), human_bytes(s.mean_telemetry_bytes).c_str(),
+                human_bytes(s.mean_bandwidth_bytes).c_str());
+  }
+  return 0;
+}

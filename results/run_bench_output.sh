@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+rm -f bench_output.txt
+for b in build/bench/*; do
+  echo "===== $b" >> bench_output.txt
+  $b >> bench_output.txt 2>&1
+done
+echo BENCH_OUTPUT_DONE >> bench_output.txt

@@ -1,0 +1,57 @@
+#include "anomaly/injectors.h"
+
+#include <stdexcept>
+
+#include "net/host.h"
+#include "net/switch.h"
+
+namespace vedr::anomaly {
+
+void inject_flow(net::Network& net, const InjectedFlow& flow,
+                 std::function<void(Tick)> on_complete) {
+  net.host(flow.key.dst).expect_flow(flow.key, flow.bytes);
+  net.sim().schedule_at(flow.start, [&net, flow, cb = std::move(on_complete)] {
+    net.host(flow.key.src).start_flow(
+        flow.key, flow.bytes,
+        [cb](const net::FlowKey&, Tick t) {
+          if (cb) cb(t);
+        });
+  });
+}
+
+net::PortId port_towards(const net::Topology& topo, NodeId from, NodeId to) {
+  const auto& ports = topo.node(from).ports;
+  for (std::size_t p = 0; p < ports.size(); ++p)
+    if (ports[p].peer == to) return static_cast<net::PortId>(p);
+  throw std::invalid_argument("nodes are not adjacent");
+}
+
+void inject_routing_loop(net::Network& net, NodeId dst, NodeId a, NodeId b, Tick at) {
+  const net::PortId a_to_b = port_towards(net.topology(), a, b);
+  const net::PortId b_to_a = port_towards(net.topology(), b, a);
+  net.sim().schedule_at(at, [&net, dst, a, b, a_to_b, b_to_a] {
+    net.routing().override_route(a, dst, {a_to_b});
+    net.routing().override_route(b, dst, {b_to_a});
+  });
+}
+
+void pin_clockwise_routes(net::Network& net, const std::vector<NodeId>& ring) {
+  const auto& topo = net.topology();
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const NodeId sw = ring[i];
+    const NodeId next = ring[(i + 1) % ring.size()];
+    const net::PortId clockwise = port_towards(topo, sw, next);
+    for (NodeId host : topo.hosts()) {
+      if (topo.peer(host, 0).node == sw) continue;  // local hosts keep their port
+      net.routing().override_route(sw, host, {clockwise});
+    }
+  }
+}
+
+void inject_storm(net::Network& net, const StormSpec& storm) {
+  net.sim().schedule_at(storm.start, [&net, storm] {
+    net.switch_at(storm.port.node).force_pause(storm.port.port, storm.duration);
+  });
+}
+
+}  // namespace vedr::anomaly

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/network.h"
+#include "net/types.h"
+
+namespace vedr::anomaly {
+
+using net::FlowKey;
+using net::NodeId;
+using net::PortRef;
+using net::Tick;
+
+/// A background / interfering flow to inject (§IV-A anomaly construction).
+struct InjectedFlow {
+  FlowKey key;
+  std::int64_t bytes = 0;
+  Tick start = 0;
+};
+
+/// A PFC storm to inject: `port` emits PAUSE frames toward its upstream
+/// peer for `duration`, independent of buffer state (§II-B).
+struct StormSpec {
+  PortRef port;
+  Tick start = 0;
+  Tick duration = 0;
+};
+
+/// Well-known port range that marks injected background flows, so tests and
+/// scoring can recover ground truth from a FlowKey alone.
+inline constexpr std::uint16_t kBgSportBase = 100;
+inline constexpr std::uint16_t kBgDportBase = 200;
+
+inline FlowKey background_key(int index, NodeId src, NodeId dst) {
+  return FlowKey{src, dst, static_cast<std::uint16_t>(kBgSportBase + index),
+                 static_cast<std::uint16_t>(kBgDportBase + index)};
+}
+
+inline bool is_background(const FlowKey& k) {
+  return k.sport >= kBgSportBase && k.sport < kBgSportBase + 100;
+}
+
+/// Schedules the flow: receiver registered immediately, sender starts at
+/// `flow.start`. `on_complete` (optional) fires when fully ACKed.
+void inject_flow(net::Network& net, const InjectedFlow& flow,
+                 std::function<void(Tick)> on_complete = {});
+
+/// Schedules a PFC storm.
+void inject_storm(net::Network& net, const StormSpec& storm);
+
+/// Routing loop (§II-B anomaly 2): as of `at`, switches `a` and `b` point
+/// their routes for `dst` at each other — the asynchrony window of a fabric
+/// reconfiguration. Traffic for dst entering either switch ping-pongs until
+/// TTL expiry. The switches must be adjacent.
+void inject_routing_loop(net::Network& net, NodeId dst, NodeId a, NodeId b, Tick at);
+
+/// Port on `from` facing `to`; throws when not adjacent.
+net::PortId port_towards(const net::Topology& topo, NodeId from, NodeId to);
+
+/// Pins all transit routes on a ring of switches to the clockwise direction
+/// (ring[i] forwards every non-local destination to ring[i+1]). Combined
+/// with crossing flows this creates the cyclic buffer dependency behind PFC
+/// deadlocks (§II-B anomaly 4).
+void pin_clockwise_routes(net::Network& net, const std::vector<NodeId>& ring);
+
+}  // namespace vedr::anomaly

@@ -1,0 +1,118 @@
+#include "collective/runner.h"
+
+#include <cassert>
+
+#include "net/host.h"
+
+namespace vedr::collective {
+
+CollectiveRunner::CollectiveRunner(net::Network& net, CollectivePlan plan)
+    : net_(net), plan_(std::move(plan)) {
+  const int flows = plan_.num_flows();
+  records_.resize(static_cast<std::size_t>(flows));
+  recv_done_.resize(static_cast<std::size_t>(flows));
+  send_started_.resize(static_cast<std::size_t>(flows));
+  for (int f = 0; f < flows; ++f) {
+    const auto& steps = plan_.steps_of_flow(f);
+    records_[static_cast<std::size_t>(f)].resize(steps.size());
+    recv_done_[static_cast<std::size_t>(f)].assign(steps.size(), false);
+    send_started_[static_cast<std::size_t>(f)].assign(steps.size(), false);
+    queues_.emplace_back(plan_, f);
+    for (const StepSpec& s : steps) {
+      StepRecord& r =
+          records_[static_cast<std::size_t>(f)][static_cast<std::size_t>(s.step)];
+      r.key = plan_.key_for(f, s.step);
+      r.flow_index = f;
+      r.step = s.step;
+      r.bytes = s.bytes;
+      r.src = s.src;
+      r.dst = s.dst;
+      r.wait_src = s.has_dependency()
+                       ? plan_.participants()[static_cast<std::size_t>(s.dep_flow)]
+                       : net::kInvalidNode;
+      r.dep_flow = s.dep_flow;
+      r.dep_step = s.dep_step;
+      r.expected_duration = net_.ideal_fct(r.key, s.bytes);
+    }
+  }
+}
+
+void CollectiveRunner::start(Tick at) {
+  net_.sim().schedule_at(at, [this] {
+    start_time_ = net_.sim().now();
+    // Register every expected receive up front; the plan is known before
+    // execution (§III-B: steps are predefined prior to execution).
+    for (int f = 0; f < plan_.num_flows(); ++f) {
+      for (const StepSpec& s : plan_.steps_of_flow(f)) {
+        net_.host(s.dst).expect_flow(
+            plan_.key_for(f, s.step), s.bytes,
+            [this, f, step = s.step](const net::FlowKey&, Tick t) { on_recv_done(f, step, t); });
+      }
+    }
+    for (int f = 0; f < plan_.num_flows(); ++f) try_start_send(f, 0);
+  });
+}
+
+void CollectiveRunner::try_start_send(int flow, int step) {
+  const auto& steps = plan_.steps_of_flow(flow);
+  if (step >= static_cast<int>(steps.size())) return;
+  if (send_started_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step)]) return;
+  const StepSpec& s = steps[static_cast<std::size_t>(step)];
+  StepRecord& r = records_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step)];
+
+  // Gate 1: the flow's own previous step must have completed.
+  if (step > 0 && records_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step - 1)]
+                          .end_time == sim::kNever)
+    return;
+  // Gate 2: the data dependency must have been received locally.
+  if (s.has_dependency() &&
+      !recv_done_[static_cast<std::size_t>(s.dep_flow)][static_cast<std::size_t>(s.dep_step)])
+    return;
+
+  send_started_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step)] = true;
+  r.start_time = net_.sim().now();
+  if (on_step_start_) on_step_start_(r);
+  net_.host(s.src).start_flow(r.key, s.bytes, [this, flow, step](const net::FlowKey&, Tick t) {
+    on_send_done(flow, step, t);
+  });
+}
+
+void CollectiveRunner::on_send_done(int flow, int step, Tick t) {
+  StepRecord& r = records_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step)];
+  r.end_time = t;
+  queues_[static_cast<std::size_t>(flow)].on_send_complete(step);
+  if (step + 1 < static_cast<int>(plan_.steps_of_flow(flow).size())) {
+    records_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step + 1)].prev_done_time =
+        t;
+  }
+  ++completed_transfers_;
+  if (on_step_complete_) on_step_complete_(r);
+  try_start_send(flow, step + 1);
+  if (done()) {
+    finish_time_ = t;
+    if (on_finished_) on_finished_(t);
+  }
+}
+
+void CollectiveRunner::on_recv_done(int flow, int step, Tick t) {
+  recv_done_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step)] = true;
+  // Whoever depends on (flow, step) may now start; also update their
+  // SSQ/RSQ indices for waiting-state awareness. Chain algorithms have one
+  // dependent; tree algorithms may unblock several flows at once.
+  for (const auto& [waiter, wstep] : plan_.dependents_of(flow, step)) {
+    records_[static_cast<std::size_t>(waiter)][static_cast<std::size_t>(wstep)]
+        .dep_ready_time = t;
+    queues_[static_cast<std::size_t>(waiter)].on_recv_complete(wstep - 1);
+    try_start_send(waiter, wstep);
+  }
+}
+
+std::vector<StepRecord> CollectiveRunner::completed_records() const {
+  std::vector<StepRecord> out;
+  for (const auto& flow : records_)
+    for (const auto& r : flow)
+      if (r.end_time != sim::kNever) out.push_back(r);
+  return out;
+}
+
+}  // namespace vedr::collective

@@ -1,0 +1,98 @@
+#include "core/analyzer.h"
+
+#include <algorithm>
+
+namespace vedr::core {
+
+Analyzer::Analyzer(const net::Topology* topo, const collective::CollectivePlan* plan)
+    : topo_(topo), plan_(plan), global_(topo) {
+  if (plan_ != nullptr) {
+    for (int f = 0; f < plan_->num_flows(); ++f)
+      for (const auto& s : plan_->steps_of_flow(f)) cc_flows_.insert(plan_->key_for(f, s.step));
+  }
+}
+
+void Analyzer::add_step_record(const collective::StepRecord& r) { records_.push_back(r); }
+
+void Analyzer::register_poll(std::uint64_t poll_id, int flow, int step) {
+  poll_index_[poll_id] = {flow, step};
+}
+
+void Analyzer::on_switch_report(const telemetry::SwitchReport& report) {
+  ++reports_received_;
+  auto it = poll_index_.find(report.poll_id);
+  if (it != poll_index_.end()) {
+    auto [graph_it, inserted] = per_step_.try_emplace(it->second.second, topo_);
+    graph_it->second.add_report(report);
+  }
+  global_.add_report(report);
+}
+
+Diagnosis Analyzer::diagnose() {
+  Diagnosis d;
+
+  // 1. Waiting graph: bottleneck analysis and the per-step critical flows.
+  waiting_graph_ = WaitingGraph::build(records_);
+  d.critical_path = waiting_graph_.critical_path();
+  d.collective_time = waiting_graph_.total_time();
+  int max_step = -1;
+  for (const auto& r : records_) max_step = std::max(max_step, r.step);
+  for (int s = 0; s <= max_step; ++s)
+    d.critical_flow_per_step.push_back(waiting_graph_.critical_flow_of_step(s));
+
+  // 2. Per-step provenance classification. Membership tests always use the
+  //    full collective key set: a lagging transfer from an earlier step is
+  //    still collective traffic, not a foreign contender.
+  for (auto& [step, graph] : per_step_) {
+    graph.finalize();
+    auto findings = classifier_.classify(graph, cc_flows_, step);
+    d.findings.insert(d.findings.end(), findings.begin(), findings.end());
+  }
+  if (per_step_.empty() && !global_.empty()) {
+    global_.finalize();
+    auto findings = classifier_.classify(global_, cc_flows_, -1);
+    d.findings.insert(d.findings.end(), findings.begin(), findings.end());
+  }
+  d.findings = coalesce_findings(std::move(d.findings));
+
+  // 3. Contributor rating (Eq. 3), weighted by each step's excess execution
+  //    time over its expected time on an idle fabric.
+  if (plan_ != nullptr && !records_.empty()) {
+    // Collect per-step excess and the critical flow's key per step.
+    std::map<int, double> excess;
+    std::map<int, FlowKey> cf_of_step;
+    double total_excess = 0;
+    for (int s = 0; s <= max_step; ++s) {
+      const int cf = waiting_graph_.critical_flow_of_step(s);
+      if (cf < 0) continue;
+      const auto* rec = waiting_graph_.record_of(cf, s);
+      if (rec == nullptr || rec->end_time == sim::kNever) continue;
+      const double e = std::max<double>(
+          0, static_cast<double>((rec->end_time - rec->start_time) - rec->expected_duration));
+      excess[s] = e;
+      cf_of_step[s] = rec->key;
+      total_excess += e;
+    }
+    if (total_excess > 0) {
+      std::unordered_map<FlowKey, double, FlowKeyHash> scores;
+      for (auto& [step, graph] : per_step_) {
+        graph.finalize();
+        auto eit = excess.find(step);
+        if (eit == excess.end() || eit->second <= 0) continue;
+        const FlowKey cf = cf_of_step[step];
+        for (const FlowKey& f : graph.flows()) {
+          if (cc_flows_.count(f) > 0) continue;
+          const double r = graph.contribution_to_flow(f, cf);
+          if (r > 0) scores[f] += r * (eit->second / total_excess);
+        }
+      }
+      d.contributions.assign(scores.begin(), scores.end());
+      std::sort(d.contributions.begin(), d.contributions.end(),
+                [](const auto& a, const auto& b) { return a.second > b.second; });
+    }
+  }
+
+  return d;
+}
+
+}  // namespace vedr::core

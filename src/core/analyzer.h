@@ -1,0 +1,67 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "collective/plan.h"
+#include "collective/runner.h"
+#include "core/diagnosis.h"
+#include "core/provenance_graph.h"
+#include "core/signatures.h"
+#include "core/waiting_graph.h"
+#include "net/topology.h"
+#include "telemetry/records.h"
+
+namespace vedr::core {
+
+/// The centralized analyzer (§III-A right side): receives host step records
+/// and switch telemetry reports, groups reports by collective step via the
+/// poll registry, and produces a Diagnosis — waiting-graph bottleneck
+/// analysis, per-step provenance root causes, and contributor ratings.
+///
+/// Baselines reuse the same analyzer without a plan: their reports all land
+/// in the step-agnostic global graph and no waiting graph is built.
+class Analyzer : public telemetry::ReportSink {
+ public:
+  Analyzer(const net::Topology* topo, const collective::CollectivePlan* plan);
+
+  // --- ingestion -------------------------------------------------------------
+
+  void add_step_record(const collective::StepRecord& r);
+  /// Associates a poll id with (flow, step) so the triggered switch reports
+  /// land in the right per-step provenance graph.
+  void register_poll(std::uint64_t poll_id, int flow, int step);
+  void on_switch_report(const telemetry::SwitchReport& report) override;
+
+  /// Sets the monitored flow set explicitly (used by baselines which have
+  /// no plan but know which flows they watch).
+  void set_cc_flows(std::unordered_set<FlowKey, FlowKeyHash> flows) {
+    cc_flows_ = std::move(flows);
+  }
+
+  // --- diagnosis ---------------------------------------------------------------
+
+  Diagnosis diagnose();
+
+  const WaitingGraph& waiting_graph() const { return waiting_graph_; }
+  ProvenanceGraph& global_graph() { return global_; }
+  const std::map<int, ProvenanceGraph>& step_graphs() const { return per_step_; }
+  std::size_t step_records() const { return records_.size(); }
+  std::size_t reports_received() const { return reports_received_; }
+
+ private:
+  const net::Topology* topo_;
+  const collective::CollectivePlan* plan_;
+  std::unordered_map<std::uint64_t, std::pair<int, int>> poll_index_;
+  std::map<int, ProvenanceGraph> per_step_;
+  ProvenanceGraph global_;
+  std::vector<collective::StepRecord> records_;
+  std::unordered_set<FlowKey, FlowKeyHash> cc_flows_;
+  WaitingGraph waiting_graph_;
+  SignatureClassifier classifier_;
+  std::size_t reports_received_ = 0;
+};
+
+}  // namespace vedr::core

@@ -1,0 +1,115 @@
+#include "core/diagnosis.h"
+
+#include <algorithm>
+
+namespace vedr::core {
+
+const char* to_string(AnomalyType t) {
+  switch (t) {
+    case AnomalyType::kFlowContention: return "FlowContention";
+    case AnomalyType::kIncast: return "Incast";
+    case AnomalyType::kPfcBackpressure: return "PfcBackpressure";
+    case AnomalyType::kPfcStorm: return "PfcStorm";
+    case AnomalyType::kPfcDeadlock: return "PfcDeadlock";
+    case AnomalyType::kRoutingLoop: return "RoutingLoop";
+    case AnomalyType::kLoadImbalance: return "LoadImbalance";
+  }
+  return "?";
+}
+
+std::string AnomalyFinding::str() const {
+  std::string s = to_string(type);
+  if (step >= 0) s += " step=" + std::to_string(step);
+  if (root_port.valid()) s += " root=" + root_port.str();
+  if (!contending_flows.empty()) {
+    s += " flows={";
+    for (std::size_t i = 0; i < contending_flows.size(); ++i) {
+      if (i > 0) s += ",";
+      s += contending_flows[i].str();
+    }
+    s += "}";
+  }
+  if (!pfc_chain.empty()) {
+    s += " chain=[";
+    for (std::size_t i = 0; i < pfc_chain.size(); ++i) {
+      if (i > 0) s += "->";
+      s += pfc_chain[i].str();
+    }
+    s += "]";
+  }
+  return s;
+}
+
+bool Diagnosis::detects_flow(const FlowKey& f) const {
+  for (const auto& finding : findings)
+    for (const auto& cf : finding.contending_flows)
+      if (cf == f) return true;
+  return false;
+}
+
+std::vector<FlowKey> Diagnosis::all_contenders() const {
+  std::vector<FlowKey> out;
+  for (const auto& finding : findings)
+    out.insert(out.end(), finding.contending_flows.begin(), finding.contending_flows.end());
+  std::sort(out.begin(), out.end(),
+            [](const FlowKey& a, const FlowKey& b) { return a.hash() < b.hash(); });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Diagnosis::has_type(AnomalyType t) const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [t](const AnomalyFinding& f) { return f.type == t; });
+}
+
+std::string Diagnosis::summary() const {
+  std::string s = "Diagnosis: " + std::to_string(findings.size()) + " finding(s), collective " +
+                  std::to_string(collective_time / sim::kMicrosecond) + "us\n";
+  for (const auto& f : findings) s += "  - " + f.str() + "\n";
+  if (!critical_path.empty()) {
+    s += "  critical path:";
+    for (const auto& [flow, step] : critical_path)
+      s += " F" + std::to_string(flow) + "S" + std::to_string(step);
+    s += "\n";
+  }
+  for (std::size_t i = 0; i < contributions.size() && i < 5; ++i)
+    s += "  contributor " + contributions[i].first.str() + " score=" +
+         std::to_string(contributions[i].second) + "\n";
+  return s;
+}
+
+std::vector<AnomalyFinding> coalesce_findings(std::vector<AnomalyFinding> findings) {
+  std::vector<AnomalyFinding> merged;
+  auto key_match = [](const AnomalyFinding& a, const AnomalyFinding& b) {
+    return a.type == b.type && a.root_port == b.root_port;
+  };
+  auto sort_unique_flows = [](std::vector<FlowKey>& v) {
+    std::sort(v.begin(), v.end(),
+              [](const FlowKey& a, const FlowKey& b) { return a.hash() < b.hash(); });
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  for (auto& f : findings) {
+    AnomalyFinding* home = nullptr;
+    for (auto& m : merged)
+      if (key_match(m, f)) home = &m;
+    if (home == nullptr) {
+      merged.push_back(std::move(f));
+      continue;
+    }
+    home->contending_flows.insert(home->contending_flows.end(), f.contending_flows.begin(),
+                                  f.contending_flows.end());
+    home->congested_ports.insert(home->congested_ports.end(), f.congested_ports.begin(),
+                                 f.congested_ports.end());
+    if (f.pfc_chain.size() > home->pfc_chain.size()) home->pfc_chain = std::move(f.pfc_chain);
+    if (home->step < 0 || (f.step >= 0 && f.step < home->step)) home->step = f.step;
+  }
+  for (auto& m : merged) {
+    sort_unique_flows(m.contending_flows);
+    std::sort(m.congested_ports.begin(), m.congested_ports.end());
+    m.congested_ports.erase(std::unique(m.congested_ports.begin(), m.congested_ports.end()),
+                            m.congested_ports.end());
+  }
+  return merged;
+}
+
+}  // namespace vedr::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.h"
+
+namespace vedr::core {
+
+using net::FlowKey;
+using net::PortRef;
+using net::Tick;
+
+enum class AnomalyType : std::uint8_t {
+  kFlowContention,
+  kIncast,
+  kPfcBackpressure,
+  kPfcStorm,
+  kPfcDeadlock,
+  kRoutingLoop,
+  kLoadImbalance,
+};
+
+const char* to_string(AnomalyType t);
+
+/// One diagnosed root cause (§III-D2).
+struct AnomalyFinding {
+  AnomalyType type = AnomalyType::kFlowContention;
+  std::vector<FlowKey> contending_flows;  ///< non-collective flows implicated
+  std::vector<PortRef> congested_ports;   ///< where the contention bites
+  std::vector<PortRef> pfc_chain;         ///< spreading path (upstream -> root)
+  PortRef root_port;                      ///< storm source / terminal congestion port
+  int step = -1;                          ///< collective step the finding belongs to (-1: global)
+
+  std::string str() const;
+};
+
+/// Complete diagnosis output: root causes, the waiting-graph critical path
+/// (the performance bottleneck), and per-flow contribution ratings (Eq. 3).
+struct Diagnosis {
+  std::vector<AnomalyFinding> findings;
+  std::vector<std::pair<int, int>> critical_path;  ///< (flow, step), source->sink order
+  Tick collective_time = 0;
+  /// R(f_a): contribution of each non-collective flow to the whole collective.
+  std::vector<std::pair<FlowKey, double>> contributions;
+  /// Per-step critical ("bottleneck") flow index, -1 if unknown.
+  std::vector<int> critical_flow_per_step;
+
+  bool detects_flow(const FlowKey& f) const;
+  std::vector<FlowKey> all_contenders() const;
+  bool has_type(AnomalyType t) const;
+  std::string summary() const;
+};
+
+/// Merges findings that describe the same root cause observed at several
+/// steps or via several partial chains: same (type, root) collapse into one
+/// finding with the unioned flow/port sets, the longest spreading chain and
+/// the earliest step. Keeps reports readable without losing evidence.
+std::vector<AnomalyFinding> coalesce_findings(std::vector<AnomalyFinding> findings);
+
+}  // namespace vedr::core

@@ -1,0 +1,99 @@
+#include "core/json_export.h"
+
+#include <cstdio>
+
+namespace vedr::core::json {
+
+namespace {
+
+std::string quote(const std::string& s) { return "\"" + escape(s) + "\""; }
+
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+template <typename T, typename Fn>
+std::string array(const std::vector<T>& items, Fn&& render) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += render(items[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string finding_to_json(const AnomalyFinding& f) {
+  std::string out = "{";
+  out += "\"type\":" + quote(to_string(f.type));
+  out += ",\"step\":" + std::to_string(f.step);
+  out += ",\"root\":" + quote(f.root_port.valid() ? f.root_port.str() : "");
+  out += ",\"flows\":" +
+         array(f.contending_flows, [](const FlowKey& k) { return quote(k.str()); });
+  out += ",\"ports\":" +
+         array(f.congested_ports, [](const PortRef& p) { return quote(p.str()); });
+  out += ",\"chain\":" + array(f.pfc_chain, [](const PortRef& p) { return quote(p.str()); });
+  out += "}";
+  return out;
+}
+
+std::string diagnosis_to_json(const Diagnosis& d) {
+  std::string out = "{";
+  out += "\"collective_time_ns\":" + std::to_string(d.collective_time);
+  out += ",\"findings\":" + array(d.findings, finding_to_json);
+  out += ",\"critical_path\":" + array(d.critical_path, [](const std::pair<int, int>& v) {
+           return "{\"flow\":" + std::to_string(v.first) +
+                  ",\"step\":" + std::to_string(v.second) + "}";
+         });
+  out += ",\"contributors\":" +
+         array(d.contributions, [](const std::pair<FlowKey, double>& c) {
+           return "{\"flow\":" + quote(c.first.str()) + ",\"score\":" + number(c.second) + "}";
+         });
+  out += ",\"critical_flow_per_step\":" +
+         array(d.critical_flow_per_step, [](int f) { return std::to_string(f); });
+  out += "}";
+  return out;
+}
+
+std::string waiting_graph_to_json(const WaitingGraph& g) {
+  std::string out = "{";
+  out += "\"vertices\":" +
+         array(g.pruned_vertices(), [](const WgVertex& v) { return quote(v.str()); });
+  out += ",\"edges\":" + array(g.edges(), [](const WgEdge& e) {
+           const char* type = e.type == WgEdgeType::kExecution
+                                  ? "execution"
+                                  : (e.type == WgEdgeType::kPrevStep ? "prev_step" : "data_dep");
+           return "{\"from\":" + quote(e.from.str()) + ",\"to\":" + quote(e.to.str()) +
+                  ",\"type\":\"" + type + "\",\"weight_ns\":" + std::to_string(e.weight) + "}";
+         });
+  out += "}";
+  return out;
+}
+
+}  // namespace vedr::core::json

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "core/analyzer.h"
+#include "core/diagnosis.h"
+#include "core/waiting_graph.h"
+
+namespace vedr::core {
+
+/// Dependency-free JSON serialization of diagnosis artifacts, for dashboards
+/// and downstream tooling. Output is deterministic (stable field order and
+/// element ordering) so snapshots can be diffed.
+namespace json {
+
+std::string escape(const std::string& s);
+
+/// {"type":"FlowContention","step":0,"root":"p(20.1)","flows":[...],
+///  "ports":[...],"chain":[...]}
+std::string finding_to_json(const AnomalyFinding& f);
+
+/// Full diagnosis: findings, critical path, collective time, contributors.
+std::string diagnosis_to_json(const Diagnosis& d);
+
+/// Waiting graph as {"vertices":[...],"edges":[{"from","to","type","weight_ns"}]}.
+std::string waiting_graph_to_json(const WaitingGraph& g);
+
+}  // namespace json
+
+}  // namespace vedr::core

@@ -1,0 +1,270 @@
+#include "core/provenance_graph.h"
+
+#include <algorithm>
+
+namespace vedr::core {
+
+void ProvenanceGraph::add_report(const telemetry::SwitchReport& report) {
+  ++reports_seen_;
+  finalized_ = false;
+  for (const auto& pr : report.ports) {
+    PortData& pd = port_reports_[pr.port];
+    // Counters are cumulative; keep the newest snapshot of scalar state and
+    // take per-entry maxima so merged reports never lose weight.
+    if (pr.poll_time >= pd.report.poll_time) pd.report = pr;
+    pd.max_qdepth_pkts = std::max(pd.max_qdepth_pkts, pr.qdepth_pkts);
+    pd.max_qdepth_bytes = std::max(pd.max_qdepth_bytes, pr.qdepth_bytes);
+    if (pr.currently_paused || !pr.pauses.empty()) pd.saw_pause = true;
+    for (const auto& fe : pr.flows) {
+      auto& cur = pd.flow_entries[fe.flow];
+      if (fe.pkts >= cur.pkts) cur = fe;
+    }
+    for (const auto& we : pr.waits) {
+      auto& w = pd.waits[we.waiter][we.ahead];
+      w = std::max(w, we.weight);
+    }
+    for (const auto& me : pr.meters) {
+      auto& m = pd.meters[me.in_port];
+      m = std::max(m, me.bytes);
+    }
+  }
+  for (const auto& cause : report.causes) causes_.push_back(cause);
+  for (const auto& drop : report.drops) {
+    // Keep the freshest record per (flow, port); counts are cumulative.
+    bool merged = false;
+    for (auto& existing : drops_) {
+      if (existing.flow == drop.flow && existing.port == drop.port) {
+        if (drop.count > existing.count) existing = drop;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) drops_.push_back(drop);
+  }
+}
+
+std::vector<telemetry::DropEntry> ProvenanceGraph::drops_of(const FlowKey& f) const {
+  std::vector<telemetry::DropEntry> out;
+  for (const auto& d : drops_)
+    if (d.flow == f) out.push_back(d);
+  return out;
+}
+
+void ProvenanceGraph::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  pfc_edge_list_.clear();
+  pfc_adj_.clear();
+  pfc_weights_.clear();
+  pfc_contrib_.clear();
+  storm_sources_.clear();
+
+  std::unordered_set<std::uint64_t> seen_edges;
+  std::unordered_set<std::uint64_t> seen_storms;
+  for (const auto& cause : causes_) {
+    // `cause.ingress_port` is the (switch, port) that emitted PAUSE frames;
+    // the halted upstream egress is its link peer.
+    if (topo_ == nullptr) break;
+    const PortRef up = topo_->peer(cause.ingress_port.node, cause.ingress_port.port);
+    if (cause.injected) {
+      const std::uint64_t k = PortRefHash{}(cause.ingress_port);
+      if (seen_storms.insert(k).second) storm_sources_.push_back(cause.ingress_port);
+      continue;
+    }
+    for (const auto& [egress, bytes] : cause.contributions) {
+      const PortRef down{cause.ingress_port.node, egress};
+      auto& contrib = pfc_contrib_[up][down];
+      contrib = std::max(contrib, bytes);
+      const std::uint64_t ek =
+          PortRefHash{}(up) * 0x9e3779b97f4a7c15ULL ^ PortRefHash{}(down);
+      if (!seen_edges.insert(ek).second) continue;
+      pfc_edge_list_.emplace_back(up, down);
+      pfc_adj_[up].push_back(down);
+
+      // w(p_i, p_j): fraction of p_j's buffered traffic that arrived via the
+      // link from p_i, from p_j's ingress meters.
+      double w = 1.0;
+      auto it = port_reports_.find(down);
+      if (it != port_reports_.end() && !it->second.meters.empty()) {
+        double total = 0, from_up = 0;
+        for (const auto& [in, b] : it->second.meters) {
+          total += static_cast<double>(b);
+          if (in == cause.ingress_port.port) from_up += static_cast<double>(b);
+        }
+        if (total > 0) w = from_up / total;
+      }
+      pfc_weights_[up][down] = w;
+    }
+  }
+}
+
+std::vector<FlowKey> ProvenanceGraph::flows() const {
+  std::unordered_set<FlowKey, FlowKeyHash> set;
+  for (const auto& [port, pd] : port_reports_)
+    for (const auto& [key, fe] : pd.flow_entries) set.insert(key);
+  return {set.begin(), set.end()};
+}
+
+std::vector<PortRef> ProvenanceGraph::ports() const {
+  std::vector<PortRef> out;
+  out.reserve(port_reports_.size());
+  for (const auto& [port, pd] : port_reports_) out.push_back(port);
+  return out;
+}
+
+double ProvenanceGraph::flow_port_weight(const FlowKey& f, const PortRef& p) const {
+  auto it = port_reports_.find(p);
+  if (it == port_reports_.end()) return 0;
+  auto w = it->second.waits.find(f);
+  if (w == it->second.waits.end()) return 0;
+  double sum = 0;
+  for (const auto& [ahead, weight] : w->second) sum += static_cast<double>(weight);
+  return sum;
+}
+
+double ProvenanceGraph::pair_weight(const PortRef& p, const FlowKey& waiter,
+                                    const FlowKey& ahead) const {
+  auto it = port_reports_.find(p);
+  if (it == port_reports_.end()) return 0;
+  auto w = it->second.waits.find(waiter);
+  if (w == it->second.waits.end()) return 0;
+  auto a = w->second.find(ahead);
+  return a == w->second.end() ? 0 : static_cast<double>(a->second);
+}
+
+double ProvenanceGraph::port_flow_weight(const PortRef& p, const FlowKey& f) const {
+  auto it = port_reports_.find(p);
+  if (it == port_reports_.end()) return 0;
+  const PortData& pd = it->second;
+  auto fe = pd.flow_entries.find(f);
+  if (fe == pd.flow_entries.end()) return 0;
+  std::int64_t total_pkts = 0;
+  for (const auto& [key, e] : pd.flow_entries) total_pkts += e.pkts;
+  if (total_pkts == 0) return 0;
+  return static_cast<double>(fe->second.pkts) / static_cast<double>(total_pkts) *
+         static_cast<double>(pd.max_qdepth_pkts);
+}
+
+double ProvenanceGraph::port_port_weight(const PortRef& up, const PortRef& down) const {
+  auto it = pfc_weights_.find(up);
+  if (it == pfc_weights_.end()) return 0;
+  auto jt = it->second.find(down);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+std::int64_t ProvenanceGraph::port_port_contribution(const PortRef& up,
+                                                     const PortRef& down) const {
+  auto it = pfc_contrib_.find(up);
+  if (it == pfc_contrib_.end()) return 0;
+  auto jt = it->second.find(down);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+std::vector<PortRef> ProvenanceGraph::ports_waited_by(const FlowKey& f) const {
+  std::vector<PortRef> out;
+  for (const auto& [port, pd] : port_reports_) {
+    auto it = pd.waits.find(f);
+    if (it != pd.waits.end() && !it->second.empty()) out.push_back(port);
+  }
+  return out;
+}
+
+std::vector<FlowKey> ProvenanceGraph::waiters_at(const PortRef& p) const {
+  std::vector<FlowKey> out;
+  auto it = port_reports_.find(p);
+  if (it == port_reports_.end()) return out;
+  for (const auto& [waiter, row] : it->second.waits)
+    if (!row.empty()) out.push_back(waiter);
+  return out;
+}
+
+std::vector<FlowKey> ProvenanceGraph::flows_at(const PortRef& p) const {
+  std::vector<FlowKey> out;
+  auto it = port_reports_.find(p);
+  if (it == port_reports_.end()) return out;
+  for (const auto& [key, fe] : it->second.flow_entries) out.push_back(key);
+  return out;
+}
+
+std::vector<PortRef> ProvenanceGraph::pfc_downstream(const PortRef& up) const {
+  auto it = pfc_adj_.find(up);
+  return it == pfc_adj_.end() ? std::vector<PortRef>{} : it->second;
+}
+
+bool ProvenanceGraph::host_facing(const PortRef& p) const {
+  if (topo_ == nullptr) return false;
+  return topo_->is_host(topo_->peer(p.node, p.port).node);
+}
+
+bool ProvenanceGraph::port_paused_recently(const PortRef& p) const {
+  auto it = port_reports_.find(p);
+  if (it == port_reports_.end()) return false;
+  return it->second.saw_pause || it->second.report.currently_paused ||
+         !it->second.report.pauses.empty();
+}
+
+PortRef ProvenanceGraph::peer_of(const PortRef& p) const {
+  if (topo_ == nullptr) return PortRef{};
+  return topo_->peer(p.node, p.port);
+}
+
+std::int64_t ProvenanceGraph::qdepth_pkts(const PortRef& p) const {
+  auto it = port_reports_.find(p);
+  return it == port_reports_.end() ? 0 : it->second.max_qdepth_pkts;
+}
+
+double ProvenanceGraph::contribution_to_port(const FlowKey& f, const PortRef& p) const {
+  std::unordered_set<PortRef, PortRefHash> visiting;
+  return contribution_to_port_impl(f, p, visiting);
+}
+
+double ProvenanceGraph::contribution_to_port_impl(
+    const FlowKey& f, const PortRef& p,
+    std::unordered_set<PortRef, PortRefHash>& visiting) const {
+  if (!visiting.insert(p).second) return 0;  // PFC cycle (deadlock) guard
+  double r = port_flow_weight(p, f);
+  auto it = pfc_adj_.find(p);
+  if (it != pfc_adj_.end()) {
+    for (const PortRef& down : it->second)
+      r += contribution_to_port_impl(f, down, visiting) * port_port_weight(p, down);
+  }
+  visiting.erase(p);
+  return r;
+}
+
+double ProvenanceGraph::contribution_to_flow(const FlowKey& f, const FlowKey& cf) const {
+  // P_cf: ports the collective flow waits on.
+  double total = 0;
+  for (const PortRef& pk : ports_waited_by(cf)) {
+    const bool contend_here = flow_port_weight(f, pk) > 0;
+    const double w_cf_fi = pair_weight(pk, cf, f);
+    const double w_pk_fi = port_flow_weight(pk, f);
+    total += (contend_here ? (w_cf_fi - w_pk_fi) : 0.0) + contribution_to_port(f, pk);
+  }
+  return total;
+}
+
+std::string ProvenanceGraph::to_dot(
+    const std::unordered_set<FlowKey, FlowKeyHash>& cc_flows) const {
+  std::string dot = "digraph provenance {\n";
+  for (const auto& [port, pd] : port_reports_) {
+    dot += "  \"" + port.str() + "\" [shape=box];\n";
+    for (const auto& [waiter, row] : pd.waits) {
+      if (row.empty()) continue;
+      const char* color = cc_flows.count(waiter) > 0 ? "red" : "black";
+      dot += "  \"" + waiter.str() + "\" -> \"" + port.str() + "\" [color=" +
+             std::string(color) + "];\n";
+    }
+    for (const auto& [key, fe] : pd.flow_entries) {
+      const double w = port_flow_weight(port, key);
+      if (w > 0)
+        dot += "  \"" + port.str() + "\" -> \"" + key.str() + "\" [style=dashed];\n";
+    }
+  }
+  for (const auto& [up, down] : pfc_edge_list_)
+    dot += "  \"" + up.str() + "\" -> \"" + down.str() + "\" [color=purple,penwidth=2];\n";
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace vedr::core

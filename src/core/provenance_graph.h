@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/topology.h"
+#include "net/types.h"
+#include "telemetry/records.h"
+
+namespace vedr::core {
+
+using net::FlowKey;
+using net::FlowKeyHash;
+using net::PortRef;
+using net::PortRefHash;
+using net::Tick;
+
+/// Network provenance graph (§III-D1): vertices are flows (F) and ports (P);
+/// edges capture packet-level waiting relationships with the paper's weight
+/// definitions:
+///   e(f, p):  w(f_i, p)   = sum_j w(f_i, f_j), queue-ahead packet counts
+///   e(p, f):  w(p, f_i)   = pkt_num(f_i)/pkt_num(p) * qdepth(p)
+///   e(p_i,p_j): w(p_i,p_j) = meter(p_i->p_j) / sum_k meter(p_k->p_j)
+/// Contribution scores follow Eqs. (1) and (2).
+class ProvenanceGraph {
+ public:
+  explicit ProvenanceGraph(const net::Topology* topo) : topo_(topo) {}
+
+  /// Accumulates one switch report. Reports for the same port merge; the
+  /// counters are cumulative, so the latest snapshot wins.
+  void add_report(const telemetry::SwitchReport& report);
+
+  /// Resolves pause linkage into port->port edges. Call after all reports.
+  void finalize();
+
+  // --- vertices / edges -----------------------------------------------------
+
+  std::vector<FlowKey> flows() const;
+  std::vector<PortRef> ports() const;
+
+  /// w(f_i, p): total queue-ahead weight of f_i at port p (0 = no edge).
+  double flow_port_weight(const FlowKey& f, const PortRef& p) const;
+  /// w(f_i, f_j) at port p (used for the w(cf, f_i) term of Eq. 2).
+  double pair_weight(const PortRef& p, const FlowKey& waiter, const FlowKey& ahead) const;
+  /// w(p, f_i): the flow's contribution to the port queue.
+  double port_flow_weight(const PortRef& p, const FlowKey& f) const;
+  /// w(p_i, p_j) for PFC edges; 0 when absent.
+  double port_port_weight(const PortRef& up, const PortRef& down) const;
+  /// Bytes the pause cause attributed to `down`'s queue when `up` was
+  /// halted — the natural ranking for following the dominant spreading path.
+  std::int64_t port_port_contribution(const PortRef& up, const PortRef& down) const;
+
+  /// Ports flow f has an e(f, p) edge to (ports where it waited).
+  std::vector<PortRef> ports_waited_by(const FlowKey& f) const;
+  /// Flows with an e(f, p) edge at port p.
+  std::vector<FlowKey> waiters_at(const PortRef& p) const;
+  /// Flows observed at port p (have e(p, f) potential).
+  std::vector<FlowKey> flows_at(const PortRef& p) const;
+  /// Downstream PFC edges from `up` (ports it waits on via PAUSE).
+  std::vector<PortRef> pfc_downstream(const PortRef& up) const;
+  /// All PFC edges (up -> down).
+  const std::vector<std::pair<PortRef, PortRef>>& pfc_edges() const { return pfc_edge_list_; }
+
+  /// Ports where injected (storm) PAUSE causes were reported: the pause was
+  /// emitted on this (switch, port) without buffer pressure explaining it.
+  const std::vector<PortRef>& storm_sources() const { return storm_sources_; }
+
+  /// TTL-expiry drop records collected from switch reports (loop evidence).
+  const std::vector<telemetry::DropEntry>& drops() const { return drops_; }
+  /// Drop records for one flow.
+  std::vector<telemetry::DropEntry> drops_of(const FlowKey& f) const;
+
+  /// Whether port p is host-facing (its peer is a host) — incast signature.
+  bool host_facing(const PortRef& p) const;
+
+  /// Whether the reported snapshot of p shows PFC pause activity.
+  bool port_paused_recently(const PortRef& p) const;
+  /// Link peer of p (invalid when no topology attached).
+  PortRef peer_of(const PortRef& p) const;
+  /// Reported queue depth in packets (0 when unreported).
+  std::int64_t qdepth_pkts(const PortRef& p) const;
+
+  // --- contribution rating (§III-D3) ---------------------------------------
+
+  /// Eq. (1): R(f_i, p_j) = w(p_j, f_i) + sum_{e(p_j,p_k)} R(f_i, p_k) * w(p_j, p_k).
+  double contribution_to_port(const FlowKey& f, const PortRef& p) const;
+
+  /// Eq. (2): contribution of flow f to collective flow cf.
+  double contribution_to_flow(const FlowKey& f, const FlowKey& cf) const;
+
+  bool empty() const { return port_reports_.empty(); }
+  std::size_t report_count() const { return reports_seen_; }
+
+  std::string to_dot(const std::unordered_set<FlowKey, FlowKeyHash>& cc_flows) const;
+
+ private:
+  struct PortData {
+    telemetry::PortReport report;
+    // waiter -> (ahead -> weight)
+    std::unordered_map<FlowKey, std::unordered_map<FlowKey, std::int64_t, FlowKeyHash>,
+                       FlowKeyHash>
+        waits;
+    std::unordered_map<FlowKey, telemetry::FlowEntry, FlowKeyHash> flow_entries;
+    std::unordered_map<net::PortId, std::int64_t> meters;  // ingress -> bytes
+    // Accumulated across merged reports: a later quiet snapshot must not
+    // erase the pause/queue evidence an earlier one carried.
+    std::int64_t max_qdepth_pkts = 0;
+    std::int64_t max_qdepth_bytes = 0;
+    bool saw_pause = false;
+  };
+
+  double contribution_to_port_impl(const FlowKey& f, const PortRef& p,
+                                   std::unordered_set<PortRef, PortRefHash>& visiting) const;
+
+  const net::Topology* topo_;
+  std::unordered_map<PortRef, PortData, PortRefHash> port_reports_;
+  std::vector<telemetry::PauseCauseReport> causes_;
+  std::vector<std::pair<PortRef, PortRef>> pfc_edge_list_;
+  std::unordered_map<PortRef, std::vector<PortRef>, PortRefHash> pfc_adj_;
+  std::unordered_map<PortRef, std::unordered_map<PortRef, double, PortRefHash>, PortRefHash>
+      pfc_weights_;
+  std::unordered_map<PortRef, std::unordered_map<PortRef, std::int64_t, PortRefHash>,
+                     PortRefHash>
+      pfc_contrib_;
+  std::vector<PortRef> storm_sources_;
+  std::vector<telemetry::DropEntry> drops_;
+  std::size_t reports_seen_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace vedr::core

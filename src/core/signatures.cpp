@@ -1,0 +1,229 @@
+#include "core/signatures.h"
+
+#include <algorithm>
+
+#include "net/packet.h"
+
+namespace vedr::core {
+
+namespace {
+
+void sort_unique(std::vector<FlowKey>& v) {
+  std::sort(v.begin(), v.end(), [](const FlowKey& a, const FlowKey& b) {
+    return a.hash() < b.hash();
+  });
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+void sort_unique(std::vector<PortRef>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+SignatureClassifier::ChaseResult SignatureClassifier::chase(const ProvenanceGraph& g,
+                                                            const PortRef& start) const {
+  ChaseResult result;
+  std::unordered_set<PortRef, PortRefHash> visited;
+  PortRef cur = start;
+  result.chain.push_back(cur);
+  visited.insert(cur);
+  while (true) {
+    const auto downs = g.pfc_downstream(cur);
+    if (downs.empty()) break;
+    // Follow the dominant contributor when the pause fans out: the
+    // downstream queue holding the most of this port's halted bytes.
+    PortRef next = downs.front();
+    std::int64_t best = -1;
+    for (const PortRef& d : downs) {
+      const std::int64_t c = g.port_port_contribution(cur, d);
+      if (c > best) {
+        best = c;
+        next = d;
+      }
+    }
+    if (!visited.insert(next).second) {
+      result.cycle = true;
+      break;
+    }
+    result.chain.push_back(next);
+    cur = next;
+  }
+  result.terminal = cur;
+  return result;
+}
+
+std::vector<AnomalyFinding> SignatureClassifier::classify(
+    const ProvenanceGraph& g, const std::unordered_set<FlowKey, FlowKeyHash>& cc_flows,
+    int step) const {
+  std::vector<AnomalyFinding> findings;
+
+  // --- Flow contention / incast -------------------------------------------
+  // exists p: e(f_i, p) and e(cf, p), f_i != cf (§III-D2 signature 1); we use
+  // the direct evidence w(cf, f_i) > threshold — the collective flow's
+  // packets actually queued behind f_i's.
+  AnomalyFinding contention;
+  contention.type = AnomalyType::kFlowContention;
+  contention.step = step;
+  AnomalyFinding incast;
+  incast.type = AnomalyType::kIncast;
+  incast.step = step;
+
+  for (const PortRef& p : g.ports()) {
+    std::vector<FlowKey> contenders;
+    for (const FlowKey& cf : g.waiters_at(p)) {
+      if (cc_flows.count(cf) == 0) continue;
+      for (const FlowKey& other : g.flows_at(p)) {
+        if (cc_flows.count(other) > 0) continue;
+        if (g.pair_weight(p, cf, other) >= min_pair_weight_) contenders.push_back(other);
+      }
+    }
+    if (contenders.empty()) continue;
+    AnomalyFinding& target = g.host_facing(p) ? incast : contention;
+    target.congested_ports.push_back(p);
+    target.contending_flows.insert(target.contending_flows.end(), contenders.begin(),
+                                   contenders.end());
+  }
+  for (AnomalyFinding* f : {&contention, &incast}) {
+    if (f->contending_flows.empty()) continue;
+    sort_unique(f->contending_flows);
+    sort_unique(f->congested_ports);
+    f->root_port = f->congested_ports.front();
+    findings.push_back(std::move(*f));
+  }
+
+  // --- Load imbalance ---------------------------------------------------------
+  // Collective flows heavily queueing behind *each other* at a fabric port
+  // (§II-B anomaly 1): the traffic would fit if ECMP had spread it, so the
+  // anomaly is the placement, not another tenant. Host-facing ports are
+  // excluded — collective flows legitimately serialize into one NIC.
+  {
+    AnomalyFinding imbalance;
+    imbalance.type = AnomalyType::kLoadImbalance;
+    imbalance.step = step;
+    for (const PortRef& p : g.ports()) {
+      if (g.host_facing(p)) continue;
+      bool cc_vs_cc = false;
+      for (const FlowKey& a : g.waiters_at(p)) {
+        if (cc_flows.count(a) == 0) continue;
+        for (const FlowKey& b : g.flows_at(p)) {
+          if (a == b || cc_flows.count(b) == 0) continue;
+          if (g.pair_weight(p, a, b) >= min_pair_weight_ * 16) cc_vs_cc = true;
+        }
+      }
+      if (cc_vs_cc) imbalance.congested_ports.push_back(p);
+    }
+    if (!imbalance.congested_ports.empty()) {
+      sort_unique(imbalance.congested_ports);
+      imbalance.root_port = imbalance.congested_ports.front();
+      findings.push_back(std::move(imbalance));
+    }
+  }
+
+  // --- PFC backpressure / storm / deadlock ----------------------------------
+  // exists p: e(cf, p) and e(p, p_j): the collective flow stalls at a port
+  // that is itself halted by downstream PAUSE frames; trace the spreading
+  // path to its root (§III-D2 signature 2).
+  std::unordered_set<PortRef, PortRefHash> chased;
+  for (const PortRef& p : g.ports()) {
+    if (g.pfc_downstream(p).empty()) continue;
+    bool cc_affected = false;
+    for (const FlowKey& f : g.flows_at(p)) {
+      if (cc_flows.count(f) > 0 &&
+          (g.flow_port_weight(f, p) > 0 || g.port_paused_recently(p))) {
+        cc_affected = true;
+        break;
+      }
+    }
+    if (!cc_affected) continue;
+    if (!chased.insert(p).second) continue;
+
+    const ChaseResult cr = chase(g, p);
+    AnomalyFinding f;
+    f.step = step;
+    f.pfc_chain = cr.chain;
+    f.congested_ports = cr.chain;
+
+    if (cr.cycle) {
+      f.type = AnomalyType::kPfcDeadlock;
+      f.root_port = cr.terminal;
+    } else {
+      // A storm source along the chain means the PAUSE frames that halted a
+      // chain port were injected (no buffer pressure behind them); otherwise
+      // genuine backpressure rooted at the terminal congestion port. The
+      // injector port is the link peer of the port it halted.
+      PortRef storm{};
+      bool is_storm = false;
+      for (const PortRef& c : cr.chain) {
+        const PortRef pauser = g.peer_of(c);
+        for (const PortRef& src : g.storm_sources()) {
+          if (src == pauser) {
+            is_storm = true;
+            storm = src;
+            break;
+          }
+        }
+        if (is_storm) break;
+      }
+      if (is_storm) {
+        f.type = AnomalyType::kPfcStorm;
+        f.root_port = storm;
+      } else {
+        f.type = AnomalyType::kPfcBackpressure;
+        f.root_port = cr.terminal;
+        // The flows feeding the terminal port are the culprits.
+        for (const FlowKey& fk : g.flows_at(cr.terminal))
+          if (cc_flows.count(fk) == 0) f.contending_flows.push_back(fk);
+        sort_unique(f.contending_flows);
+      }
+    }
+    findings.push_back(std::move(f));
+  }
+
+  // --- Routing loop ----------------------------------------------------------
+  // TTL-expiry drops for a collective flow are the loop tell-tale: packets
+  // revisited switches until their TTL ran out (§II-B anomaly 2). Root is
+  // the egress inside the loop where the expiry landed.
+  {
+    AnomalyFinding loop;
+    loop.type = AnomalyType::kRoutingLoop;
+    loop.step = step;
+    for (const auto& d : g.drops()) {
+      // Forward direction, or the collective's returning ACK stream — both
+      // only expire when the fabric loops.
+      if (cc_flows.count(d.flow) == 0 && cc_flows.count(net::reverse(d.flow)) == 0) continue;
+      loop.congested_ports.push_back(d.port);
+    }
+    if (!loop.congested_ports.empty()) {
+      sort_unique(loop.congested_ports);
+      loop.root_port = loop.congested_ports.front();
+      findings.push_back(std::move(loop));
+    }
+  }
+
+  // Storm with no chase chain established (e.g. the upstream port snapshot
+  // alone revealed the injected cause).
+  if (!g.storm_sources().empty() &&
+      std::none_of(findings.begin(), findings.end(), [](const AnomalyFinding& f) {
+        return f.type == AnomalyType::kPfcStorm;
+      })) {
+    bool cc_pfc = false;
+    for (const PortRef& p : g.ports()) {
+      if (!g.port_paused_recently(p)) continue;
+      for (const FlowKey& fk : g.flows_at(p))
+        if (cc_flows.count(fk) > 0) cc_pfc = true;
+    }
+    if (cc_pfc) {
+      AnomalyFinding f;
+      f.type = AnomalyType::kPfcStorm;
+      f.step = step;
+      f.root_port = g.storm_sources().front();
+      findings.push_back(std::move(f));
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace vedr::core

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/diagnosis.h"
+#include "core/provenance_graph.h"
+
+namespace vedr::core {
+
+/// Anomaly breakdown (§III-D2): matches signatures over a finalized
+/// provenance graph against the set of collective-communication flows and
+/// emits typed findings. New anomaly types are added by extending this
+/// classifier (the paper calls out this extensibility in §V).
+class SignatureClassifier {
+ public:
+  /// `min_pair_weight`: queue-ahead packets below this are noise, not
+  /// contention (a handful of packets queue behind each other at line rate
+  /// even on a healthy fabric).
+  explicit SignatureClassifier(double min_pair_weight = 8.0)
+      : min_pair_weight_(min_pair_weight) {}
+
+  std::vector<AnomalyFinding> classify(
+      const ProvenanceGraph& g,
+      const std::unordered_set<FlowKey, FlowKeyHash>& cc_flows, int step = -1) const;
+
+ private:
+  /// Walks the PFC spreading path from `start` to its terminal port,
+  /// recording the chain. Cycles are reported as deadlocks.
+  struct ChaseResult {
+    std::vector<PortRef> chain;
+    PortRef terminal;
+    bool cycle = false;
+  };
+  ChaseResult chase(const ProvenanceGraph& g, const PortRef& start) const;
+
+  double min_pair_weight_;
+};
+
+}  // namespace vedr::core

@@ -1,0 +1,46 @@
+#include "core/vedrfolnir.h"
+
+#include "net/host.h"
+
+namespace vedr::core {
+
+Vedrfolnir::Vedrfolnir(net::Network& net, collective::CollectiveRunner& runner,
+                       VedrfolnirConfig cfg)
+    : net_(net), runner_(runner), analyzer_(&net.topology(), &runner.plan()) {
+  net_.set_report_sink(&analyzer_);
+
+  for (net::NodeId host : runner_.plan().participants()) {
+    auto mon = std::make_unique<Monitor>(net_, runner_.plan(), analyzer_, host, cfg.detection);
+    Monitor* m = mon.get();
+    net_.host(host).set_rtt_listener(
+        [m](const net::FlowKey& f, net::Tick rtt, std::uint32_t seq) {
+          m->on_rtt_sample(f, rtt, seq);
+        });
+    net_.host(host).set_control_listener(
+        [m](const net::Packet& pkt, net::Tick now) { m->on_control_packet(pkt, now); });
+    monitors_.emplace(host, std::move(mon));
+  }
+
+  runner_.set_on_step_start([this](const collective::StepRecord& r) {
+    auto it = monitors_.find(r.src);
+    if (it != monitors_.end()) it->second->on_step_start(r);
+  });
+  runner_.set_on_step_complete([this](const collective::StepRecord& r) {
+    auto it = monitors_.find(r.src);
+    if (it != monitors_.end()) it->second->on_step_complete(r);
+  });
+}
+
+int Vedrfolnir::total_polls() const {
+  int n = 0;
+  for (const auto& [host, m] : monitors_) n += m->polls_sent();
+  return n;
+}
+
+int Vedrfolnir::total_notifications() const {
+  int n = 0;
+  for (const auto& [host, m] : monitors_) n += m->notifications_sent();
+  return n;
+}
+
+}  // namespace vedr::core

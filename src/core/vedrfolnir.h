@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "collective/runner.h"
+#include "core/analyzer.h"
+#include "core/detection.h"
+#include "core/monitor.h"
+#include "net/network.h"
+
+namespace vedr::core {
+
+struct VedrfolnirConfig {
+  DetectionConfig detection;
+};
+
+/// The assembled Vedrfolnir system (Fig. 3): one monitor per participating
+/// host wired into the NIC's RTT/control callbacks and the collective
+/// runner's step callbacks, switches reporting to the shared analyzer.
+///
+/// Typical use:
+///   Vedrfolnir v(net, runner);
+///   runner.start(0);
+///   sim.run();
+///   Diagnosis d = v.diagnose();
+class Vedrfolnir {
+ public:
+  Vedrfolnir(net::Network& net, collective::CollectiveRunner& runner,
+             VedrfolnirConfig cfg = {});
+
+  Diagnosis diagnose() { return analyzer_.diagnose(); }
+  Analyzer& analyzer() { return analyzer_; }
+  Monitor& monitor_of(net::NodeId host) { return *monitors_.at(host); }
+
+  int total_polls() const;
+  int total_notifications() const;
+
+ private:
+  net::Network& net_;
+  collective::CollectiveRunner& runner_;
+  Analyzer analyzer_;
+  std::unordered_map<net::NodeId, std::unique_ptr<Monitor>> monitors_;
+};
+
+}  // namespace vedr::core

@@ -1,0 +1,143 @@
+#include "core/waiting_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace vedr::core {
+
+WaitingGraph WaitingGraph::build(std::vector<StepRecord> records) {
+  WaitingGraph g;
+  // The analyzer queues collected entries in completion-time order and
+  // constructs the graph sequentially (§III-D1).
+  std::sort(records.begin(), records.end(), [](const StepRecord& a, const StepRecord& b) {
+    if (a.end_time != b.end_time) return a.end_time < b.end_time;
+    if (a.flow_index != b.flow_index) return a.flow_index < b.flow_index;
+    return a.step < b.step;
+  });
+  g.records_ = std::move(records);
+  for (std::size_t i = 0; i < g.records_.size(); ++i)
+    g.index_[key(g.records_[i].flow_index, g.records_[i].step)] = i;
+
+  for (const StepRecord& r : g.records_) {
+    const WgVertex start{r.flow_index, r.step, false};
+    const WgVertex end{r.flow_index, r.step, true};
+    const Tick duration = (r.end_time != sim::kNever && r.start_time != sim::kNever)
+                              ? r.end_time - r.start_time
+                              : 0;
+    g.edges_.push_back(WgEdge{end, start, WgEdgeType::kExecution, duration});
+    if (r.step > 0 && g.index_.count(key(r.flow_index, r.step - 1)) > 0)
+      g.edges_.push_back(
+          WgEdge{start, WgVertex{r.flow_index, r.step - 1, true}, WgEdgeType::kPrevStep, 0});
+    if (r.dep_flow >= 0 && g.index_.count(key(r.dep_flow, r.dep_step)) > 0)
+      g.edges_.push_back(
+          WgEdge{start, WgVertex{r.dep_flow, r.dep_step, true}, WgEdgeType::kDataDep, 0});
+  }
+  g.compute_critical_path();
+  return g;
+}
+
+const StepRecord* WaitingGraph::record_of(int flow, int step) const {
+  auto it = index_.find(key(flow, step));
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
+
+void WaitingGraph::compute_critical_path() {
+  critical_path_.clear();
+  if (records_.empty()) return;
+
+  // Source: the globally last-finishing step.
+  const StepRecord* cur = &records_.front();
+  for (const StepRecord& r : records_)
+    if (r.end_time > cur->end_time) cur = &r;
+
+  // Walk backwards choosing the *binding* predecessor of each start vertex:
+  // the dependency (previous own step vs. data dependency) that actually
+  // delayed the send, i.e. the one satisfied last.
+  std::vector<std::pair<int, int>> rev;
+  std::unordered_set<std::uint64_t> visited;
+  while (cur != nullptr) {
+    if (!visited.insert(key(cur->flow_index, cur->step)).second) break;  // cycle guard
+    rev.emplace_back(cur->flow_index, cur->step);
+    const StepRecord* prev = cur->step > 0 ? record_of(cur->flow_index, cur->step - 1) : nullptr;
+    const StepRecord* dep = cur->dep_flow >= 0 ? record_of(cur->dep_flow, cur->dep_step) : nullptr;
+    if (prev == nullptr && dep == nullptr) break;
+    const Tick prev_t = prev != nullptr ? cur->prev_done_time : sim::kNever;
+    const Tick dep_t = dep != nullptr ? cur->dep_ready_time : sim::kNever;
+    cur = (dep_t >= prev_t) ? dep : prev;
+  }
+  critical_path_.assign(rev.rbegin(), rev.rend());
+}
+
+std::vector<std::pair<int, int>> WaitingGraph::critical_path() const { return critical_path_; }
+
+int WaitingGraph::critical_flow_of_step(int step) const {
+  for (const auto& [flow, s] : critical_path_)
+    if (s == step) return flow;
+  return -1;
+}
+
+Tick WaitingGraph::total_time() const {
+  if (records_.empty()) return 0;
+  Tick lo = records_.front().start_time, hi = records_.front().end_time;
+  for (const StepRecord& r : records_) {
+    if (r.start_time != sim::kNever) lo = std::min(lo, r.start_time);
+    if (r.end_time != sim::kNever) hi = std::max(hi, r.end_time);
+  }
+  return hi - lo;
+}
+
+std::vector<WgVertex> WaitingGraph::pruned_vertices() const {
+  // Recursively dropping every in-degree-zero vertex would drain the whole
+  // DAG; the paper's graph sources — the ends of each flow's final step —
+  // are exempt ("the end of the final step for all flows serves as the
+  // graph's source", §III-B). The surviving graph is exactly what those
+  // sources can reach: the dependency history feeding the completion.
+  std::unordered_map<int, int> last_step;  // flow -> max step seen
+  for (const StepRecord& r : records_) {
+    auto [it, inserted] = last_step.try_emplace(r.flow_index, r.step);
+    if (!inserted) it->second = std::max(it->second, r.step);
+  }
+
+  std::unordered_map<WgVertex, std::vector<WgVertex>, WgVertexHash> adj;
+  for (const WgEdge& e : edges_) adj[e.from].push_back(e.to);
+
+  std::vector<WgVertex> stack;
+  std::unordered_set<WgVertex, WgVertexHash> reachable;
+  for (const auto& [flow, step] : last_step) {
+    const WgVertex src{flow, step, true};
+    if (reachable.insert(src).second) stack.push_back(src);
+  }
+  while (!stack.empty()) {
+    const WgVertex v = stack.back();
+    stack.pop_back();
+    auto it = adj.find(v);
+    if (it == adj.end()) continue;
+    for (const WgVertex& next : it->second)
+      if (reachable.insert(next).second) stack.push_back(next);
+  }
+
+  std::vector<WgVertex> out(reachable.begin(), reachable.end());
+  std::sort(out.begin(), out.end(), [](const WgVertex& a, const WgVertex& b) {
+    if (a.flow != b.flow) return a.flow < b.flow;
+    if (a.step != b.step) return a.step < b.step;
+    return a.is_end < b.is_end;
+  });
+  return out;
+}
+
+std::string WaitingGraph::to_dot() const {
+  std::string dot = "digraph waiting {\n  rankdir=RL;\n";
+  for (const WgEdge& e : edges_) {
+    const char* color = e.type == WgEdgeType::kExecution
+                            ? "black"
+                            : (e.type == WgEdgeType::kPrevStep ? "orange" : "blue");
+    dot += "  \"" + e.from.str() + "\" -> \"" + e.to.str() + "\" [color=" + color;
+    if (e.type == WgEdgeType::kExecution)
+      dot += ",label=\"" + std::to_string(e.weight / sim::kMicrosecond) + "us\"";
+    dot += "];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace vedr::core

@@ -1,0 +1,249 @@
+#include "eval/experiment.h"
+
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "baselines/full_polling.h"
+#include "baselines/hawkeye.h"
+#include "collective/runner.h"
+#include "core/vedrfolnir.h"
+#include "net/network.h"
+#include "net/switch.h"
+#include "sim/simulator.h"
+
+namespace vedr::eval {
+
+namespace {
+
+/// Ground-truth verification (see score_case): which injected flows
+/// actually queued ahead of collective packets somewhere in the fabric,
+/// read omnisciently from the simulator's switch state after the run.
+std::vector<net::FlowKey> verified_contenders(net::Network& network,
+                                              const collective::CollectivePlan& plan,
+                                              const ScenarioSpec& spec,
+                                              double min_weight = 8.0) {
+  std::unordered_set<net::FlowKey, net::FlowKeyHash> cc;
+  for (int f = 0; f < plan.num_flows(); ++f)
+    for (const auto& s : plan.steps_of_flow(f)) cc.insert(plan.key_for(f, s.step));
+
+  std::unordered_set<net::FlowKey, net::FlowKeyHash> found;
+  const sim::Tick now = network.sim().now();
+  for (net::NodeId sw_id : network.switches()) {
+    const net::Switch& sw = network.switch_at(sw_id);
+    for (net::PortId p = 0; p < sw.num_ports(); ++p) {
+      const auto report = sw.telem().port_snapshot(p, now, 0);
+      for (const auto& we : report.waits) {
+        if (cc.count(we.waiter) == 0) continue;
+        if (static_cast<double>(we.weight) < min_weight) continue;
+        for (const auto& injected : spec.bg_flows)
+          if (we.ahead == injected.key) found.insert(we.ahead);
+      }
+    }
+  }
+  std::vector<net::FlowKey> out(found.begin(), found.end());
+  return out;
+}
+
+/// Whether the injected PFC actually halted collective traffic: some switch
+/// egress port both (a) was paused during the anomaly window and (b) saw
+/// collective packets around that window. Omniscient ground truth, like
+/// verified_contenders.
+bool pfc_impacted_collective(net::Network& network, const collective::CollectivePlan& plan,
+                             const ScenarioSpec& spec) {
+  std::unordered_set<net::FlowKey, net::FlowKeyHash> cc;
+  for (int f = 0; f < plan.num_flows(); ++f)
+    for (const auto& s : plan.steps_of_flow(f)) cc.insert(plan.key_for(f, s.step));
+  const sim::Tick now = network.sim().now();
+  const sim::Tick slack = 100 * sim::kMicrosecond;
+
+  auto cc_at_port_during = [&](const net::PortRef& port, sim::Tick t0, sim::Tick t1) {
+    const net::Switch& sw = network.switch_at(port.node);
+    const auto report = sw.telem().port_snapshot(port.port, now, 0);
+    for (const auto& fe : report.flows) {
+      if (cc.count(fe.flow) == 0) continue;
+      if (fe.last_seen + slack >= t0 && fe.first_seen <= t1 + slack) return true;
+    }
+    return false;
+  };
+
+  if (!spec.storms.empty()) {
+    // A storm impacts the collective iff collective packets crossed the
+    // very egress the storm halts (the injection port's link peer) while
+    // the storm was active.
+    const auto& storm = spec.storms.front();
+    const net::PortRef up =
+        network.topology().peer(storm.port.node, storm.port.port);
+    return cc_at_port_during(up, storm.start, storm.start + storm.duration);
+  }
+
+  // Backpressure: the cascade starts at the victim's access port; it
+  // impacts the collective iff collective packets crossed a port the
+  // victim's edge switch paused (its uplink ingresses pause the upstream
+  // agg egresses) while the incast ran.
+  if (!spec.bg_flows.empty() && spec.expected_root.valid()) {
+    const sim::Tick t0 = spec.bg_flows.front().start;
+    const sim::Tick t1 = now;
+    const net::NodeId edge = spec.expected_root.node;
+    const net::Switch& edge_sw = network.switch_at(edge);
+    for (net::PortId p = 0; p < edge_sw.num_ports(); ++p) {
+      const net::PortRef upstream = network.topology().peer(edge, p);
+      if (network.topology().is_host(upstream.node)) continue;
+      // Did this upstream egress get paused (by anyone) in the window and
+      // carry collective traffic then?
+      const auto report =
+          network.switch_at(upstream.node).telem().port_snapshot(upstream.port, now, 0);
+      bool paused = false;
+      for (const auto& ev : report.pauses) {
+        const sim::Tick end = ev.end == sim::kNever ? now : ev.end;
+        if (end >= t0 && ev.start <= t1) paused = true;
+      }
+      if (paused && cc_at_port_during(upstream, t0, t1)) return true;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(SystemKind s) {
+  switch (s) {
+    case SystemKind::kVedrfolnir: return "Vedrfolnir";
+    case SystemKind::kHawkeyeMaxR: return "Hawkeye-MaxR";
+    case SystemKind::kHawkeyeMinR: return "Hawkeye-MinR";
+    case SystemKind::kFullPolling: return "FullPolling";
+  }
+  return "?";
+}
+
+CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig& cfg) {
+  CaseResult result;
+  result.scenario = spec.type;
+  result.system = system;
+  result.case_id = spec.case_id;
+
+  sim::Simulator sim;
+  const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
+  net::Network network(sim, topo, cfg.netcfg);
+
+  auto plan = collective::CollectivePlan::ring(0, collective::OpType::kAllGather,
+                                               spec.participants, spec.cc_step_bytes);
+  collective::CollectiveRunner runner(network, std::move(plan));
+
+  std::unique_ptr<core::Vedrfolnir> vedr;
+  std::unique_ptr<baselines::Hawkeye> hawkeye;
+  std::unique_ptr<baselines::FullPolling> full;
+
+  switch (system) {
+    case SystemKind::kVedrfolnir:
+      vedr = std::make_unique<core::Vedrfolnir>(network, runner,
+                                                core::VedrfolnirConfig{cfg.detection});
+      break;
+    case SystemKind::kHawkeyeMaxR:
+    case SystemKind::kHawkeyeMinR: {
+      baselines::HawkeyeConfig hc;
+      hc.rtt_multiplier = cfg.hawkeye_multiplier;
+      hc.use_max_rtt = system == SystemKind::kHawkeyeMaxR;
+      hawkeye = std::make_unique<baselines::Hawkeye>(network, runner.plan(), hc);
+      break;
+    }
+    case SystemKind::kFullPolling:
+      full = std::make_unique<baselines::FullPolling>(network, runner.plan(),
+                                                      cfg.full_poll_interval);
+      full->start(spec.horizon);
+      break;
+  }
+
+  for (const auto& f : spec.bg_flows) anomaly::inject_flow(network, f);
+  for (const auto& s : spec.storms) anomaly::inject_storm(network, s);
+
+  runner.start(0);
+  sim.run(spec.horizon * 4);
+
+  result.cc_completed = runner.done();
+  result.cc_time = runner.done() ? runner.finish_time() - runner.start_time() : 0;
+  result.sim_events = sim.events_executed();
+
+  switch (system) {
+    case SystemKind::kVedrfolnir:
+      result.diagnosis = vedr->diagnose();
+      break;
+    case SystemKind::kHawkeyeMaxR:
+    case SystemKind::kHawkeyeMinR:
+      result.diagnosis = hawkeye->diagnose();
+      break;
+    case SystemKind::kFullPolling:
+      result.diagnosis = full->diagnose();
+      break;
+  }
+  if (spec.type == ScenarioType::kFlowContention || spec.type == ScenarioType::kIncast) {
+    const auto verified = verified_contenders(network, runner.plan(), spec);
+    result.outcome = score_case(spec, result.diagnosis, &verified);
+  } else {
+    const bool impacted = pfc_impacted_collective(network, runner.plan(), spec);
+    result.outcome = score_case(spec, result.diagnosis, nullptr, &impacted);
+  }
+
+  const auto& stats = network.stats();
+  result.telemetry_bytes = stats.counter("overhead.telemetry_bytes");
+  result.bandwidth_bytes = stats.counter("overhead.bandwidth_bytes");
+  result.poll_bytes = stats.counter("overhead.poll_bytes");
+  result.notify_bytes = stats.counter("overhead.notify_bytes");
+  result.report_count = stats.counter("overhead.report_count");
+  return result;
+}
+
+std::vector<CaseResult> run_scenario_suite(ScenarioType type, int n_cases, SystemKind system,
+                                           const RunConfig& cfg, const ScenarioParams& params,
+                                           int threads) {
+  // Scenario generation only needs a topology + routing, shared read-only.
+  const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
+  const net::RoutingTable routing = net::RoutingTable::shortest_paths(topo);
+
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(static_cast<std::size_t>(n_cases));
+  for (int i = 0; i < n_cases; ++i)
+    specs.push_back(make_scenario(type, i, topo, routing, params));
+
+  std::vector<CaseResult> results(specs.size());
+  if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+
+  std::mutex mu;
+  std::size_t next = 0;
+  auto worker = [&] {
+    while (true) {
+      std::size_t idx;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (next >= specs.size()) return;
+        idx = next++;
+      }
+      results[idx] = run_case(specs[idx], system, cfg);
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+SuiteSummary SuiteSummary::from(const std::vector<CaseResult>& results) {
+  SuiteSummary s;
+  for (const auto& r : results) {
+    s.pr.add(r.outcome);
+    s.mean_telemetry_bytes += static_cast<double>(r.telemetry_bytes);
+    s.mean_bandwidth_bytes += static_cast<double>(r.bandwidth_bytes);
+    s.mean_cc_time_us += sim::to_us(r.cc_time);
+    ++s.cases;
+  }
+  if (s.cases > 0) {
+    s.mean_telemetry_bytes /= s.cases;
+    s.mean_bandwidth_bytes /= s.cases;
+    s.mean_cc_time_us /= s.cases;
+  }
+  return s;
+}
+
+}  // namespace vedr::eval

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/detection.h"
+#include "core/diagnosis.h"
+#include "eval/metrics.h"
+#include "eval/scenario.h"
+#include "net/types.h"
+
+namespace vedr::eval {
+
+enum class SystemKind : std::uint8_t {
+  kVedrfolnir,
+  kHawkeyeMaxR,
+  kHawkeyeMinR,
+  kFullPolling,
+};
+
+const char* to_string(SystemKind s);
+
+/// Everything a single evaluation run needs beyond the scenario itself.
+struct RunConfig {
+  net::NetConfig netcfg;
+  core::DetectionConfig detection;  ///< Vedrfolnir knobs (swept in Figs. 12/13)
+  sim::Tick full_poll_interval = 100 * sim::kMicrosecond;
+  double hawkeye_multiplier = 1.2;
+};
+
+/// One case's complete result: verdict, overheads, and timing.
+struct CaseResult {
+  ScenarioType scenario{};
+  SystemKind system{};
+  int case_id = 0;
+
+  CaseOutcome outcome;
+  std::int64_t telemetry_bytes = 0;  ///< processing overhead (Fig. 10a)
+  std::int64_t bandwidth_bytes = 0;  ///< polls + notifications + reports (Fig. 10b)
+  std::int64_t poll_bytes = 0;
+  std::int64_t notify_bytes = 0;
+  std::int64_t report_count = 0;
+  sim::Tick cc_time = 0;
+  bool cc_completed = false;
+  std::uint64_t sim_events = 0;
+  core::Diagnosis diagnosis;
+};
+
+/// Builds the paper's fabric, runs one case under one system, diagnoses,
+/// and scores it. Fully self-contained (fresh simulator per call) and
+/// thread-safe to run concurrently.
+CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig& cfg = {});
+
+/// Convenience: generate case ids [0, n) for `type` and run them all,
+/// optionally across `threads` worker threads (0 = hardware concurrency).
+std::vector<CaseResult> run_scenario_suite(ScenarioType type, int n_cases, SystemKind system,
+                                           const RunConfig& cfg = {},
+                                           const ScenarioParams& params = {}, int threads = 0);
+
+/// Aggregates precision/recall and mean overheads.
+struct SuiteSummary {
+  PrecisionRecall pr;
+  double mean_telemetry_bytes = 0;
+  double mean_bandwidth_bytes = 0;
+  double mean_cc_time_us = 0;
+  int cases = 0;
+
+  static SuiteSummary from(const std::vector<CaseResult>& results);
+};
+
+}  // namespace vedr::eval

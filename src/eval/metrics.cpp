@@ -1,0 +1,89 @@
+#include "eval/metrics.h"
+
+#include <unordered_set>
+
+namespace vedr::eval {
+
+namespace {
+
+CaseOutcome score_contention(const ScenarioSpec& spec, const core::Diagnosis& diag,
+                             const std::vector<net::FlowKey>* verified) {
+  CaseOutcome o;
+  std::vector<net::FlowKey> required;
+  if (verified != nullptr) {
+    required = *verified;
+  } else {
+    for (const auto& f : spec.bg_flows) required.push_back(f.key);
+  }
+  o.injected = static_cast<int>(required.size());
+  for (const auto& key : required)
+    if (diag.detects_flow(key)) ++o.detected;
+  if (o.injected == 0) {
+    // Nothing actually collided: correct behaviour is silence about the
+    // injected flows.
+    bool false_alarm = false;
+    for (const auto& f : spec.bg_flows)
+      if (diag.detects_flow(f.key)) false_alarm = true;
+    o.tp = !false_alarm;
+    o.fp = false_alarm;
+  } else if (o.detected == o.injected) {
+    o.tp = true;
+  } else if (o.detected > 0) {
+    o.fp = true;
+  } else {
+    o.fn = true;
+  }
+  return o;
+}
+
+CaseOutcome score_pfc(const ScenarioSpec& spec, const core::Diagnosis& diag,
+                      const bool* impacted) {
+  CaseOutcome o;
+  if (impacted != nullptr && !*impacted) {
+    // The injected PFC never met collective traffic: there is nothing any
+    // telemetry could trace back from the collective's viewpoint. Vacuous.
+    o.tp = true;
+    return o;
+  }
+  o.injected = 1;
+  bool traced = false;
+  bool pfc_reported = false;
+  for (const auto& f : diag.findings) {
+    const bool pfc_type = f.type == core::AnomalyType::kPfcStorm ||
+                          f.type == core::AnomalyType::kPfcBackpressure ||
+                          f.type == core::AnomalyType::kPfcDeadlock;
+    if (!pfc_type) continue;
+    pfc_reported = true;
+    if (f.root_port == spec.expected_root) traced = true;
+    // A chain that reaches the root port also counts as tracing to it.
+    for (const auto& p : f.pfc_chain)
+      if (p == spec.expected_root) traced = true;
+  }
+  if (traced) {
+    o.tp = true;
+    o.detected = 1;
+  } else if (pfc_reported) {
+    o.fp = true;  // reported the presence of PFC without locating the source
+  } else {
+    o.fn = true;
+  }
+  return o;
+}
+
+}  // namespace
+
+CaseOutcome score_case(const ScenarioSpec& spec, const core::Diagnosis& diag,
+                       const std::vector<net::FlowKey>* verified_contenders,
+                       const bool* pfc_impacted) {
+  switch (spec.type) {
+    case ScenarioType::kFlowContention:
+    case ScenarioType::kIncast:
+      return score_contention(spec, diag, verified_contenders);
+    case ScenarioType::kPfcStorm:
+    case ScenarioType::kPfcBackpressure:
+      return score_pfc(spec, diag, pfc_impacted);
+  }
+  return {};
+}
+
+}  // namespace vedr::eval

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/diagnosis.h"
+#include "eval/scenario.h"
+
+namespace vedr::eval {
+
+/// Per-case verdict under the paper's per-scenario criteria (§IV-A):
+/// contention/incast — detecting all injected flows is a TP, only some a
+/// FP, none an FN; storm/backpressure — tracing to the source port is a TP,
+/// merely reporting PFC presence a FP, silence an FN.
+struct CaseOutcome {
+  bool tp = false;
+  bool fp = false;
+  bool fn = false;
+  int injected = 0;
+  int detected = 0;
+
+  const char* label() const { return tp ? "TP" : (fp ? "FP" : "FN"); }
+};
+
+/// `verified_contenders`: the injected flows that *actually* co-queued with
+/// the collective during the run (measured omnisciently from simulator
+/// state, independent of any diagnosis system). The paper's testbed
+/// injection guarantees collision by construction; our generator predicts
+/// collision windows, so scoring requires detection only of flows whose
+/// collision really happened. Pass nullptr to require every injected flow.
+/// `pfc_impacted`: for storm/backpressure cases, whether the injected PFC
+/// actually halted collective traffic during the run (measured omnisciently
+/// — a storm that never met a collective flow leaves no provenance to
+/// trace, so tracing is not required of any system). nullptr = assume
+/// impacted.
+CaseOutcome score_case(const ScenarioSpec& spec, const core::Diagnosis& diag,
+                       const std::vector<net::FlowKey>* verified_contenders = nullptr,
+                       const bool* pfc_impacted = nullptr);
+
+/// Precision / recall over a set of outcomes.
+struct PrecisionRecall {
+  int tp = 0, fp = 0, fn = 0;
+
+  void add(const CaseOutcome& o) {
+    tp += o.tp ? 1 : 0;
+    fp += o.fp ? 1 : 0;
+    fn += o.fn ? 1 : 0;
+  }
+  double precision() const { return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp); }
+  double recall() const { return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn); }
+  int total() const { return tp + fp + fn; }
+};
+
+}  // namespace vedr::eval

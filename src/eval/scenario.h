@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anomaly/injectors.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "net/types.h"
+
+namespace vedr::eval {
+
+using anomaly::InjectedFlow;
+using anomaly::StormSpec;
+using net::NodeId;
+using net::PortRef;
+using net::Tick;
+
+enum class ScenarioType : std::uint8_t {
+  kFlowContention,
+  kIncast,
+  kPfcStorm,
+  kPfcBackpressure,
+};
+
+const char* to_string(ScenarioType t);
+
+/// Generation knobs. Paper values (§IV-A) are stored pre-scale; `scale`
+/// shrinks data sizes and times together so a case runs in seconds on one
+/// machine while keeping every ratio (who collides with whom, for how long
+/// relative to a step) intact.
+struct ScenarioParams {
+  double scale = 1.0 / 32.0;
+  int cc_participants = 8;
+  std::int64_t cc_step_bytes = 360LL * 1000 * 1000;  ///< paper: 360 MB per step
+
+  // Flow contention: 1-6 flows, 20 MB-1 GB, start 0-200 ms.
+  int contention_min_flows = 1, contention_max_flows = 6;
+  std::int64_t contention_min_bytes = 20LL * 1000 * 1000;
+  std::int64_t contention_max_bytes = 1000LL * 1000 * 1000;
+  Tick contention_max_start = 200 * sim::kMillisecond;
+
+  // Incast: 3-8 flows, 20-200 MB, simultaneous start.
+  int incast_min_flows = 3, incast_max_flows = 8;
+  std::int64_t incast_min_bytes = 20LL * 1000 * 1000;
+  std::int64_t incast_max_bytes = 200LL * 1000 * 1000;
+
+  // PFC storm: start 0-150 ms, duration 10-100 ms.
+  Tick storm_max_start = 150 * sim::kMillisecond;
+  Tick storm_min_duration = 10 * sim::kMillisecond;
+  Tick storm_max_duration = 100 * sim::kMillisecond;
+
+  // PFC backpressure: incast-driven, 4-8 senders.
+  int backpressure_min_senders = 4, backpressure_max_senders = 8;
+};
+
+/// One generated evaluation case with its ground truth.
+struct ScenarioSpec {
+  ScenarioType type = ScenarioType::kFlowContention;
+  int case_id = 0;
+  std::uint64_t seed = 0;
+
+  std::vector<NodeId> participants;  ///< ring order
+  std::int64_t cc_step_bytes = 0;
+
+  std::vector<InjectedFlow> bg_flows;  ///< injected flows (ground truth set)
+  std::vector<StormSpec> storms;
+  PortRef expected_root;  ///< storm: injection port; backpressure: congestion port
+
+  Tick horizon = 0;  ///< simulation bound
+
+  std::string str() const;
+};
+
+/// Deterministically generates case `case_id` of `type` over `topo`
+/// (placement uses `routing` to guarantee the paper's "deliberately set to
+/// collide with collective communication flows").
+ScenarioSpec make_scenario(ScenarioType type, int case_id, const net::Topology& topo,
+                           const net::RoutingTable& routing, const ScenarioParams& params = {});
+
+/// The paper's per-scenario case counts (60/60/40/60).
+int paper_case_count(ScenarioType t);
+
+}  // namespace vedr::eval

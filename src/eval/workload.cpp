@@ -1,0 +1,35 @@
+#include "eval/workload.h"
+
+#include <algorithm>
+
+namespace vedr::eval {
+
+std::vector<WorkloadOp> make_workload(int n_ops, std::uint64_t seed,
+                                      const WorkloadParams& params) {
+  sim::Rng rng(sim::Rng::mix(seed, 0x1138ULL));
+  std::vector<WorkloadOp> ops;
+  ops.reserve(static_cast<std::size_t>(n_ops));
+  for (int i = 0; i < n_ops; ++i) {
+    WorkloadOp op;
+    const double roll = rng.uniform();
+    if (roll < params.allreduce_fraction) {
+      op.op = collective::OpType::kAllReduce;
+    } else if (roll < params.allreduce_fraction + params.allgather_fraction) {
+      op.op = collective::OpType::kAllGather;
+    } else {
+      op.op = collective::OpType::kReduceScatter;
+    }
+    op.algorithm = collective::Algorithm::kRing;
+    op.bytes_per_step = std::max<std::int64_t>(
+        65536, static_cast<std::int64_t>(static_cast<double>(params.op_bytes) * params.scale));
+    // Exponential-ish compute gap: mean * -ln(u), clamped.
+    const double u = std::max(1e-9, rng.uniform());
+    op.gap_after = std::min<net::Tick>(
+        static_cast<net::Tick>(-static_cast<double>(params.mean_compute_gap) * std::log(u)),
+        10 * params.mean_compute_gap);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace vedr::eval

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collective/plan.h"
+#include "net/types.h"
+#include "sim/rng.h"
+
+namespace vedr::eval {
+
+/// One collective operation in a training-like schedule.
+struct WorkloadOp {
+  collective::OpType op = collective::OpType::kAllGather;
+  collective::Algorithm algorithm = collective::Algorithm::kRing;
+  std::int64_t bytes_per_step = 0;
+  net::Tick gap_after = 0;  ///< idle time before the next op (compute phase)
+};
+
+/// Parameters matching the paper's empirical LLM-training workload (§IV-A,
+/// derived from [34]): 97% of operations are AllReduce or AllGather with
+/// 360 MB per traffic; the remainder modeled as ReduceScatter.
+struct WorkloadParams {
+  double scale = 1.0 / 64.0;
+  std::int64_t op_bytes = 360LL * 1000 * 1000;
+  double allreduce_fraction = 0.55;
+  double allgather_fraction = 0.42;  ///< together: the 97%
+  net::Tick mean_compute_gap = 5 * sim::kMillisecond;
+};
+
+/// Deterministically generates `n_ops` operations.
+std::vector<WorkloadOp> make_workload(int n_ops, std::uint64_t seed,
+                                      const WorkloadParams& params = {});
+
+}  // namespace vedr::eval

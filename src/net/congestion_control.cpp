@@ -1,0 +1,47 @@
+#include "net/congestion_control.h"
+
+#include <algorithm>
+
+namespace vedr::net {
+
+const char* to_string(CcAlgorithm a) {
+  switch (a) {
+    case CcAlgorithm::kDcqcn: return "DCQCN";
+    case CcAlgorithm::kSwift: return "Swift";
+  }
+  return "?";
+}
+
+void SwiftFlow::on_rtt(sim::Tick rtt) {
+  if (!active_) return;
+  if (rtt <= target_) {
+    rate_ = std::min(p_.line_rate_gbps, rate_ + p_.ai_gbps);
+    return;
+  }
+  // Delay above target: multiplicative decrease scaled by the excess,
+  // capped, and applied at most once per holdoff window so a burst of
+  // stale ACKs does not collapse the rate.
+  const sim::Tick now = sim_->now();
+  if (last_decrease_ != sim::kNever && now - last_decrease_ < p_.decrease_holdoff) return;
+  last_decrease_ = now;
+  const double excess =
+      1.0 - static_cast<double>(target_) / static_cast<double>(std::max<sim::Tick>(rtt, 1));
+  const double mdf = std::min(p_.max_mdf, excess);
+  rate_ = std::max(p_.min_rate_gbps, rate_ * (1.0 - mdf));
+}
+
+std::unique_ptr<CongestionControl> make_congestion_control(CcAlgorithm algo,
+                                                           sim::Simulator& sim,
+                                                           const DcqcnParams& dcqcn,
+                                                           const SwiftParams& swift,
+                                                           sim::Tick base_rtt) {
+  switch (algo) {
+    case CcAlgorithm::kSwift:
+      return std::make_unique<SwiftFlow>(sim, swift, base_rtt);
+    case CcAlgorithm::kDcqcn:
+      break;
+  }
+  return std::make_unique<DcqcnCc>(sim, dcqcn);
+}
+
+}  // namespace vedr::net

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/dcqcn.h"
+#include "net/types.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace vedr::net {
+
+/// Per-flow congestion control interface. The paper's fabrics run DCQCN or
+/// Swift (§I); both are implemented, selected per Network via NetConfig.
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  /// Current sending rate used by the NIC pacer.
+  virtual double rate_gbps() const = 0;
+  /// DCQCN notification point signal (ignored by delay-based algorithms).
+  virtual void on_cnp() = 0;
+  /// Per-ACK RTT sample (ignored by ECN-based algorithms).
+  virtual void on_rtt(sim::Tick rtt) = 0;
+  /// Bytes handed to the wire (drives byte-counter state machines).
+  virtual void on_bytes_sent(std::int64_t bytes) = 0;
+  /// Flow completed: no further callbacks may fire.
+  virtual void deactivate() = 0;
+};
+
+const char* to_string(CcAlgorithm a);
+
+/// Swift (SIGCOMM'20): delay-based control. Each ACK compares the measured
+/// RTT against a target derived from the flow's base RTT; below target the
+/// rate climbs additively, above target it backs off multiplicatively in
+/// proportion to the excess, bounded by max_mdf per RTT.
+struct SwiftParams {
+  double line_rate_gbps = 100.0;
+  double min_rate_gbps = 0.5;
+  double ai_gbps = 2.0;          ///< additive increase per ACK batch
+  double max_mdf = 0.5;          ///< max multiplicative decrease factor
+  double target_multiplier = 1.5;  ///< target delay = base_rtt * this
+  sim::Tick decrease_holdoff = 55 * sim::kMicrosecond;  ///< >= once per RTT-ish
+};
+
+class SwiftFlow final : public CongestionControl {
+ public:
+  SwiftFlow(sim::Simulator& sim, const SwiftParams& params, sim::Tick base_rtt)
+      : sim_(&sim),
+        p_(params),
+        target_(static_cast<sim::Tick>(static_cast<double>(base_rtt) * params.target_multiplier)),
+        rate_(params.line_rate_gbps) {}
+
+  double rate_gbps() const override { return rate_; }
+  sim::Tick target_delay() const { return target_; }
+
+  void on_cnp() override {}  // delay-based: ECN marks are ignored
+
+  void on_rtt(sim::Tick rtt) override;
+
+  void on_bytes_sent(std::int64_t) override {}
+
+  void deactivate() override { active_ = false; }
+
+ private:
+  sim::Simulator* sim_;
+  SwiftParams p_;
+  sim::Tick target_;
+  double rate_;
+  sim::Tick last_decrease_ = sim::kNever;
+  bool active_ = true;
+};
+
+/// Adapter presenting DcqcnFlow through the CongestionControl interface.
+class DcqcnCc final : public CongestionControl {
+ public:
+  DcqcnCc(sim::Simulator& sim, const DcqcnParams& params) : flow_(sim, params) {}
+
+  double rate_gbps() const override { return flow_.rate_gbps(); }
+  void on_cnp() override { flow_.on_cnp(); }
+  void on_rtt(sim::Tick) override {}  // ECN-based: delay is not a signal
+  void on_bytes_sent(std::int64_t bytes) override { flow_.on_bytes_sent(bytes); }
+  void deactivate() override { flow_.deactivate(); }
+
+  const DcqcnFlow& inner() const { return flow_; }
+
+ private:
+  DcqcnFlow flow_;
+};
+
+/// Builds the configured algorithm; `base_rtt` seeds Swift's target delay.
+std::unique_ptr<CongestionControl> make_congestion_control(CcAlgorithm algo,
+                                                           sim::Simulator& sim,
+                                                           const DcqcnParams& dcqcn,
+                                                           const SwiftParams& swift,
+                                                           sim::Tick base_rtt);
+
+}  // namespace vedr::net

@@ -1,0 +1,82 @@
+#include "net/dcqcn.h"
+
+#include <algorithm>
+
+namespace vedr::net {
+
+void DcqcnFlow::on_cnp() {
+  if (!active_) return;
+  alpha_ = (1.0 - p_.g) * alpha_ + p_.g;
+  target_ = rate_;
+  rate_ = std::max(p_.min_rate_gbps, rate_ * (1.0 - alpha_ / 2.0));
+  rounds_since_cut_ = 0;
+  bytes_since_round_ = 0;
+  // Restart the timer epoch so recovery waits a full period after the cut.
+  ++generation_;
+  cancel_timers();
+  timers_running_ = false;
+  schedule_timers();
+}
+
+void DcqcnFlow::on_bytes_sent(std::int64_t bytes) {
+  if (!active_ || at_line_rate()) return;
+  bytes_since_round_ += bytes;
+  if (bytes_since_round_ >= p_.byte_counter) {
+    bytes_since_round_ = 0;
+    increase_round();
+  }
+}
+
+void DcqcnFlow::schedule_timers() {
+  if (timers_running_ || at_line_rate() || !active_) return;
+  timers_running_ = true;
+  const std::uint64_t gen = generation_;
+  alpha_ev_ = sim_->schedule_in(p_.alpha_timer, [this, gen] { on_alpha_timer(gen); });
+  alpha_pending_ = true;
+  incr_ev_ = sim_->schedule_in(p_.increase_timer, [this, gen] { on_increase_timer(gen); });
+  incr_pending_ = true;
+}
+
+void DcqcnFlow::cancel_timers() {
+  if (alpha_pending_) {
+    sim_->cancel(alpha_ev_);
+    alpha_pending_ = false;
+  }
+  if (incr_pending_) {
+    sim_->cancel(incr_ev_);
+    incr_pending_ = false;
+  }
+}
+
+void DcqcnFlow::on_alpha_timer(std::uint64_t gen) {
+  alpha_pending_ = false;
+  if (gen != generation_ || !active_) return;
+  alpha_ *= (1.0 - p_.g);
+  if (!at_line_rate()) {
+    alpha_ev_ = sim_->schedule_in(p_.alpha_timer, [this, gen] { on_alpha_timer(gen); });
+    alpha_pending_ = true;
+  }
+}
+
+void DcqcnFlow::on_increase_timer(std::uint64_t gen) {
+  incr_pending_ = false;
+  if (gen != generation_ || !active_) return;
+  increase_round();
+  if (!at_line_rate()) {
+    incr_ev_ = sim_->schedule_in(p_.increase_timer, [this, gen] { on_increase_timer(gen); });
+    incr_pending_ = true;
+  }
+}
+
+void DcqcnFlow::increase_round() {
+  ++rounds_since_cut_;
+  if (rounds_since_cut_ > p_.fast_recovery_rounds) target_ += p_.rai_gbps;
+  target_ = std::min(target_, p_.line_rate_gbps);
+  rate_ = std::min((rate_ + target_) / 2.0, p_.line_rate_gbps);
+  if (at_line_rate()) {
+    rate_ = p_.line_rate_gbps;
+    timers_running_ = false;
+  }
+}
+
+}  // namespace vedr::net

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace vedr::net {
+
+/// DCQCN reaction-point parameters (Zhu et al., SIGCOMM'15), scaled for
+/// simulation tractability where noted.
+struct DcqcnParams {
+  double line_rate_gbps = 100.0;
+  double min_rate_gbps = 1.0;
+  double g = 1.0 / 16.0;            ///< alpha EWMA gain
+  sim::Tick alpha_timer = 55 * sim::kMicrosecond;
+  sim::Tick increase_timer = 55 * sim::kMicrosecond;
+  std::int64_t byte_counter = 10 * 1024 * 1024;  ///< bytes per increase round
+  int fast_recovery_rounds = 5;
+  double rai_gbps = 5.0;            ///< additive increase step (scaled up from
+                                    ///< 40 Mbps so short simulated flows recover)
+  sim::Tick cnp_interval = 50 * sim::kMicrosecond;  ///< notification-point pacing
+};
+
+/// Per-flow DCQCN reaction point. The NIC calls on_cnp() / on_bytes_sent()
+/// and reads rate_gbps() when pacing. Timers are lazy: they only run while
+/// the flow is below line rate, and a generation counter invalidates stale
+/// events after each CNP.
+class DcqcnFlow {
+ public:
+  DcqcnFlow(sim::Simulator& sim, const DcqcnParams& params)
+      : sim_(&sim), p_(params), rate_(params.line_rate_gbps), target_(params.line_rate_gbps) {}
+
+  DcqcnFlow(const DcqcnFlow&) = delete;
+  DcqcnFlow& operator=(const DcqcnFlow&) = delete;
+  DcqcnFlow(DcqcnFlow&&) = delete;
+  DcqcnFlow& operator=(DcqcnFlow&&) = delete;
+
+  /// Pending timer callbacks capture `this`; they must die with the flow.
+  ~DcqcnFlow() { cancel_timers(); }
+
+  double rate_gbps() const { return rate_; }
+  double alpha() const { return alpha_; }
+  bool at_line_rate() const { return rate_ >= p_.line_rate_gbps * 0.999; }
+
+  void on_cnp();
+  void on_bytes_sent(std::int64_t bytes);
+
+  /// Stops future timer callbacks (flow completed).
+  void deactivate() {
+    ++generation_;
+    active_ = false;
+    cancel_timers();
+  }
+
+ private:
+  void schedule_timers();
+  void cancel_timers();
+  void on_alpha_timer(std::uint64_t gen);
+  void on_increase_timer(std::uint64_t gen);
+  void increase_round();
+
+  sim::Simulator* sim_;
+  DcqcnParams p_;
+  double rate_;
+  double target_;
+  double alpha_ = 1.0;
+  int rounds_since_cut_ = 0;
+  std::int64_t bytes_since_round_ = 0;
+  std::uint64_t generation_ = 0;
+  bool timers_running_ = false;
+  bool active_ = true;
+  sim::EventId alpha_ev_ = 0;
+  sim::EventId incr_ev_ = 0;
+  bool alpha_pending_ = false;
+  bool incr_pending_ = false;
+};
+
+}  // namespace vedr::net

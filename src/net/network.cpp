@@ -1,0 +1,85 @@
+#include "net/network.h"
+
+#include <stdexcept>
+
+#include "net/host.h"
+#include "net/switch.h"
+
+namespace vedr::net {
+
+Network::Network(sim::Simulator& sim, const Topology& topo, NetConfig cfg, DcqcnParams dcqcn)
+    : sim_(sim),
+      cfg_(cfg),
+      dcqcn_(dcqcn),
+      topo_(topo),
+      routing_(RoutingTable::shortest_paths(topo)) {
+  dcqcn_.line_rate_gbps = cfg_.link_gbps;
+  swift_.line_rate_gbps = cfg_.link_gbps;
+  devices_.reserve(topo_.size());
+  for (std::size_t i = 0; i < topo_.size(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    if (topo_.is_host(id)) {
+      devices_.push_back(std::make_unique<Host>(*this, id));
+    } else {
+      devices_.push_back(std::make_unique<Switch>(
+          *this, id, static_cast<int>(topo_.node(id).ports.size())));
+    }
+  }
+}
+
+Network::~Network() = default;
+
+Host& Network::host(NodeId id) {
+  if (!topo_.is_host(id)) throw std::invalid_argument("node is not a host");
+  return static_cast<Host&>(*devices_.at(static_cast<std::size_t>(id)));
+}
+
+Switch& Network::switch_at(NodeId id) {
+  if (topo_.is_host(id)) throw std::invalid_argument("node is not a switch");
+  return static_cast<Switch&>(*devices_.at(static_cast<std::size_t>(id)));
+}
+
+void Network::deliver(NodeId from, PortId out_port, Packet pkt) {
+  const PortRef peer = topo_.peer(from, out_port);
+  const Tick delay = topo_.port(from, out_port).delay;
+  sim_.schedule_in(delay, [this, peer, pkt = std::move(pkt)]() mutable {
+    devices_.at(static_cast<std::size_t>(peer.node))->handle_rx(std::move(pkt), peer.port);
+  });
+}
+
+void Network::deliver_pfc(NodeId from, PortId out_port, Priority prio, bool pause) {
+  Packet pkt;
+  pkt.type = PacketType::kPfcPause;
+  pkt.prio = Priority::kControl;
+  pkt.size = cfg_.control_pkt_bytes;
+  pkt.sent_time = sim_.now();
+  pkt.meta = PauseInfo{prio, pause};
+  deliver(from, out_port, std::move(pkt));
+}
+
+Tick Network::base_rtt(const FlowKey& flow) const {
+  const auto hops = routing_.port_path_of(topo_, flow);
+  Tick fwd = 0, rev = 0;
+  for (const auto& h : hops) {
+    const auto& p = topo_.port(h.node, h.port);
+    fwd += p.delay + sim::transmission_delay(cfg_.mtu_bytes + cfg_.header_bytes, p.gbps);
+    rev += p.delay + sim::transmission_delay(cfg_.control_pkt_bytes, p.gbps);
+  }
+  return fwd + rev;
+}
+
+Tick Network::ideal_fct(const FlowKey& flow, std::int64_t bytes) const {
+  const auto hops = routing_.port_path_of(topo_, flow);
+  double min_gbps = cfg_.link_gbps;
+  Tick prop = 0;
+  for (const auto& h : hops) {
+    const auto& p = topo_.port(h.node, h.port);
+    min_gbps = std::min(min_gbps, p.gbps);
+    prop += p.delay;
+  }
+  const std::int64_t n_pkts = (bytes + cfg_.mtu_bytes - 1) / cfg_.mtu_bytes;
+  const std::int64_t wire_bytes = bytes + n_pkts * cfg_.header_bytes;
+  return prop + sim::transmission_delay(wire_bytes, min_gbps) + base_rtt(flow);
+}
+
+}  // namespace vedr::net

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/congestion_control.h"
+#include "net/device.h"
+#include "net/dcqcn.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "net/trace.h"
+#include "net/types.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "telemetry/records.h"
+
+namespace vedr::net {
+
+class Host;
+class Switch;
+
+/// The assembled fabric: devices wired per a Topology, a shared routing
+/// table, link-level delivery, and the hooks the diagnosis plane uses
+/// (stats registry, report sink).
+class Network {
+ public:
+  Network(sim::Simulator& sim, const Topology& topo, NetConfig cfg = {},
+          DcqcnParams dcqcn = {});
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  const NetConfig& config() const { return cfg_; }
+  const DcqcnParams& dcqcn_params() const { return dcqcn_; }
+  const SwiftParams& swift_params() const { return swift_; }
+  void set_swift_params(const SwiftParams& p) { swift_ = p; }
+  const Topology& topology() const { return topo_; }
+  RoutingTable& routing() { return routing_; }
+  const RoutingTable& routing() const { return routing_; }
+  sim::StatsRegistry& stats() { return stats_; }
+
+  Host& host(NodeId id);
+  Switch& switch_at(NodeId id);
+  Device& device(NodeId id) { return *devices_.at(static_cast<std::size_t>(id)); }
+  std::vector<NodeId> hosts() const { return topo_.hosts(); }
+  std::vector<NodeId> switches() const { return topo_.switches(); }
+
+  /// Where switch controllers send telemetry reports (the analyzer).
+  void set_report_sink(telemetry::ReportSink* sink) { sink_ = sink; }
+  telemetry::ReportSink* report_sink() { return sink_; }
+
+  /// Optional packet tracer for debugging; nullptr (default) costs nothing.
+  void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
+  PacketTracer* tracer() { return tracer_; }
+
+  /// Link-level delivery: schedules arrival of `pkt` at the peer of
+  /// (from, out_port) after the link propagation delay. Serialization time
+  /// is the sender's business and must already have elapsed.
+  void deliver(NodeId from, PortId out_port, Packet pkt);
+
+  /// Out-of-band PFC frame on the reverse wire (never queued).
+  void deliver_pfc(NodeId from, PortId out_port, Priority prio, bool pause);
+
+  /// Link parameters of (node, port).
+  const Topology::Port& port_info(NodeId node, PortId port) const {
+    return topo_.port(node, port);
+  }
+
+  /// Base (unloaded) RTT in ns for a flow: per-hop serialization of one MTU
+  /// plus propagation, both ways, with a control-size return.
+  Tick base_rtt(const FlowKey& flow) const;
+
+  /// Analytic completion time of `bytes` on an idle path (for expected-time
+  /// baselines in Eq. (3) and FCT-based trigger spacing).
+  Tick ideal_fct(const FlowKey& flow, std::int64_t bytes) const;
+
+ private:
+  sim::Simulator& sim_;
+  NetConfig cfg_;
+  DcqcnParams dcqcn_;
+  SwiftParams swift_;
+  Topology topo_;
+  RoutingTable routing_;
+  sim::StatsRegistry stats_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  telemetry::ReportSink* sink_ = nullptr;
+  PacketTracer* tracer_ = nullptr;
+};
+
+}  // namespace vedr::net

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace vedr::net {
+
+enum class PacketType : std::uint8_t {
+  kData = 0,
+  kAck,
+  kCnp,        ///< DCQCN congestion notification packet
+  kPfcPause,   ///< link-level PAUSE / RESUME frame
+  kNotification,  ///< Vedrfolnir detection-budget transfer (Fig. 6)
+  kPoll,       ///< diagnosis polling query packet
+};
+
+inline const char* to_string(PacketType t) {
+  switch (t) {
+    case PacketType::kData: return "DATA";
+    case PacketType::kAck: return "ACK";
+    case PacketType::kCnp: return "CNP";
+    case PacketType::kPfcPause: return "PFC";
+    case PacketType::kNotification: return "NOTIFY";
+    case PacketType::kPoll: return "POLL";
+  }
+  return "?";
+}
+
+/// ACK metadata. RoCE RC acks every packet; we echo the data packet's send
+/// timestamp so the sender derives an RTT sample without per-seq state.
+struct AckInfo {
+  std::uint32_t acked_seq = 0;
+  sim::Tick data_sent_time = 0;
+  bool ecn_echo = false;  ///< data packet arrived CE-marked
+};
+
+/// PFC PAUSE/RESUME for one priority class.
+struct PauseInfo {
+  Priority prio = Priority::kData;
+  bool pause = true;  ///< false = RESUME
+};
+
+/// Vedrfolnir notification packet (paper Fig. 6): on step completion the
+/// finishing host transfers its remaining detection opportunities to the
+/// host whose flow was waiting on it.
+struct NotifyInfo {
+  std::int32_t collective_id = 0;
+  std::int32_t step = 0;
+  std::int32_t transferred_budget = 0;
+  NodeId from_host = kInvalidNode;
+};
+
+/// Diagnosis polling query. The packet's FlowKey is the monitored flow's
+/// key so ECMP routes the poll along the very same path; switches along the
+/// path snapshot telemetry, and chase-polls follow PFC spreading paths.
+struct PollInfo {
+  std::uint64_t poll_id = 0;
+  NodeId origin_host = kInvalidNode;
+  std::int32_t collective_id = -1;   ///< -1: not collective-scoped
+  std::int32_t step = -1;
+  bool pfc_chase = false;            ///< true for hops along the PFC spread path
+  PortId target_port = kInvalidPort; ///< chase target at the receiving switch
+  std::int32_t pfc_hops_left = 8;
+};
+
+using PacketMeta = std::variant<std::monostate, AckInfo, PauseInfo, NotifyInfo, PollInfo>;
+
+/// A simulated frame. Passed by value; cheap to copy.
+struct Packet {
+  PacketType type = PacketType::kData;
+  FlowKey flow;
+  std::uint32_t seq = 0;      ///< data sequence number (packet index in flow)
+  std::int32_t size = 0;      ///< total bytes on the wire
+  Priority prio = Priority::kData;
+  bool ecn_capable = false;
+  bool ecn_ce = false;        ///< CE mark set by a congested switch
+  std::uint8_t ttl = 64;
+  sim::Tick sent_time = 0;    ///< stamped by the source NIC
+  PacketMeta meta;
+
+  std::string str() const {
+    return std::string(to_string(type)) + " " + flow.str() + " seq=" + std::to_string(seq) +
+           " size=" + std::to_string(size);
+  }
+};
+
+inline Packet make_data(const FlowKey& f, std::uint32_t seq, std::int32_t size,
+                        std::uint8_t ttl) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.flow = f;
+  p.seq = seq;
+  p.size = size;
+  p.prio = Priority::kData;
+  p.ecn_capable = true;
+  p.ttl = ttl;
+  return p;
+}
+
+inline FlowKey reverse(const FlowKey& f) {
+  return FlowKey{f.dst, f.src, f.dport, f.sport};
+}
+
+}  // namespace vedr::net

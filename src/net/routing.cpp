@@ -1,0 +1,103 @@
+#include "net/routing.h"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace vedr::net {
+
+RoutingTable RoutingTable::shortest_paths(const Topology& topo) {
+  RoutingTable rt;
+  const auto n = topo.size();
+  rt.next_hops_.resize(n);
+
+  // BFS from each destination host over the undirected link graph; a port at
+  // `u` is a next hop toward `dst` when its peer is strictly closer.
+  for (NodeId dst : topo.hosts()) {
+    std::vector<int> dist(n, std::numeric_limits<int>::max());
+    std::deque<NodeId> q;
+    dist[static_cast<std::size_t>(dst)] = 0;
+    q.push_back(dst);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop_front();
+      const int du = dist[static_cast<std::size_t>(u)];
+      for (const auto& port : topo.node(u).ports) {
+        // Hosts do not forward transit traffic.
+        if (topo.is_host(u) && u != dst) continue;
+        const NodeId v = port.peer;
+        if (dist[static_cast<std::size_t>(v)] > du + 1) {
+          dist[static_cast<std::size_t>(v)] = du + 1;
+          q.push_back(v);
+        }
+      }
+    }
+    for (std::size_t u = 0; u < n; ++u) {
+      if (static_cast<NodeId>(u) == dst) continue;
+      if (dist[u] == std::numeric_limits<int>::max()) continue;
+      std::vector<PortId> ports;
+      const auto& node = topo.node(static_cast<NodeId>(u));
+      for (std::size_t p = 0; p < node.ports.size(); ++p) {
+        const NodeId v = node.ports[p].peer;
+        if (!topo.is_host(v) || v == dst) {
+          if (dist[static_cast<std::size_t>(v)] == dist[u] - 1)
+            ports.push_back(static_cast<PortId>(p));
+        }
+      }
+      if (!ports.empty()) rt.next_hops_[u][dst] = std::move(ports);
+    }
+  }
+  return rt;
+}
+
+const std::vector<PortId>& RoutingTable::candidates(NodeId at, NodeId dst) const {
+  const auto& m = next_hops_.at(static_cast<std::size_t>(at));
+  auto it = m.find(dst);
+  if (it == m.end() || it->second.empty())
+    throw std::runtime_error("no route from node " + std::to_string(at) + " to host " +
+                             std::to_string(dst));
+  return it->second;
+}
+
+PortId RoutingTable::select(NodeId at, const FlowKey& flow) const {
+  const auto& c = candidates(at, flow.dst);
+  if (c.size() == 1) return c[0];
+  const std::uint64_t h =
+      sim::Rng::mix(flow.hash(), static_cast<std::uint64_t>(static_cast<std::uint32_t>(at)));
+  return c[h % c.size()];
+}
+
+void RoutingTable::override_route(NodeId at, NodeId dst, std::vector<PortId> ports) {
+  next_hops_.at(static_cast<std::size_t>(at))[dst] = std::move(ports);
+}
+
+std::vector<NodeId> RoutingTable::path_of(const Topology& topo, const FlowKey& flow) const {
+  std::vector<NodeId> path{flow.src};
+  NodeId cur = flow.src;
+  // Bounded walk to survive (intentionally) looped tables.
+  for (std::size_t guard = 0; guard < 4 * topo.size() && cur != flow.dst; ++guard) {
+    const PortId p = select(cur, flow);
+    cur = topo.node(cur).ports.at(static_cast<std::size_t>(p)).peer;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+std::vector<PortRef> RoutingTable::port_path_of(const Topology& topo, const FlowKey& flow) const {
+  std::vector<PortRef> hops;
+  NodeId cur = flow.src;
+  for (std::size_t guard = 0; guard < 4 * topo.size() && cur != flow.dst; ++guard) {
+    const PortId p = select(cur, flow);
+    hops.push_back(PortRef{cur, p});
+    cur = topo.node(cur).ports.at(static_cast<std::size_t>(p)).peer;
+  }
+  return hops;
+}
+
+int RoutingTable::hop_count(const Topology& topo, const FlowKey& flow) const {
+  return static_cast<int>(port_path_of(topo, flow).size());
+}
+
+}  // namespace vedr::net

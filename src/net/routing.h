@@ -1,0 +1,43 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.h"
+#include "net/types.h"
+
+namespace vedr::net {
+
+/// Per-device ECMP next-hop tables toward every host, computed by BFS over
+/// the topology. Route overrides support the loop / load-imbalance anomaly
+/// scenarios (§II-B).
+class RoutingTable {
+ public:
+  static RoutingTable shortest_paths(const Topology& topo);
+
+  /// ECMP selection: deterministic hash of the flow key salted with the
+  /// current node, as commodity switches do. Throws if dst is unreachable.
+  PortId select(NodeId at, const FlowKey& flow) const;
+
+  /// All equal-cost candidate egress ports at `at` toward `dst`.
+  const std::vector<PortId>& candidates(NodeId at, NodeId dst) const;
+
+  /// Replaces the candidate set (loop injection, static pinning).
+  void override_route(NodeId at, NodeId dst, std::vector<PortId> ports);
+
+  /// The exact device path a flow takes from src to dst (inclusive of both
+  /// hosts), resolving ECMP the same way the switches will.
+  std::vector<NodeId> path_of(const Topology& topo, const FlowKey& flow) const;
+
+  /// The (node, egress port) hops a flow traverses, excluding the final host.
+  std::vector<PortRef> port_path_of(const Topology& topo, const FlowKey& flow) const;
+
+  /// Hop count (number of links) between two hosts for this flow key.
+  int hop_count(const Topology& topo, const FlowKey& flow) const;
+
+ private:
+  // next_hops_[node][dst] -> candidate egress ports.
+  std::vector<std::unordered_map<NodeId, std::vector<PortId>>> next_hops_;
+};
+
+}  // namespace vedr::net

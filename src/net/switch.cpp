@@ -1,0 +1,292 @@
+#include "net/switch.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/network.h"
+#include "sim/rng.h"
+
+namespace vedr::net {
+
+Switch::Switch(Network& net, NodeId id, int num_ports)
+    : Device(net, id, false),
+      egress_(static_cast<std::size_t>(num_ports)),
+      pause_sig_(static_cast<std::size_t>(num_ports)),
+      queued_from_(static_cast<std::size_t>(num_ports),
+                   std::vector<std::int64_t>(static_cast<std::size_t>(num_ports), 0)),
+      telem_(id, num_ports),
+      ecn_rng_(sim::Rng::mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)),
+                             0xEC11ULL)) {}
+
+void Switch::handle_rx(Packet pkt, PortId in_port) {
+  switch (pkt.type) {
+    case PacketType::kPfcPause:
+      handle_pfc(pkt, in_port);
+      return;
+    case PacketType::kPoll:
+      handle_poll(std::move(pkt), in_port);
+      return;
+    default:
+      forward(std::move(pkt), in_port);
+      return;
+  }
+}
+
+void Switch::forward(Packet pkt, PortId in_port) {
+  const PortId out = net_.routing().select(id_, pkt.flow);
+  if (pkt.ttl == 0) {
+    ++ttl_drops_;
+    net_.stats().add_counter("switch.ttl_drops");
+    // Any expiring packet with a flow identity is loop evidence — data may
+    // never reach TTL death when the loop's links PFC-deadlock first, but
+    // the (same-keyed) polls still spin and expire.
+    if (pkt.flow.valid()) telem_.record_ttl_drop(pkt.flow, out, net_.sim().now());
+    return;
+  }
+  pkt.ttl -= 1;
+  enqueue(out, std::move(pkt), in_port);
+}
+
+void Switch::enqueue(PortId out, Packet pkt, PortId in_port) {
+  Egress& eg = egress_.at(static_cast<std::size_t>(out));
+  const int pi = index_of(pkt.prio);
+
+  if (eg.bytes[pi] + pkt.size > net_.config().queue_cap_bytes) {
+    ++drops_;
+    net_.stats().add_counter("switch.drops");
+    return;
+  }
+
+  if (pkt.prio == Priority::kData) {
+    // RED/ECN marking against the data-class backlog.
+    const std::int64_t q = eg.bytes[index_of(Priority::kData)];
+    const auto& cfg = net_.config();
+    if (pkt.ecn_capable) {
+      if (q >= cfg.ecn_kmax_bytes) {
+        pkt.ecn_ce = true;
+      } else if (q > cfg.ecn_kmin_bytes) {
+        const double p = cfg.ecn_pmax * static_cast<double>(q - cfg.ecn_kmin_bytes) /
+                         static_cast<double>(cfg.ecn_kmax_bytes - cfg.ecn_kmin_bytes);
+        std::uniform_real_distribution<double> d(0.0, 1.0);
+        if (d(ecn_rng_) < p) pkt.ecn_ce = true;
+      }
+    }
+
+    telem_.port(out).on_enqueue(pkt.flow, pkt.size, net_.sim().now());
+    if (in_port != kInvalidPort) {
+      telem_.on_forward(in_port, out, pkt.size);
+      queued_from_[static_cast<std::size_t>(out)][static_cast<std::size_t>(in_port)] += pkt.size;
+      PauseSignal& sig = pause_sig_.at(static_cast<std::size_t>(in_port));
+      sig.ingress_bytes += pkt.size;
+      update_pause_signal(in_port);
+    }
+  }
+
+  if (auto* t = net_.tracer())
+    t->record(net::TraceEvent{net::TraceEvent::Kind::kSwitchEnqueue, net_.sim().now(), id_, out,
+                              pkt.type, pkt.flow, pkt.seq, pkt.size});
+  eg.bytes[pi] += pkt.size;
+  eg.q[pi].push_back(Queued{std::move(pkt), in_port});
+  kick(out);
+}
+
+void Switch::kick(PortId out) {
+  Egress& eg = egress_.at(static_cast<std::size_t>(out));
+  if (eg.busy) return;
+
+  int pi = -1;
+  if (!eg.q[index_of(Priority::kControl)].empty()) {
+    pi = index_of(Priority::kControl);
+  } else if (!eg.paused_data && !eg.q[index_of(Priority::kData)].empty()) {
+    pi = index_of(Priority::kData);
+  }
+  if (pi < 0) return;
+
+  Queued item = std::move(eg.q[pi].front());
+  eg.q[pi].pop_front();
+  eg.bytes[pi] -= item.pkt.size;
+
+  if (item.pkt.prio == Priority::kData) {
+    telem_.port(out).on_dequeue(item.pkt.flow, item.pkt.size);
+    if (item.in_port != kInvalidPort) {
+      queued_from_[static_cast<std::size_t>(out)][static_cast<std::size_t>(item.in_port)] -=
+          item.pkt.size;
+      PauseSignal& sig = pause_sig_.at(static_cast<std::size_t>(item.in_port));
+      sig.ingress_bytes -= item.pkt.size;
+      update_pause_signal(item.in_port);
+    }
+  }
+
+  if (auto* t = net_.tracer())
+    t->record(net::TraceEvent{net::TraceEvent::Kind::kSwitchDequeue, net_.sim().now(), id_, out,
+                              item.pkt.type, item.pkt.flow, item.pkt.seq, item.pkt.size});
+  eg.busy = true;
+  const auto& link = net_.port_info(id_, out);
+  const Tick tx = sim::transmission_delay(item.pkt.size, link.gbps);
+  net_.sim().schedule_in(tx, [this, out, pkt = std::move(item.pkt)]() mutable {
+    net_.deliver(id_, out, std::move(pkt));
+    finish_tx(out);
+  });
+}
+
+void Switch::finish_tx(PortId out) {
+  egress_.at(static_cast<std::size_t>(out)).busy = false;
+  kick(out);
+}
+
+void Switch::update_pause_signal(PortId in_port) {
+  PauseSignal& sig = pause_sig_.at(static_cast<std::size_t>(in_port));
+  const auto& cfg = net_.config();
+  if (sig.ingress_bytes >= cfg.pfc_xoff_bytes) {
+    sig.congestion = true;
+  } else if (sig.ingress_bytes <= cfg.pfc_xon_bytes) {
+    sig.congestion = false;
+  }
+  const bool desired = sig.congestion || sig.forced;
+  if (desired == sig.sent_pause) return;
+  sig.sent_pause = desired;
+  net_.stats().add_counter(desired ? "pfc.pause_frames" : "pfc.resume_frames");
+  net_.deliver_pfc(id_, in_port, Priority::kData, desired);
+
+  if (desired) {
+    // Log why we paused: which local egress queues hold this ingress's bytes.
+    telemetry::PauseCauseReport cause;
+    cause.ingress_port = PortRef{id_, in_port};
+    cause.time = net_.sim().now();
+    cause.injected = sig.forced && !sig.congestion;
+    for (PortId e = 0; e < num_ports(); ++e) {
+      const std::int64_t b =
+          queued_from_[static_cast<std::size_t>(e)][static_cast<std::size_t>(in_port)];
+      if (b > 0) cause.contributions.emplace_back(e, b);
+    }
+    telem_.record_pause_cause(std::move(cause));
+  }
+}
+
+void Switch::force_pause(PortId port, Tick duration) {
+  PauseSignal& sig = pause_sig_.at(static_cast<std::size_t>(port));
+  sig.forced = true;
+  update_pause_signal(port);
+  // update_pause_signal only logs on transition; make sure injected storms
+  // are always visible to the chase path even if the port was already paused.
+  if (sig.congestion) {
+    telemetry::PauseCauseReport cause;
+    cause.ingress_port = PortRef{id_, port};
+    cause.time = net_.sim().now();
+    cause.injected = true;
+    telem_.record_pause_cause(std::move(cause));
+  }
+  net_.sim().schedule_in(duration, [this, port] {
+    pause_sig_.at(static_cast<std::size_t>(port)).forced = false;
+    update_pause_signal(port);
+  });
+}
+
+void Switch::handle_pfc(const Packet& pkt, PortId in_port) {
+  const auto& info = std::get<PauseInfo>(pkt.meta);
+  if (info.prio != Priority::kData) return;
+  Egress& eg = egress_.at(static_cast<std::size_t>(in_port));
+  const bool was = eg.paused_data;
+  eg.paused_data = info.pause;
+  if (info.pause) {
+    telem_.port(in_port).on_pause(net_.sim().now());
+  } else {
+    telem_.port(in_port).on_resume(net_.sim().now());
+  }
+  if (was && !info.pause) kick(in_port);
+}
+
+bool Switch::poll_seen(std::uint64_t poll_id, PortId target) {
+  const std::uint64_t key =
+      sim::Rng::mix(poll_id, static_cast<std::uint64_t>(static_cast<std::uint32_t>(target + 2)));
+  return !seen_polls_.insert(key).second;
+}
+
+void Switch::handle_poll(Packet pkt, PortId in_port) {
+  auto info = std::get<PollInfo>(pkt.meta);
+  const Tick now = net_.sim().now();
+  const Tick since = now - net_.config().telemetry_window;
+
+  telemetry::SwitchReport report;
+  report.switch_id = id_;
+  report.poll_id = info.poll_id;
+  report.time = now;
+
+  if (!info.pfc_chase) {
+    // Snapshot the egress this flow takes here, then keep the poll moving
+    // toward the destination (control class rides through PFC pauses).
+    // Revisits (possible under looped tables) are forwarded without
+    // re-reporting, so a looping poll eventually expires by TTL — itself
+    // loop evidence.
+    if (!poll_seen(info.poll_id, kInvalidPort)) {
+      const PortId out = net_.routing().select(id_, pkt.flow);
+      report.ports.push_back(telem_.port_snapshot(out, now, since));
+      report.drops = telem_.drops_since(since);
+      maybe_chase(out, info);
+      emit_report(std::move(report));
+    }
+    forward(std::move(pkt), in_port);
+    return;
+  }
+
+  // Chase poll: we are the switch whose PAUSE frames halted the sender of
+  // this poll; in_port is the link we paused. Report why, then follow the
+  // congestion further downstream.
+  if (poll_seen(info.poll_id, in_port)) return;
+  auto causes = telem_.causes_for(in_port, since);
+  std::vector<PortId> next_hops;
+  for (const auto& cause : causes) {
+    for (const auto& [egress, bytes] : cause.contributions) {
+      (void)bytes;
+      if (std::find(next_hops.begin(), next_hops.end(), egress) == next_hops.end())
+        next_hops.push_back(egress);
+    }
+  }
+  for (PortId e : next_hops) report.ports.push_back(telem_.port_snapshot(e, now, since));
+  report.causes = std::move(causes);
+  emit_report(std::move(report));
+
+  if (info.pfc_hops_left > 0) {
+    PollInfo next = info;
+    next.pfc_hops_left -= 1;
+    for (PortId e : next_hops) maybe_chase(e, next);
+  }
+}
+
+void Switch::maybe_chase(PortId egress, const PollInfo& info) {
+  if (info.pfc_hops_left <= 0) return;
+  const Tick now = net_.sim().now();
+  if (!telem_.port(egress).paused_within(now, net_.config().telemetry_window)) return;
+  const PortRef peer = net_.topology().peer(id_, egress);
+  if (net_.topology().is_host(peer.node)) return;  // hosts do not send PFC here
+
+  Packet chase;
+  chase.type = PacketType::kPoll;
+  chase.prio = Priority::kControl;
+  chase.size = net_.config().control_pkt_bytes;
+  chase.sent_time = now;
+  PollInfo ci = info;
+  ci.pfc_chase = true;
+  ci.target_port = peer.port;
+  ci.pfc_hops_left = info.pfc_hops_left - 1;
+  chase.meta = ci;
+
+  net_.stats().add_counter("overhead.poll_bytes", net_.config().control_pkt_bytes);
+  net_.stats().add_counter("overhead.bandwidth_bytes", net_.config().control_pkt_bytes);
+  // PFC chase frames ride the wire out-of-band like PFC itself.
+  net_.deliver(id_, egress, std::move(chase));
+}
+
+void Switch::emit_report(telemetry::SwitchReport report) {
+  if (net_.report_sink() == nullptr) return;
+  const std::int64_t size = report.wire_size();
+  net_.stats().add_counter("overhead.telemetry_bytes", size);
+  net_.stats().add_counter("overhead.bandwidth_bytes", size);
+  net_.stats().add_counter("overhead.report_count");
+  net_.sim().schedule_in(net_.config().controller_delay,
+                         [this, r = std::move(report)]() mutable {
+                           if (net_.report_sink()) net_.report_sink()->on_switch_report(r);
+                         });
+}
+
+}  // namespace vedr::net

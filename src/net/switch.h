@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "net/device.h"
+#include "net/packet.h"
+#include "net/types.h"
+#include "telemetry/recorder.h"
+
+namespace vedr::net {
+
+class Network;
+
+/// Output-queued switch with two strict priorities, PFC (per-ingress byte
+/// accounting with XOFF/XON hysteresis and pause-cause logging), RED/ECN
+/// marking on the data class, always-on flow/port telemetry, and the
+/// polling-query data plane used by the diagnosis systems: path polls
+/// snapshot the congested egress, chase polls walk the PFC spreading path
+/// (§III-C3).
+class Switch : public Device {
+ public:
+  Switch(Network& net, NodeId id, int num_ports);
+
+  void handle_rx(Packet pkt, PortId in_port) override;
+
+  // --- anomaly injection ---------------------------------------------------
+
+  /// PFC storm injection: this switch emits PAUSE frames on `port`
+  /// (halting its upstream peer) for `duration`, independent of buffer
+  /// state — modeling the hardware-bug storms of §II-B.
+  void force_pause(PortId port, Tick duration);
+
+  // --- introspection ---------------------------------------------------------
+
+  const telemetry::SwitchTelemetry& telem() const { return telem_; }
+  telemetry::SwitchTelemetry& telem() { return telem_; }
+  std::int64_t queue_bytes(PortId port, Priority prio) const {
+    return egress_.at(static_cast<std::size_t>(port)).bytes[index_of(prio)];
+  }
+  bool egress_paused(PortId port) const {
+    return egress_.at(static_cast<std::size_t>(port)).paused_data;
+  }
+  bool sending_pause_on(PortId port) const {
+    return pause_sig_.at(static_cast<std::size_t>(port)).sent_pause;
+  }
+  std::int64_t drops() const { return drops_; }
+  std::int64_t ttl_drops() const { return ttl_drops_; }
+  int num_ports() const { return static_cast<int>(egress_.size()); }
+
+ private:
+  struct Queued {
+    Packet pkt;
+    PortId in_port = kInvalidPort;
+  };
+  struct Egress {
+    std::deque<Queued> q[kNumPriorities];
+    std::int64_t bytes[kNumPriorities] = {0, 0};
+    bool paused_data = false;  ///< peer paused our data class
+    bool busy = false;
+  };
+  /// Send-side PFC state for one port: whether we are currently pausing the
+  /// upstream device on that link.
+  struct PauseSignal {
+    std::int64_t ingress_bytes = 0;  ///< queued data bytes that arrived here
+    bool congestion = false;
+    bool forced = false;
+    bool sent_pause = false;
+  };
+
+  void forward(Packet pkt, PortId in_port);
+  void enqueue(PortId out, Packet pkt, PortId in_port);
+  void kick(PortId out);
+  void finish_tx(PortId out);
+  void update_pause_signal(PortId in_port);
+  void handle_pfc(const Packet& pkt, PortId in_port);
+  void handle_poll(Packet pkt, PortId in_port);
+  void maybe_chase(PortId egress, const PollInfo& info);
+  void emit_report(telemetry::SwitchReport report);
+  bool poll_seen(std::uint64_t poll_id, PortId target);
+
+  std::vector<Egress> egress_;
+  std::vector<PauseSignal> pause_sig_;
+  // queued_from_[egress][ingress] = data bytes in egress queue from ingress.
+  std::vector<std::vector<std::int64_t>> queued_from_;
+  telemetry::SwitchTelemetry telem_;
+  std::unordered_set<std::uint64_t> seen_polls_;
+  std::mt19937_64 ecn_rng_;
+  std::int64_t drops_ = 0;
+  std::int64_t ttl_drops_ = 0;
+};
+
+}  // namespace vedr::net

@@ -1,0 +1,59 @@
+#include "net/trace.h"
+
+#include <algorithm>
+
+namespace vedr::net {
+
+const char* to_string(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::kHostTx: return "host_tx";
+    case TraceEvent::Kind::kHostRx: return "host_rx";
+    case TraceEvent::Kind::kSwitchEnqueue: return "sw_enq";
+    case TraceEvent::Kind::kSwitchDequeue: return "sw_deq";
+    case TraceEvent::Kind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+std::string TraceEvent::str() const {
+  return std::to_string(time) + "\t" + to_string(kind) + "\tnode=" + std::to_string(node) +
+         "\tport=" + std::to_string(port) + "\t" + net::to_string(pkt_type) + "\t" + flow.str() +
+         "\tseq=" + std::to_string(seq) + "\tsize=" + std::to_string(size);
+}
+
+bool PacketTracer::accepts(const TraceEvent& ev) const {
+  if (data_only_ && ev.pkt_type != PacketType::kData) return false;
+  if (filter_.empty()) return true;
+  return std::find(filter_.begin(), filter_.end(), ev.flow) != filter_.end();
+}
+
+void PacketTracer::record(TraceEvent ev) {
+  if (!accepts(ev)) return;
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> PacketTracer::of_flow(const FlowKey& flow) const {
+  std::vector<TraceEvent> out;
+  for (const auto& ev : events_)
+    if (ev.flow == flow) out.push_back(ev);
+  return out;
+}
+
+std::vector<TraceEvent> PacketTracer::journey(const FlowKey& flow, std::uint32_t seq) const {
+  std::vector<TraceEvent> out;
+  for (const auto& ev : events_)
+    if (ev.flow == flow && ev.seq == seq && ev.pkt_type == PacketType::kData) out.push_back(ev);
+  return out;
+}
+
+std::string PacketTracer::dump() const {
+  std::string out = "# time\tkind\tnode\tport\ttype\tflow\tseq\tsize\n";
+  for (const auto& ev : events_) out += ev.str() + "\n";
+  return out;
+}
+
+}  // namespace vedr::net

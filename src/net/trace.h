@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/types.h"
+
+namespace vedr::net {
+
+/// A recorded packet event, pcap-style but at the model's granularity.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kHostTx, kHostRx, kSwitchEnqueue, kSwitchDequeue, kDrop };
+
+  Kind kind = Kind::kHostTx;
+  Tick time = 0;
+  NodeId node = kInvalidNode;
+  PortId port = kInvalidPort;
+  PacketType pkt_type = PacketType::kData;
+  FlowKey flow;
+  std::uint32_t seq = 0;
+  std::int32_t size = 0;
+
+  std::string str() const;
+};
+
+const char* to_string(TraceEvent::Kind k);
+
+/// Bounded in-memory packet tracer with flow filtering — the debugging tool
+/// every network model grows sooner or later. Attach with
+/// Network::set_tracer(); zero cost when detached.
+class PacketTracer {
+ public:
+  explicit PacketTracer(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  /// Restricts recording to these flows (empty = record everything).
+  void filter(std::vector<FlowKey> flows) { filter_ = std::move(flows); }
+  /// Restricts recording to data packets only.
+  void data_only(bool v) { data_only_ = v; }
+
+  void record(TraceEvent ev);
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::size_t dropped_events() const { return dropped_; }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Events touching one flow, in time order.
+  std::vector<TraceEvent> of_flow(const FlowKey& flow) const;
+
+  /// The (node, port) journey of one packet (flow, seq): every hop recorded.
+  std::vector<TraceEvent> journey(const FlowKey& flow, std::uint32_t seq) const;
+
+  /// Tab-separated dump for offline analysis.
+  std::string dump() const;
+
+ private:
+  bool accepts(const TraceEvent& ev) const;
+
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::vector<FlowKey> filter_;
+  bool data_only_ = false;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace vedr::net

@@ -1,0 +1,46 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace vedr::sim {
+
+EventId EventQueue::schedule(Tick at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  pending_.insert(id);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;  // already fired or cancelled
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+Tick EventQueue::next_time() const {
+  skip_cancelled();
+  return heap_.empty() ? kNever : heap_.top().at;
+}
+
+Tick EventQueue::run_next() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_.erase(e.id);
+  --live_;
+  e.fn();
+  return e.at;
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+}  // namespace vedr::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace vedr::sim {
+
+/// Handle used to cancel a scheduled event. Cancellation is lazy: the event
+/// stays in the heap but its callback is dropped when popped.
+using EventId = std::uint64_t;
+
+/// A stable-order event queue: events at the same tick fire in the order
+/// they were scheduled, which keeps simulations deterministic regardless of
+/// heap internals.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventId schedule(Tick at, std::function<void()> fn);
+
+  /// Drops the callback for `id` if the event has not fired yet.
+  /// Returns true when an event was actually cancelled.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; kNever when empty.
+  Tick next_time() const;
+
+  /// Pops and runs the earliest event. Returns its time.
+  /// Precondition: !empty().
+  Tick run_next();
+
+  std::uint64_t total_scheduled() const { return next_id_; }
+
+ private:
+  struct Entry {
+    Tick at = 0;
+    EventId id = 0;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_;
+  std::uint64_t next_id_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace vedr::sim

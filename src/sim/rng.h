@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace vedr::sim {
+
+/// Deterministic per-experiment random source.
+///
+/// Every evaluation case derives its Rng from (scenario id, case id) so runs
+/// are reproducible bit-for-bit across machines; we use our own engine
+/// wrapper rather than raw std::mt19937_64 so distribution calls are
+/// centralized and easy to audit.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_base_(seed) {}
+
+  /// Derives a child stream; children of distinct tags never collide.
+  Rng fork(std::uint64_t tag) const {
+    return Rng(mix(seed_base_, tag));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Picks a uniformly random element index for a container of size n.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  static std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+    // splitmix64-style avalanche over the pair.
+    std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_base_ = 0;
+};
+
+}  // namespace vedr::sim

@@ -1,0 +1,28 @@
+#include "sim/simulator.h"
+
+namespace vedr::sim {
+
+std::uint64_t Simulator::run(Tick until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    const Tick next = queue_.next_time();
+    if (next == kNever || next > until) break;
+    now_ = next;
+    queue_.run_next();
+    ++executed_;
+    ++n;
+  }
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  const Tick next = queue_.next_time();
+  if (next == kNever) return false;
+  now_ = next;
+  queue_.run_next();
+  ++executed_;
+  return true;
+}
+
+}  // namespace vedr::sim

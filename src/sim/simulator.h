@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace vedr::sim {
+
+/// The simulation kernel: a clock plus an event queue.
+///
+/// All model components hold a reference to one Simulator and schedule work
+/// relative to now(). The kernel guarantees monotonically non-decreasing
+/// time and deterministic ordering of simultaneous events.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Tick now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` ns from now (delay may be 0).
+  EventId schedule_in(Tick delay, std::function<void()> fn) {
+    return queue_.schedule(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now()).
+  EventId schedule_at(Tick at, std::function<void()> fn) {
+    return queue_.schedule(at < now_ ? now_ : at, std::move(fn));
+  }
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue drains or `until` is passed (exclusive bound on
+  /// event time when given). Returns the number of events executed.
+  std::uint64_t run(Tick until = std::numeric_limits<Tick>::max());
+
+  /// Executes exactly one event if available. Returns false when idle.
+  bool step();
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  Tick now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace vedr::sim

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vedr::sim {
+
+/// Streaming summary of a series of samples (count/mean/min/max/stddev).
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    sum_sq_ += x * x;
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double stddev() const {
+    if (n_ < 2) return 0.0;
+    const double m = mean();
+    const double var = sum_sq_ / static_cast<double>(n_) - m * m;
+    return var > 0 ? std::sqrt(var) : 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0, sum_sq_ = 0, min_ = 0, max_ = 0;
+};
+
+/// Named counters/summaries shared by model components, used by the
+/// evaluation harness to account overhead without plumbing every number
+/// through constructors.
+class StatsRegistry {
+ public:
+  void add_counter(const std::string& name, std::int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  std::int64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void add_sample(const std::string& name, double x) { summaries_[name].add(x); }
+  const Summary& summary(const std::string& name) const {
+    static const Summary empty;
+    auto it = summaries_.find(name);
+    return it == summaries_.end() ? empty : it->second;
+  }
+
+  const std::map<std::string, std::int64_t>& counters() const { return counters_; }
+  const std::map<std::string, Summary>& summaries() const { return summaries_; }
+
+  void reset() {
+    counters_.clear();
+    summaries_.clear();
+  }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, Summary> summaries_;
+};
+
+}  // namespace vedr::sim

@@ -1,0 +1,135 @@
+#include "telemetry/recorder.h"
+
+#include <algorithm>
+
+namespace vedr::telemetry {
+
+void PortTelemetry::on_enqueue(const FlowKey& flow, std::int64_t bytes, Tick now) {
+  auto& fe = flows_[flow];
+  if (fe.pkts == 0) {
+    fe.flow = flow;
+    fe.first_seen = now;
+  }
+  fe.pkts += 1;
+  fe.bytes += bytes;
+  fe.last_seen = now;
+
+  // Queue-ahead accounting: every packet of another flow currently queued is
+  // a packet this flow's packet waits behind.
+  for (const auto& [other, cnt] : in_queue_) {
+    if (other == flow || cnt == 0) continue;
+    wait_[flow][other] += cnt;
+    wait_last_[flow][other] = now;
+  }
+
+  in_queue_[flow] += 1;
+  qdepth_pkts_ += 1;
+  qdepth_bytes_ += bytes;
+}
+
+void PortTelemetry::on_dequeue(const FlowKey& flow, std::int64_t bytes) {
+  auto it = in_queue_.find(flow);
+  if (it != in_queue_.end() && it->second > 0) {
+    it->second -= 1;
+    if (it->second == 0) in_queue_.erase(it);
+  }
+  qdepth_pkts_ = std::max<std::int64_t>(0, qdepth_pkts_ - 1);
+  qdepth_bytes_ = std::max<std::int64_t>(0, qdepth_bytes_ - bytes);
+}
+
+void PortTelemetry::on_pause(Tick now) {
+  if (paused_) return;
+  paused_ = true;
+  paused_since_ = now;
+  pause_events_.push_back(PauseEvent{now, sim::kNever});
+}
+
+void PortTelemetry::on_resume(Tick now) {
+  if (!paused_) return;
+  paused_ = false;
+  accumulated_pause_ += now - paused_since_;
+  if (!pause_events_.empty() && pause_events_.back().end == sim::kNever)
+    pause_events_.back().end = now;
+  paused_since_ = sim::kNever;
+}
+
+Tick PortTelemetry::total_pause_time(Tick now) const {
+  return accumulated_pause_ + (paused_ ? now - paused_since_ : 0);
+}
+
+bool PortTelemetry::paused_within(Tick now, Tick window) const {
+  if (paused_) return true;
+  const Tick since = now - window;
+  for (auto it = pause_events_.rbegin(); it != pause_events_.rend(); ++it) {
+    if (it->end != sim::kNever && it->end >= since) return true;
+    if (it->end != sim::kNever && it->end < since) break;
+  }
+  return false;
+}
+
+PortReport PortTelemetry::snapshot(PortRef self, Tick now, Tick since) const {
+  PortReport r;
+  r.port = self;
+  r.poll_time = now;
+  r.qdepth_bytes = qdepth_bytes_;
+  r.qdepth_pkts = qdepth_pkts_;
+  r.currently_paused = paused_;
+  r.total_pause_time = total_pause_time(now);
+
+  for (const auto& [key, fe] : flows_) {
+    if (fe.last_seen >= since) r.flows.push_back(fe);
+  }
+  for (const auto& [waiter, row] : wait_) {
+    auto last_row = wait_last_.find(waiter);
+    for (const auto& [ahead, w] : row) {
+      Tick last = sim::kNever;
+      if (last_row != wait_last_.end()) {
+        auto it = last_row->second.find(ahead);
+        if (it != last_row->second.end()) last = it->second;
+      }
+      if (last >= since && w > 0) r.waits.push_back(WaitEntry{waiter, ahead, w});
+    }
+  }
+  for (const auto& ev : pause_events_) {
+    const Tick end = ev.end == sim::kNever ? now : ev.end;
+    if (end >= since) r.pauses.push_back(PauseEvent{ev.start, ev.end});
+  }
+  return r;
+}
+
+void SwitchTelemetry::record_ttl_drop(const FlowKey& flow, PortId egress, Tick now) {
+  DropEntry& d = drops_[flow];
+  d.flow = flow;
+  d.port = PortRef{switch_id_, egress};
+  d.count += 1;
+  d.last_drop = now;
+  ++total_drops_;
+}
+
+std::vector<DropEntry> SwitchTelemetry::drops_since(Tick since) const {
+  std::vector<DropEntry> out;
+  for (const auto& [flow, d] : drops_)
+    if (d.last_drop >= since) out.push_back(d);
+  return out;
+}
+
+std::vector<PauseCauseReport> SwitchTelemetry::causes_for(PortId ingress, Tick since) const {
+  std::vector<PauseCauseReport> out;
+  for (const auto& c : causes_) {
+    if (c.ingress_port.port == ingress && c.time >= since) out.push_back(c);
+  }
+  return out;
+}
+
+PortReport SwitchTelemetry::port_snapshot(PortId egress, Tick now, Tick since) const {
+  PortReport r = ports_.at(static_cast<std::size_t>(egress))
+                     .snapshot(PortRef{switch_id_, egress}, now, since);
+  for (PortId in = 0; in < static_cast<PortId>(meter_.size()); ++in) {
+    const std::int64_t b =
+        meter_[static_cast<std::size_t>(in)][static_cast<std::size_t>(egress)];
+    if (b > 0 && in != egress) r.meters.push_back(MeterEntry{in, b});
+  }
+  return r;
+}
+
+}  // namespace vedr::telemetry

@@ -1,0 +1,126 @@
+// Logical data-movement validation: executing a plan's transfers on paper
+// must implement the collective's semantics (every host ends with the right
+// chunks). Complements the packet-level runner tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "collective/plan.h"
+
+namespace vedr::collective {
+namespace {
+
+std::vector<NodeId> hosts(int n) {
+  std::vector<NodeId> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+/// Replays the plan's transfers respecting step order; host state is the
+/// set of chunk ids it holds (reduce semantics treated as acquiring the
+/// partial/complete chunk).
+std::vector<std::set<int>> replay_ring(const CollectivePlan& p, int n) {
+  std::vector<std::set<int>> has(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) has[static_cast<std::size_t>(i)].insert(i);
+  for (int s = 0; s < p.num_steps(); ++s) {
+    std::vector<std::pair<int, int>> deliveries;
+    for (int f = 0; f < n; ++f) {
+      const StepSpec& spec = p.step(f, s);
+      deliveries.emplace_back(spec.dst, spec.chunk_id);
+    }
+    for (const auto& [dst, chunk] : deliveries)
+      has[static_cast<std::size_t>(dst)].insert(chunk);
+  }
+  return has;
+}
+
+class RingDataMovement : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingDataMovement, AllGatherEveryHostHasEverything) {
+  const int n = GetParam();
+  const auto p = CollectivePlan::ring(0, OpType::kAllGather, hosts(n), 100);
+  const auto state = replay_ring(p, n);
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(state[static_cast<std::size_t>(i)].size(), static_cast<std::size_t>(n))
+        << "host " << i;
+}
+
+TEST_P(RingDataMovement, SenderAlwaysHoldsWhatItSends) {
+  const int n = GetParam();
+  for (auto op : {OpType::kAllGather, OpType::kReduceScatter}) {
+    const auto p = CollectivePlan::ring(0, op, hosts(n), 100);
+    std::vector<std::set<int>> has(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) has[static_cast<std::size_t>(i)].insert(i);
+    for (int s = 0; s < p.num_steps(); ++s) {
+      std::vector<std::pair<int, int>> deliveries;
+      for (int f = 0; f < n; ++f) {
+        const StepSpec& spec = p.step(f, s);
+        EXPECT_TRUE(has[static_cast<std::size_t>(f)].count(spec.chunk_id) > 0)
+            << to_string(op) << " flow " << f << " step " << s;
+        deliveries.emplace_back(spec.dst, spec.chunk_id);
+      }
+      for (const auto& [dst, chunk] : deliveries)
+        has[static_cast<std::size_t>(dst)].insert(chunk);
+    }
+  }
+}
+
+TEST_P(RingDataMovement, ReduceScatterEachChunkVisitsEveryHost) {
+  // In ring reduce-scatter, chunk c travels the whole ring accumulating
+  // partial sums: across the P-1 steps it must be transferred P-1 times.
+  const int n = GetParam();
+  const auto p = CollectivePlan::ring(0, OpType::kReduceScatter, hosts(n), 100);
+  std::vector<int> transfers(static_cast<std::size_t>(n), 0);
+  for (int f = 0; f < n; ++f)
+    for (const auto& s : p.steps_of_flow(f)) transfers[static_cast<std::size_t>(s.chunk_id)]++;
+  for (int c = 0; c < n; ++c) EXPECT_EQ(transfers[static_cast<std::size_t>(c)], n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingDataMovement, ::testing::Values(2, 3, 4, 8, 16));
+
+class HdDataMovement : public ::testing::TestWithParam<int> {};
+
+TEST_P(HdDataMovement, AllGatherBlocksDoubleUntilComplete) {
+  const int n = GetParam();
+  const auto p = CollectivePlan::halving_doubling(0, OpType::kAllGather, hosts(n), 100);
+  // Replay: host state is a set of chunk ids; at step s partners exchange
+  // their full current blocks.
+  std::vector<std::set<int>> has(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) has[static_cast<std::size_t>(i)].insert(i);
+  for (int s = 0; s < p.num_steps(); ++s) {
+    std::vector<std::pair<int, std::set<int>>> deliveries;
+    for (int f = 0; f < n; ++f) {
+      const StepSpec& spec = p.step(f, s);
+      deliveries.emplace_back(spec.dst, has[static_cast<std::size_t>(f)]);
+    }
+    for (auto& [dst, block] : deliveries)
+      has[static_cast<std::size_t>(dst)].insert(block.begin(), block.end());
+    // After step s every host holds a 2^(s+1) block.
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(has[static_cast<std::size_t>(i)].size(), std::size_t{1} << (s + 1));
+  }
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(has[static_cast<std::size_t>(i)].size(), static_cast<std::size_t>(n));
+}
+
+TEST_P(HdDataMovement, PartnersAreMutual) {
+  const int n = GetParam();
+  for (auto op : {OpType::kAllGather, OpType::kReduceScatter, OpType::kAllReduce}) {
+    const auto p = CollectivePlan::halving_doubling(0, op, hosts(n), 100);
+    for (int s = 0; s < p.num_steps(); ++s) {
+      for (int f = 0; f < n; ++f) {
+        const StepSpec& mine = p.step(f, s);
+        const int partner = mine.dst;  // participants are 0..n-1 here
+        const StepSpec& theirs = p.step(partner, s);
+        EXPECT_EQ(theirs.dst, f) << to_string(op) << " step " << s;
+        EXPECT_EQ(theirs.bytes, mine.bytes);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HdDataMovement, ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace vedr::collective

@@ -1,0 +1,196 @@
+#include "collective/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <tuple>
+
+namespace vedr::collective {
+namespace {
+
+std::vector<NodeId> hosts(int n) {
+  std::vector<NodeId> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(RingPlan, StepCountAndTargets) {
+  const auto p = CollectivePlan::ring(0, OpType::kAllGather, hosts(8), 1000);
+  EXPECT_EQ(p.num_steps(), 7);
+  EXPECT_EQ(p.total_transfers(), 56);
+  for (int f = 0; f < 8; ++f)
+    for (const auto& s : p.steps_of_flow(f)) {
+      EXPECT_EQ(s.src, f);
+      EXPECT_EQ(s.dst, (f + 1) % 8);
+      EXPECT_EQ(s.bytes, 1000);
+    }
+}
+
+TEST(RingPlan, AllReduceDoublesSteps) {
+  const auto p = CollectivePlan::ring(0, OpType::kAllReduce, hosts(4), 1000);
+  EXPECT_EQ(p.num_steps(), 6);  // 2*(P-1)
+}
+
+TEST(RingPlan, DependencyChain) {
+  const auto p = CollectivePlan::ring(0, OpType::kAllGather, hosts(4), 1000);
+  for (int f = 0; f < 4; ++f) {
+    EXPECT_FALSE(p.step(f, 0).has_dependency());
+    for (int s = 1; s < 3; ++s) {
+      EXPECT_EQ(p.step(f, s).dep_flow, (f + 3) % 4);
+      EXPECT_EQ(p.step(f, s).dep_step, s - 1);
+    }
+  }
+}
+
+TEST(RingPlan, AllGatherDeliversEveryChunkEverywhere) {
+  // Simulate the data movement logically: host i starts with chunk i; after
+  // each step it receives the chunk its predecessor sent.
+  const int n = 8;
+  const auto p = CollectivePlan::ring(0, OpType::kAllGather, hosts(n), 1000);
+  std::vector<std::set<int>> has(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) has[static_cast<std::size_t>(i)].insert(i);
+  for (int s = 0; s < p.num_steps(); ++s) {
+    std::vector<std::pair<int, int>> deliveries;  // (dst, chunk)
+    for (int f = 0; f < n; ++f) {
+      const StepSpec& spec = p.step(f, s);
+      EXPECT_TRUE(has[static_cast<std::size_t>(f)].count(spec.chunk_id) > 0)
+          << "flow " << f << " step " << s << " sends chunk it does not hold";
+      deliveries.emplace_back(spec.dst, spec.chunk_id);
+    }
+    for (const auto& [dst, chunk] : deliveries) has[static_cast<std::size_t>(dst)].insert(chunk);
+  }
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(has[static_cast<std::size_t>(i)].size(), static_cast<std::size_t>(n));
+}
+
+TEST(RingPlan, RejectsTooFewParticipants) {
+  EXPECT_THROW(CollectivePlan::ring(0, OpType::kAllGather, hosts(1), 100),
+               std::invalid_argument);
+}
+
+TEST(HalvingDoubling, PartnerDistancesDouble) {
+  const auto p = CollectivePlan::halving_doubling(0, OpType::kAllGather, hosts(8), 1000);
+  EXPECT_EQ(p.num_steps(), 3);
+  for (int f = 0; f < 8; ++f) {
+    EXPECT_EQ(p.step(f, 0).dst, f ^ 1);
+    EXPECT_EQ(p.step(f, 1).dst, f ^ 2);
+    EXPECT_EQ(p.step(f, 2).dst, f ^ 4);
+  }
+}
+
+TEST(HalvingDoubling, VolumesDoubleForAllGather) {
+  const auto p = CollectivePlan::halving_doubling(0, OpType::kAllGather, hosts(8), 1000);
+  for (int f = 0; f < 8; ++f) {
+    EXPECT_EQ(p.step(f, 0).bytes, 1000);
+    EXPECT_EQ(p.step(f, 1).bytes, 2000);
+    EXPECT_EQ(p.step(f, 2).bytes, 4000);
+  }
+}
+
+TEST(HalvingDoubling, VolumesHalveForReduceScatter) {
+  const auto p = CollectivePlan::halving_doubling(0, OpType::kReduceScatter, hosts(8), 1000);
+  for (int f = 0; f < 8; ++f) {
+    EXPECT_EQ(p.step(f, 0).bytes, 4000);
+    EXPECT_EQ(p.step(f, 1).bytes, 2000);
+    EXPECT_EQ(p.step(f, 2).bytes, 1000);
+    // Halving: partner distance shrinks.
+    EXPECT_EQ(p.step(f, 0).dst, f ^ 4);
+    EXPECT_EQ(p.step(f, 2).dst, f ^ 1);
+  }
+}
+
+TEST(HalvingDoubling, AllReduceChainsPhases) {
+  const auto p = CollectivePlan::halving_doubling(0, OpType::kAllReduce, hosts(8), 1000);
+  EXPECT_EQ(p.num_steps(), 6);
+  // First gather-phase step (s=3) depends on the last scatter-phase step.
+  const StepSpec& s3 = p.step(0, 3);
+  EXPECT_EQ(s3.dep_step, 2);
+  EXPECT_EQ(s3.dep_flow, 0 ^ 1);
+}
+
+TEST(HalvingDoubling, DependencyIsPriorPartner) {
+  const auto p = CollectivePlan::halving_doubling(0, OpType::kAllGather, hosts(8), 1000);
+  for (int f = 0; f < 8; ++f) {
+    EXPECT_EQ(p.step(f, 1).dep_flow, f ^ 1);
+    EXPECT_EQ(p.step(f, 2).dep_flow, f ^ 2);
+  }
+}
+
+TEST(HalvingDoubling, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(CollectivePlan::halving_doubling(0, OpType::kAllGather, hosts(6), 100),
+               std::invalid_argument);
+}
+
+TEST(Plan, KeyForLocateRoundTrip) {
+  const auto p = CollectivePlan::ring(3, OpType::kAllGather, {10, 11, 12, 13}, 1000);
+  for (int f = 0; f < 4; ++f) {
+    for (int s = 0; s < p.num_steps(); ++s) {
+      const auto key = p.key_for(f, s);
+      const auto [lf, ls] = p.locate(key);
+      EXPECT_EQ(lf, f);
+      EXPECT_EQ(ls, s);
+      EXPECT_TRUE(p.contains(key));
+    }
+  }
+}
+
+TEST(Plan, LocateRejectsForeignKeys) {
+  const auto p = CollectivePlan::ring(3, OpType::kAllGather, {10, 11, 12, 13}, 1000);
+  EXPECT_EQ(p.locate(net::FlowKey{10, 11, 100, 200}).first, -1);  // background flow
+  const auto other = CollectivePlan::ring(4, OpType::kAllGather, {10, 11, 12, 13}, 1000);
+  EXPECT_EQ(p.locate(other.key_for(0, 0)).first, -1);  // different collective id
+}
+
+TEST(Plan, WaiterOfIsInverseOfDependency) {
+  for (auto op : {OpType::kAllGather, OpType::kReduceScatter, OpType::kAllReduce}) {
+    const auto p = CollectivePlan::ring(0, op, hosts(8), 1000);
+    for (int f = 0; f < 8; ++f) {
+      for (const auto& s : p.steps_of_flow(f)) {
+        if (!s.has_dependency()) continue;
+        EXPECT_EQ(p.waiter_of(s.dep_flow, s.dep_step), f);
+      }
+    }
+  }
+}
+
+TEST(Plan, FlowOfHost) {
+  const auto p = CollectivePlan::ring(0, OpType::kAllGather, {20, 30, 40}, 100);
+  EXPECT_EQ(p.flow_of_host(30), 1);
+  EXPECT_EQ(p.flow_of_host(99), -1);
+}
+
+// Parameterized sweep: structural invariants hold across ops/algorithms/sizes.
+class PlanInvariants
+    : public ::testing::TestWithParam<std::tuple<OpType, Algorithm, int>> {};
+
+TEST_P(PlanInvariants, DependenciesAreConsistent) {
+  const auto [op, algo, n] = GetParam();
+  const auto p = algo == Algorithm::kRing
+                     ? CollectivePlan::ring(0, op, hosts(n), 1 << 12)
+                     : CollectivePlan::halving_doubling(0, op, hosts(n), 1 << 12);
+  for (int f = 0; f < p.num_flows(); ++f) {
+    for (const auto& s : p.steps_of_flow(f)) {
+      EXPECT_EQ(s.flow_index, f);
+      EXPECT_NE(s.src, s.dst);
+      EXPECT_GT(s.bytes, 0);
+      if (s.has_dependency()) {
+        EXPECT_EQ(s.dep_step, s.step - 1);
+        // The dependency's transfer must arrive at this flow's origin.
+        const StepSpec& dep = p.step(s.dep_flow, s.dep_step);
+        EXPECT_EQ(dep.dst, s.src)
+            << "flow " << f << " step " << s.step << " waits on data sent elsewhere";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlanInvariants,
+    ::testing::Combine(::testing::Values(OpType::kAllGather, OpType::kReduceScatter,
+                                         OpType::kAllReduce),
+                       ::testing::Values(Algorithm::kRing, Algorithm::kHalvingDoubling),
+                       ::testing::Values(2, 4, 8, 16)));
+
+}  // namespace
+}  // namespace vedr::collective

@@ -1,0 +1,106 @@
+#include "core/detection.h"
+
+#include <gtest/gtest.h>
+
+namespace vedr::core {
+namespace {
+
+constexpr Tick kUs = sim::kMicrosecond;
+
+StepTrigger armed(int budget, Tick threshold = 100 * kUs, Tick fct = 900 * kUs,
+                  Tick floor = 10 * kUs, bool unrestricted = false) {
+  StepTrigger t;
+  t.begin_step(0, threshold, fct, budget, unrestricted, floor);
+  return t;
+}
+
+TEST(StepTrigger, FiresOnlyAboveThreshold) {
+  auto t = armed(3);
+  EXPECT_FALSE(t.offer(99 * kUs, 0));
+  EXPECT_FALSE(t.offer(100 * kUs, 0));
+  EXPECT_TRUE(t.offer(101 * kUs, 0));
+}
+
+TEST(StepTrigger, BudgetExhausts) {
+  auto t = armed(2, 100 * kUs, 0);  // zero FCT: spacing floor only
+  EXPECT_TRUE(t.offer(200 * kUs, 0));
+  EXPECT_TRUE(t.offer(200 * kUs, 20 * kUs));
+  EXPECT_FALSE(t.offer(200 * kUs, 40 * kUs));
+  EXPECT_EQ(t.remaining(), 0);
+  EXPECT_EQ(t.used(), 2);
+}
+
+TEST(StepTrigger, SpacingEvenlyDividesFct) {
+  auto t = armed(3, 100 * kUs, 900 * kUs);
+  EXPECT_EQ(t.spacing(), 300 * kUs);
+  EXPECT_TRUE(t.offer(200 * kUs, 0));
+  EXPECT_FALSE(t.offer(200 * kUs, 299 * kUs)) << "must wait a full spacing interval";
+  EXPECT_TRUE(t.offer(200 * kUs, 300 * kUs));
+}
+
+TEST(StepTrigger, SpacingFloorApplies) {
+  auto t = armed(100, 100 * kUs, 900 * kUs, 50 * kUs);
+  EXPECT_EQ(t.spacing(), 50 * kUs);  // 900/100=9us < floor
+}
+
+TEST(StepTrigger, AddBudgetExtendsAndTightensSpacing) {
+  auto t = armed(1, 100 * kUs, 900 * kUs);
+  EXPECT_EQ(t.spacing(), 900 * kUs);
+  EXPECT_TRUE(t.offer(200 * kUs, 0));
+  EXPECT_FALSE(t.offer(200 * kUs, 100 * kUs));
+  t.add_budget(2);  // notification packet arrived (Fig. 7)
+  EXPECT_EQ(t.spacing(), 300 * kUs);
+  EXPECT_TRUE(t.offer(200 * kUs, 300 * kUs));
+  EXPECT_EQ(t.remaining(), 1);
+}
+
+TEST(StepTrigger, UnrestrictedIgnoresBudget) {
+  auto t = armed(1, 100 * kUs, 900 * kUs, 10 * kUs, /*unrestricted=*/true);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(t.offer(200 * kUs, i));
+  EXPECT_EQ(t.used(), 50);
+}
+
+TEST(StepTrigger, DisarmedNeverFires) {
+  auto t = armed(3);
+  t.disarm();
+  EXPECT_FALSE(t.offer(500 * kUs, 0));
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(StepTrigger, BeginStepResetsState) {
+  auto t = armed(1, 100 * kUs, 0);
+  EXPECT_TRUE(t.offer(200 * kUs, 0));
+  EXPECT_EQ(t.remaining(), 0);
+  t.begin_step(1000, 150 * kUs, 900 * kUs, 3, false, 10 * kUs);
+  EXPECT_EQ(t.remaining(), 3);
+  EXPECT_EQ(t.threshold(), 150 * kUs);
+  EXPECT_FALSE(t.offer(140 * kUs, 2000));
+  EXPECT_TRUE(t.offer(200 * kUs, 2000));
+}
+
+TEST(StepTrigger, RemainingNeverNegative) {
+  auto t = armed(0);
+  EXPECT_FALSE(t.offer(500 * kUs, 0));
+  EXPECT_EQ(t.remaining(), 0);
+}
+
+// Budget conservation: whatever is transferred in is available to fire.
+class BudgetConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(BudgetConservation, TotalFiresEqualsTotalBudget) {
+  const int transfers = GetParam();
+  auto t = armed(3, 100 * kUs, 0);  // spacing floor 10us
+  t.add_budget(transfers);
+  int fires = 0;
+  Tick now = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (t.offer(200 * kUs, now)) ++fires;
+    now += 10 * kUs;
+  }
+  EXPECT_EQ(fires, 3 + transfers);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transfers, BudgetConservation, ::testing::Values(0, 1, 3, 7, 20));
+
+}  // namespace
+}  // namespace vedr::core

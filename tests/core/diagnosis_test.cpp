@@ -1,0 +1,106 @@
+#include "core/diagnosis.h"
+
+#include <gtest/gtest.h>
+
+#include "anomaly/injectors.h"
+
+namespace vedr::core {
+namespace {
+
+AnomalyFinding finding(AnomalyType t, PortRef root, std::vector<FlowKey> flows = {},
+                       int step = -1, std::vector<PortRef> chain = {}) {
+  AnomalyFinding f;
+  f.type = t;
+  f.root_port = root;
+  f.contending_flows = std::move(flows);
+  f.step = step;
+  f.pfc_chain = std::move(chain);
+  if (!f.pfc_chain.empty()) f.congested_ports = f.pfc_chain;
+  return f;
+}
+
+FlowKey bg(int i) { return anomaly::background_key(i, i, 30 + i); }
+
+TEST(Coalesce, MergesSameTypeSameRootAcrossSteps) {
+  std::vector<AnomalyFinding> in{
+      finding(AnomalyType::kFlowContention, PortRef{20, 1}, {bg(0)}, 2),
+      finding(AnomalyType::kFlowContention, PortRef{20, 1}, {bg(1)}, 0),
+      finding(AnomalyType::kFlowContention, PortRef{20, 1}, {bg(0)}, 5),
+  };
+  const auto out = coalesce_findings(std::move(in));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].contending_flows.size(), 2u);
+  EXPECT_EQ(out[0].step, 0) << "earliest step wins";
+}
+
+TEST(Coalesce, DistinctRootsStaySeparate) {
+  std::vector<AnomalyFinding> in{
+      finding(AnomalyType::kFlowContention, PortRef{20, 1}, {bg(0)}),
+      finding(AnomalyType::kFlowContention, PortRef{21, 0}, {bg(0)}),
+  };
+  EXPECT_EQ(coalesce_findings(std::move(in)).size(), 2u);
+}
+
+TEST(Coalesce, DistinctTypesStaySeparate) {
+  std::vector<AnomalyFinding> in{
+      finding(AnomalyType::kFlowContention, PortRef{20, 1}, {bg(0)}),
+      finding(AnomalyType::kIncast, PortRef{20, 1}, {bg(0)}),
+  };
+  EXPECT_EQ(coalesce_findings(std::move(in)).size(), 2u);
+}
+
+TEST(Coalesce, KeepsLongestChain) {
+  std::vector<AnomalyFinding> in{
+      finding(AnomalyType::kPfcBackpressure, PortRef{24, 0}, {}, 1,
+              {PortRef{27, 0}, PortRef{24, 0}}),
+      finding(AnomalyType::kPfcBackpressure, PortRef{24, 0}, {}, 2,
+              {PortRef{35, 2}, PortRef{27, 0}, PortRef{24, 0}}),
+  };
+  const auto out = coalesce_findings(std::move(in));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pfc_chain.size(), 3u);
+}
+
+TEST(Coalesce, DeduplicatesFlowsAndPorts) {
+  std::vector<AnomalyFinding> in{
+      finding(AnomalyType::kFlowContention, PortRef{20, 1}, {bg(0), bg(0)}),
+      finding(AnomalyType::kFlowContention, PortRef{20, 1}, {bg(0)}),
+  };
+  const auto out = coalesce_findings(std::move(in));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].contending_flows.size(), 1u);
+}
+
+TEST(Diagnosis, DetectsFlowAndAllContenders) {
+  Diagnosis d;
+  d.findings.push_back(finding(AnomalyType::kFlowContention, PortRef{20, 1}, {bg(0), bg(1)}));
+  d.findings.push_back(finding(AnomalyType::kIncast, PortRef{21, 0}, {bg(1), bg(2)}));
+  EXPECT_TRUE(d.detects_flow(bg(0)));
+  EXPECT_TRUE(d.detects_flow(bg(2)));
+  EXPECT_FALSE(d.detects_flow(bg(7)));
+  EXPECT_EQ(d.all_contenders().size(), 3u);  // deduplicated union
+  EXPECT_TRUE(d.has_type(AnomalyType::kIncast));
+  EXPECT_FALSE(d.has_type(AnomalyType::kPfcStorm));
+}
+
+TEST(Diagnosis, FindingStrMentionsEverything) {
+  const auto f = finding(AnomalyType::kPfcStorm, PortRef{20, 1}, {bg(0)}, 3,
+                         {PortRef{19, 2}, PortRef{20, 1}});
+  const std::string s = f.str();
+  EXPECT_NE(s.find("PfcStorm"), std::string::npos);
+  EXPECT_NE(s.find("step=3"), std::string::npos);
+  EXPECT_NE(s.find("p(20.1)"), std::string::npos);
+  EXPECT_NE(s.find("->"), std::string::npos);
+}
+
+TEST(Diagnosis, TypeNames) {
+  EXPECT_STREQ(to_string(AnomalyType::kFlowContention), "FlowContention");
+  EXPECT_STREQ(to_string(AnomalyType::kIncast), "Incast");
+  EXPECT_STREQ(to_string(AnomalyType::kPfcBackpressure), "PfcBackpressure");
+  EXPECT_STREQ(to_string(AnomalyType::kPfcStorm), "PfcStorm");
+  EXPECT_STREQ(to_string(AnomalyType::kPfcDeadlock), "PfcDeadlock");
+  EXPECT_STREQ(to_string(AnomalyType::kRoutingLoop), "RoutingLoop");
+}
+
+}  // namespace
+}  // namespace vedr::core

@@ -1,0 +1,259 @@
+// Exact-formula tests for the provenance graph weights (§III-D1) and the
+// contribution equations (1)-(2) (§III-D3), on hand-built reports.
+#include "core/provenance_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace vedr::core {
+namespace {
+
+using telemetry::FlowEntry;
+using telemetry::MeterEntry;
+using telemetry::PauseCauseReport;
+using telemetry::PortReport;
+using telemetry::SwitchReport;
+using telemetry::WaitEntry;
+
+FlowKey fk(int i) { return FlowKey{i, 50, static_cast<std::uint16_t>(i), 1}; }
+
+/// Chain topology so peer() resolution works: h0 - s0 - s1 - h1.
+net::Topology chain_topo() { return net::make_chain(2, net::NetConfig{}); }
+
+PortReport port_report(PortRef p, std::int64_t qdepth_pkts) {
+  PortReport r;
+  r.port = p;
+  r.poll_time = 1000;
+  r.qdepth_pkts = qdepth_pkts;
+  r.qdepth_bytes = qdepth_pkts * 4096;
+  return r;
+}
+
+TEST(Provenance, FlowPortWeightSumsPairWeights) {
+  net::Topology topo = chain_topo();
+  ProvenanceGraph g(&topo);
+  SwitchReport rep;
+  rep.switch_id = 2;
+  PortReport pr = port_report(PortRef{2, 1}, 10);
+  pr.waits.push_back(WaitEntry{fk(1), fk(2), 30});
+  pr.waits.push_back(WaitEntry{fk(1), fk(3), 12});
+  pr.flows.push_back(FlowEntry{fk(1), 5, 5 * 4096, 0, 1000});
+  rep.ports.push_back(pr);
+  g.add_report(rep);
+  g.finalize();
+
+  EXPECT_DOUBLE_EQ(g.flow_port_weight(fk(1), PortRef{2, 1}), 42.0);
+  EXPECT_DOUBLE_EQ(g.pair_weight(PortRef{2, 1}, fk(1), fk(2)), 30.0);
+  EXPECT_DOUBLE_EQ(g.pair_weight(PortRef{2, 1}, fk(1), fk(9)), 0.0);
+  EXPECT_DOUBLE_EQ(g.flow_port_weight(fk(9), PortRef{2, 1}), 0.0);
+}
+
+TEST(Provenance, PortFlowWeightIsShareTimesDepth) {
+  net::Topology topo = chain_topo();
+  ProvenanceGraph g(&topo);
+  SwitchReport rep;
+  PortReport pr = port_report(PortRef{2, 1}, 12);
+  pr.flows.push_back(FlowEntry{fk(1), 30, 0, 0, 1000});
+  pr.flows.push_back(FlowEntry{fk(2), 10, 0, 0, 1000});
+  rep.ports.push_back(pr);
+  g.add_report(rep);
+  g.finalize();
+
+  // w(p, f1) = 30/40 * 12 = 9; w(p, f2) = 10/40 * 12 = 3.
+  EXPECT_DOUBLE_EQ(g.port_flow_weight(PortRef{2, 1}, fk(1)), 9.0);
+  EXPECT_DOUBLE_EQ(g.port_flow_weight(PortRef{2, 1}, fk(2)), 3.0);
+}
+
+TEST(Provenance, MergedReportsKeepMaxima) {
+  net::Topology topo = chain_topo();
+  ProvenanceGraph g(&topo);
+  SwitchReport early;
+  PortReport pe = port_report(PortRef{2, 1}, 20);
+  pe.currently_paused = true;
+  pe.flows.push_back(FlowEntry{fk(1), 8, 0, 0, 500});
+  early.ports.push_back(pe);
+  g.add_report(early);
+
+  SwitchReport late;
+  PortReport pl = port_report(PortRef{2, 1}, 0);  // drained by now
+  pl.poll_time = 2000;
+  pl.flows.push_back(FlowEntry{fk(1), 12, 0, 0, 1500});
+  late.ports.push_back(pl);
+  g.add_report(late);
+  g.finalize();
+
+  EXPECT_EQ(g.qdepth_pkts(PortRef{2, 1}), 20);            // max survives
+  EXPECT_TRUE(g.port_paused_recently(PortRef{2, 1}));     // pause evidence survives
+  // Flow counters are cumulative: the larger count wins.
+  EXPECT_DOUBLE_EQ(g.port_flow_weight(PortRef{2, 1}, fk(1)), 20.0);
+}
+
+/// Builds the paper's Eq. (1) example: flow f waits at upstream port p1
+/// which is PFC-halted by downstream port p2.
+struct PfcFixture {
+  net::Topology topo = chain_topo();  // h0=0, h1=1, s0=2, s1=3
+  ProvenanceGraph g{&topo};
+  // s0's egress toward s1 is port... chain links: h0-s0 (s0 port 0),
+  // h1-s1 (s1 port 0), s0-s1 (s0 port 1, s1 port 1).
+  PortRef p1{2, 1};  // upstream egress (s0 -> s1)
+  PortRef p2{3, 0};  // downstream congested egress (s1 -> h1)
+
+  void build(double qdepth_p1 = 10, double qdepth_p2 = 40) {
+    SwitchReport rep1;
+    PortReport pr1 = port_report(p1, static_cast<std::int64_t>(qdepth_p1));
+    pr1.flows.push_back(FlowEntry{fk(1), 10, 0, 0, 1000});
+    pr1.pauses.push_back(telemetry::PauseEvent{100, 900});
+    rep1.ports.push_back(pr1);
+    g.add_report(rep1);
+
+    SwitchReport rep2;
+    rep2.switch_id = 3;
+    PortReport pr2 = port_report(p2, static_cast<std::int64_t>(qdepth_p2));
+    pr2.flows.push_back(FlowEntry{fk(1), 10, 0, 0, 1000});
+    pr2.flows.push_back(FlowEntry{fk(2), 30, 0, 0, 1000});
+    // Meters: traffic into p2 arrived via s1's port 1 (from s0).
+    pr2.meters.push_back(MeterEntry{1, 800});
+    rep2.ports.push_back(pr2);
+    // The pause cause: s1 paused its ingress port 1; blame egress 0.
+    PauseCauseReport cause;
+    cause.ingress_port = PortRef{3, 1};
+    cause.time = 100;
+    cause.contributions.emplace_back(0, 123456);
+    rep2.causes.push_back(cause);
+    g.add_report(rep2);
+    g.finalize();
+  }
+};
+
+TEST(Provenance, PfcEdgeFromPauseCause) {
+  PfcFixture f;
+  f.build();
+  const auto downs = f.g.pfc_downstream(f.p1);
+  ASSERT_EQ(downs.size(), 1u);
+  EXPECT_EQ(downs[0], f.p2);
+  // All of p2's metered traffic came via the paused ingress: weight 1.
+  EXPECT_DOUBLE_EQ(f.g.port_port_weight(f.p1, f.p2), 1.0);
+  EXPECT_EQ(f.g.port_port_contribution(f.p1, f.p2), 123456);
+}
+
+TEST(Provenance, EquationOneRecursion) {
+  PfcFixture f;
+  f.build();
+  // R(f1, p2) = w(p2, f1) = 10/40 * 40 = 10.
+  EXPECT_DOUBLE_EQ(f.g.contribution_to_port(fk(1), f.p2), 10.0);
+  // R(f1, p1) = w(p1, f1) + R(f1, p2) * w(p1, p2) = 10 + 10*1 = 20.
+  EXPECT_DOUBLE_EQ(f.g.contribution_to_port(fk(1), f.p1), 20.0);
+  // f2 only appears at p2: R(f2, p1) = 0 + 30 * 1 = 30.
+  EXPECT_DOUBLE_EQ(f.g.contribution_to_port(fk(2), f.p1), 30.0);
+}
+
+TEST(Provenance, EquationTwoWithContentionCorrection) {
+  PfcFixture f;
+  f.build();
+  // Make cf wait at p1 behind f2 directly: w(cf, f2) = 25 at p1.
+  const FlowKey cf = fk(7);
+  SwitchReport rep;
+  PortReport pr = port_report(f.p1, 10);
+  pr.poll_time = 3000;
+  pr.waits.push_back(WaitEntry{cf, fk(2), 25});
+  pr.flows.push_back(FlowEntry{cf, 10, 0, 0, 2500});
+  pr.flows.push_back(FlowEntry{fk(2), 10, 0, 0, 2500});
+  rep.ports.push_back(pr);
+  f.g.add_report(rep);
+  f.g.finalize();
+
+  // P_cf = {p1}. e(f2, p1) does not exist (f2 recorded no waits at p1), so
+  // the indicator term is 0 and R(f2, cf) = R(f2, p1).
+  const double r_no_contend = f.g.contribution_to_flow(fk(2), cf);
+  EXPECT_DOUBLE_EQ(r_no_contend, f.g.contribution_to_port(fk(2), f.p1));
+
+  // Now record f2 waiting at p1 too: the indicator fires and the correction
+  // (w(cf,f2) - w(p1,f2)) is added.
+  SwitchReport rep2;
+  PortReport pr2 = port_report(f.p1, 10);
+  pr2.poll_time = 4000;
+  pr2.waits.push_back(WaitEntry{fk(2), cf, 5});
+  rep2.ports.push_back(pr2);
+  f.g.add_report(rep2);
+  f.g.finalize();
+
+  const double w_cf_f2 = f.g.pair_weight(f.p1, cf, fk(2));
+  const double w_p1_f2 = f.g.port_flow_weight(f.p1, fk(2));
+  const double expected = (w_cf_f2 - w_p1_f2) + f.g.contribution_to_port(fk(2), f.p1);
+  EXPECT_DOUBLE_EQ(f.g.contribution_to_flow(fk(2), cf), expected);
+}
+
+TEST(Provenance, StormSourceFromInjectedCause) {
+  net::Topology topo = chain_topo();
+  ProvenanceGraph g(&topo);
+  SwitchReport rep;
+  rep.switch_id = 3;
+  PauseCauseReport cause;
+  cause.ingress_port = PortRef{3, 1};
+  cause.time = 500;
+  cause.injected = true;
+  rep.causes.push_back(cause);
+  g.add_report(rep);
+  g.finalize();
+  ASSERT_EQ(g.storm_sources().size(), 1u);
+  EXPECT_EQ(g.storm_sources()[0], (PortRef{3, 1}));
+  EXPECT_TRUE(g.pfc_edges().empty());  // injected causes create no edges
+}
+
+TEST(Provenance, CycleGuardTerminates) {
+  // Two switches pausing each other (deadlock-shaped): contribution must
+  // not recurse forever.
+  net::Topology topo = chain_topo();
+  ProvenanceGraph g(&topo);
+
+  SwitchReport rep1;
+  rep1.switch_id = 2;
+  PortReport pr1 = port_report(PortRef{2, 1}, 10);
+  pr1.flows.push_back(FlowEntry{fk(1), 10, 0, 0, 1000});
+  rep1.ports.push_back(pr1);
+  PauseCauseReport c1;
+  c1.ingress_port = PortRef{2, 1};  // pauses s1's egress (3,1)
+  c1.time = 100;
+  c1.contributions.emplace_back(1, 100);
+  rep1.causes.push_back(c1);
+  g.add_report(rep1);
+
+  SwitchReport rep2;
+  rep2.switch_id = 3;
+  PortReport pr2 = port_report(PortRef{3, 1}, 10);
+  pr2.flows.push_back(FlowEntry{fk(1), 10, 0, 0, 1000});
+  rep2.ports.push_back(pr2);
+  PauseCauseReport c2;
+  c2.ingress_port = PortRef{3, 1};  // pauses s0's egress (2,1)
+  c2.time = 100;
+  c2.contributions.emplace_back(1, 100);
+  rep2.causes.push_back(c2);
+  g.add_report(rep2);
+  g.finalize();
+
+  // (2,1) -> (3,1) -> (2,1) is a cycle; the guard caps the recursion.
+  const double r = g.contribution_to_port(fk(1), PortRef{2, 1});
+  EXPECT_GE(r, 0.0);
+  EXPECT_LT(r, 1e9);
+}
+
+TEST(Provenance, FlowsAndPortsEnumeration) {
+  PfcFixture f;
+  f.build();
+  EXPECT_EQ(f.g.ports().size(), 2u);
+  const auto flows = f.g.flows();
+  EXPECT_GE(flows.size(), 2u);
+  EXPECT_FALSE(f.g.empty());
+  EXPECT_EQ(f.g.report_count(), 2u);
+}
+
+TEST(Provenance, HostFacingDetection) {
+  PfcFixture f;
+  f.build();
+  EXPECT_TRUE(f.g.host_facing(f.p2));    // s1 port 0 -> h1
+  EXPECT_FALSE(f.g.host_facing(f.p1));   // s0 port 1 -> s1
+}
+
+}  // namespace
+}  // namespace vedr::core

@@ -1,0 +1,170 @@
+#include "core/waiting_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace vedr::core {
+namespace {
+
+using collective::StepRecord;
+
+/// Builds a step record with explicit timings.
+StepRecord rec(int flow, int step, Tick start, Tick end, int dep_flow = -1,
+               Tick dep_ready = sim::kNever, Tick prev_done = sim::kNever) {
+  StepRecord r;
+  r.flow_index = flow;
+  r.step = step;
+  r.src = flow;
+  r.dst = flow + 1;
+  r.bytes = 1000;
+  r.start_time = start;
+  r.end_time = end;
+  r.dep_flow = dep_flow;
+  r.dep_step = dep_flow >= 0 ? step - 1 : -1;
+  r.dep_ready_time = dep_ready;
+  r.prev_done_time = prev_done;
+  r.expected_duration = (end - start) / 2;
+  r.key = net::FlowKey{flow, flow + 1, static_cast<std::uint16_t>(9000 + flow),
+                       static_cast<std::uint16_t>(1000 + step)};
+  return r;
+}
+
+TEST(WaitingGraph, EdgeTypesAndWeights) {
+  // Two flows, two steps; flow 1 step 1 depends on flow 0 step 0.
+  std::vector<StepRecord> records{
+      rec(0, 0, 0, 100),
+      rec(1, 0, 0, 120),
+      rec(1, 1, 120, 250, /*dep_flow=*/0, /*dep_ready=*/110, /*prev_done=*/120),
+  };
+  const auto g = WaitingGraph::build(records);
+  EXPECT_EQ(g.num_vertices(), 6u);
+
+  int exec = 0, prev = 0, dep = 0;
+  for (const auto& e : g.edges()) {
+    switch (e.type) {
+      case WgEdgeType::kExecution:
+        ++exec;
+        EXPECT_GT(e.weight, 0);
+        break;
+      case WgEdgeType::kPrevStep:
+        ++prev;
+        EXPECT_EQ(e.weight, 0);
+        break;
+      case WgEdgeType::kDataDep:
+        ++dep;
+        EXPECT_EQ(e.weight, 0);
+        break;
+    }
+  }
+  EXPECT_EQ(exec, 3);
+  EXPECT_EQ(prev, 1);
+  EXPECT_EQ(dep, 1);
+}
+
+TEST(WaitingGraph, CriticalPathFollowsBindingDependency) {
+  // flow1 step1 started at 120 because its own previous step ended at 120
+  // (dep was ready at 110): the binding predecessor is the previous step.
+  std::vector<StepRecord> records{
+      rec(0, 0, 0, 100),
+      rec(1, 0, 0, 120),
+      rec(1, 1, 120, 250, 0, /*dep_ready=*/110, /*prev_done=*/120),
+  };
+  const auto g = WaitingGraph::build(records);
+  const auto path = g.critical_path();
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], (std::pair<int, int>{1, 0}));
+  EXPECT_EQ(path[1], (std::pair<int, int>{1, 1}));
+}
+
+TEST(WaitingGraph, CriticalPathFollowsDataDependency) {
+  // Same shape, but now the data dependency was the binding gate.
+  std::vector<StepRecord> records{
+      rec(0, 0, 0, 140),
+      rec(1, 0, 0, 90),
+      rec(1, 1, 150, 260, 0, /*dep_ready=*/150, /*prev_done=*/90),
+  };
+  const auto g = WaitingGraph::build(records);
+  const auto path = g.critical_path();
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(path[1], (std::pair<int, int>{1, 1}));
+}
+
+TEST(WaitingGraph, CriticalFlowOfStep) {
+  std::vector<StepRecord> records{
+      rec(0, 0, 0, 140),
+      rec(1, 0, 0, 90),
+      rec(1, 1, 150, 260, 0, 150, 90),
+  };
+  const auto g = WaitingGraph::build(records);
+  EXPECT_EQ(g.critical_flow_of_step(0), 0);
+  EXPECT_EQ(g.critical_flow_of_step(1), 1);
+  EXPECT_EQ(g.critical_flow_of_step(7), -1);
+}
+
+TEST(WaitingGraph, TotalTime) {
+  std::vector<StepRecord> records{rec(0, 0, 50, 100), rec(1, 0, 0, 300)};
+  const auto g = WaitingGraph::build(records);
+  EXPECT_EQ(g.total_time(), 300);
+}
+
+TEST(WaitingGraph, PruneKeepsHistoryReachableFromFinalEnds) {
+  // Final-step ends are the graph's sources (§III-B) and are never pruned;
+  // the dependency history they reach survives.
+  std::vector<StepRecord> records{
+      rec(0, 0, 0, 100),
+      rec(1, 0, 0, 120),
+      rec(1, 1, 120, 250, 0, 110, 120),
+  };
+  const auto g = WaitingGraph::build(records);
+  const auto kept = g.pruned_vertices();
+  // Everything here feeds a final end: nothing is pruned.
+  EXPECT_EQ(kept.size(), g.num_vertices());
+}
+
+TEST(WaitingGraph, PruneDropsVerticesNoSourceReaches) {
+  // Flow 2's step 1 record is missing (incomplete collection): its step 0
+  // is unreachable from the flow's final end and gets pruned.
+  std::vector<StepRecord> records{
+      rec(2, 0, 0, 100),
+      rec(2, 2, 300, 400, -1, sim::kNever, sim::kNever),  // step 1 lost
+  };
+  const auto g = WaitingGraph::build(records);
+  const auto kept = g.pruned_vertices();
+  EXPECT_EQ(kept.size(), 2u);  // only F2S2 end/start survive
+  for (const auto& v : kept) EXPECT_EQ(v.step, 2);
+}
+
+TEST(WaitingGraph, EmptyGraph) {
+  const auto g = WaitingGraph::build({});
+  EXPECT_TRUE(g.empty());
+  EXPECT_TRUE(g.critical_path().empty());
+  EXPECT_EQ(g.total_time(), 0);
+}
+
+TEST(WaitingGraph, IncompleteRecordsTolerated) {
+  std::vector<StepRecord> records{rec(0, 0, 0, 100)};
+  records.push_back(rec(0, 1, 100, sim::kNever, -1, sim::kNever, 100));  // in flight
+  const auto g = WaitingGraph::build(records);
+  EXPECT_FALSE(g.critical_path().empty());
+}
+
+TEST(WaitingGraph, DotOutputMentionsVertices) {
+  std::vector<StepRecord> records{rec(0, 0, 0, 100), rec(1, 0, 0, 90)};
+  const auto g = WaitingGraph::build(records);
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("F0S0"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(WaitingGraph, LongChainCriticalPath) {
+  // A 5-step single-flow chain: the critical path is the whole chain.
+  std::vector<StepRecord> records;
+  for (int s = 0; s < 5; ++s)
+    records.push_back(rec(0, s, s * 100, (s + 1) * 100, -1, sim::kNever,
+                          s > 0 ? s * 100 : sim::kNever));
+  const auto g = WaitingGraph::build(records);
+  EXPECT_EQ(g.critical_path().size(), 5u);
+}
+
+}  // namespace
+}  // namespace vedr::core

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/scenario.h"
+#include "net/routing.h"
+
+namespace vedr::eval {
+namespace {
+
+struct Fixture {
+  net::Topology topo = net::make_fat_tree(4, net::NetConfig{});
+  net::RoutingTable routing = net::RoutingTable::shortest_paths(topo);
+  ScenarioParams params;
+
+  Fixture() { params.scale = 1.0 / 64.0; }
+
+  ScenarioSpec make(ScenarioType t, int id) { return make_scenario(t, id, topo, routing, params); }
+};
+
+TEST(Scenario, DeterministicForSameCaseId) {
+  Fixture f;
+  const auto a = f.make(ScenarioType::kFlowContention, 5);
+  const auto b = f.make(ScenarioType::kFlowContention, 5);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.participants, b.participants);
+  ASSERT_EQ(a.bg_flows.size(), b.bg_flows.size());
+  for (std::size_t i = 0; i < a.bg_flows.size(); ++i) {
+    EXPECT_EQ(a.bg_flows[i].key, b.bg_flows[i].key);
+    EXPECT_EQ(a.bg_flows[i].bytes, b.bg_flows[i].bytes);
+    EXPECT_EQ(a.bg_flows[i].start, b.bg_flows[i].start);
+  }
+}
+
+TEST(Scenario, DistinctCasesDiffer) {
+  Fixture f;
+  const auto a = f.make(ScenarioType::kFlowContention, 0);
+  const auto b = f.make(ScenarioType::kFlowContention, 1);
+  EXPECT_NE(a.seed, b.seed);
+}
+
+TEST(Scenario, ContentionRespectsPaperDistributions) {
+  Fixture f;
+  for (int id = 0; id < 20; ++id) {
+    const auto s = f.make(ScenarioType::kFlowContention, id);
+    EXPECT_EQ(s.participants.size(), 8u);
+    EXPECT_GE(s.bg_flows.size(), 1u);
+    EXPECT_LE(s.bg_flows.size(), 6u);
+    for (const auto& flow : s.bg_flows) {
+      EXPECT_GE(flow.bytes, 65536);
+      EXPECT_LE(flow.bytes,
+                static_cast<std::int64_t>(1000LL * 1000 * 1000 * f.params.scale) + 1);
+      EXPECT_GE(flow.start, 0);
+      // Sources are never collective participants (intra-host contention is
+      // out of scope).
+      for (net::NodeId p : s.participants) EXPECT_NE(flow.key.src, p);
+    }
+  }
+}
+
+TEST(Scenario, IncastTargetsOneNodeSimultaneously) {
+  Fixture f;
+  for (int id = 0; id < 10; ++id) {
+    const auto s = f.make(ScenarioType::kIncast, id);
+    ASSERT_GE(s.bg_flows.size(), 3u);
+    EXPECT_LE(s.bg_flows.size(), 8u);
+    const net::NodeId victim = s.bg_flows[0].key.dst;
+    const Tick start = s.bg_flows[0].start;
+    for (const auto& flow : s.bg_flows) {
+      EXPECT_EQ(flow.key.dst, victim);
+      EXPECT_EQ(flow.start, start);
+    }
+  }
+}
+
+TEST(Scenario, StormOnSwitchToSwitchLink) {
+  Fixture f;
+  for (int id = 0; id < 10; ++id) {
+    const auto s = f.make(ScenarioType::kPfcStorm, id);
+    ASSERT_EQ(s.storms.size(), 1u);
+    const auto& storm = s.storms[0];
+    EXPECT_FALSE(f.topo.is_host(storm.port.node));
+    const auto peer = f.topo.peer(storm.port.node, storm.port.port);
+    EXPECT_FALSE(f.topo.is_host(peer.node)) << "storm must halt a switch, not a host NIC";
+    EXPECT_GT(storm.duration, 0);
+    EXPECT_EQ(s.expected_root, storm.port);
+  }
+}
+
+TEST(Scenario, BackpressureVictimOffCollective) {
+  Fixture f;
+  for (int id = 0; id < 10; ++id) {
+    const auto s = f.make(ScenarioType::kPfcBackpressure, id);
+    ASSERT_GE(s.bg_flows.size(), 4u);
+    const net::NodeId victim = s.bg_flows[0].key.dst;
+    for (net::NodeId p : s.participants) EXPECT_NE(victim, p);
+    // Expected root is the victim's access port on its edge switch.
+    EXPECT_EQ(s.expected_root, f.topo.peer(victim, 0));
+  }
+}
+
+TEST(Scenario, PaperCaseCounts) {
+  EXPECT_EQ(paper_case_count(ScenarioType::kFlowContention), 60);
+  EXPECT_EQ(paper_case_count(ScenarioType::kIncast), 60);
+  EXPECT_EQ(paper_case_count(ScenarioType::kPfcStorm), 40);
+  EXPECT_EQ(paper_case_count(ScenarioType::kPfcBackpressure), 60);
+}
+
+// --- scoring truth table ---------------------------------------------------
+
+core::Diagnosis diag_detecting(std::vector<net::FlowKey> flows) {
+  core::Diagnosis d;
+  core::AnomalyFinding f;
+  f.type = core::AnomalyType::kFlowContention;
+  f.contending_flows = std::move(flows);
+  d.findings.push_back(f);
+  return d;
+}
+
+ScenarioSpec contention_spec(std::vector<net::FlowKey> injected) {
+  ScenarioSpec s;
+  s.type = ScenarioType::kFlowContention;
+  for (const auto& k : injected) s.bg_flows.push_back({k, 1000, 0});
+  return s;
+}
+
+TEST(Metrics, AllDetectedIsTp) {
+  const auto k1 = anomaly::background_key(0, 1, 2);
+  const auto k2 = anomaly::background_key(1, 3, 4);
+  const auto o = score_case(contention_spec({k1, k2}), diag_detecting({k1, k2}));
+  EXPECT_TRUE(o.tp);
+  EXPECT_STREQ(o.label(), "TP");
+}
+
+TEST(Metrics, PartialDetectionIsFp) {
+  const auto k1 = anomaly::background_key(0, 1, 2);
+  const auto k2 = anomaly::background_key(1, 3, 4);
+  const auto o = score_case(contention_spec({k1, k2}), diag_detecting({k1}));
+  EXPECT_TRUE(o.fp);
+}
+
+TEST(Metrics, NoneDetectedIsFn) {
+  const auto k1 = anomaly::background_key(0, 1, 2);
+  const auto o = score_case(contention_spec({k1}), diag_detecting({}));
+  EXPECT_TRUE(o.fn);
+}
+
+TEST(Metrics, VerifiedSubsetRestrictsRequirement) {
+  const auto k1 = anomaly::background_key(0, 1, 2);
+  const auto k2 = anomaly::background_key(1, 3, 4);
+  const std::vector<net::FlowKey> verified{k1};  // k2 never actually collided
+  const auto o = score_case(contention_spec({k1, k2}), diag_detecting({k1}), &verified);
+  EXPECT_TRUE(o.tp);
+}
+
+TEST(Metrics, EmptyVerifiedSilenceIsTp) {
+  const auto k1 = anomaly::background_key(0, 1, 2);
+  const std::vector<net::FlowKey> verified{};
+  const auto o = score_case(contention_spec({k1}), diag_detecting({}), &verified);
+  EXPECT_TRUE(o.tp);
+}
+
+TEST(Metrics, PfcTracedToRootIsTp) {
+  ScenarioSpec s;
+  s.type = ScenarioType::kPfcStorm;
+  s.expected_root = net::PortRef{20, 1};
+  core::Diagnosis d;
+  core::AnomalyFinding f;
+  f.type = core::AnomalyType::kPfcStorm;
+  f.root_port = net::PortRef{20, 1};
+  d.findings.push_back(f);
+  EXPECT_TRUE(score_case(s, d).tp);
+}
+
+TEST(Metrics, PfcChainContainingRootIsTp) {
+  ScenarioSpec s;
+  s.type = ScenarioType::kPfcBackpressure;
+  s.expected_root = net::PortRef{20, 1};
+  core::Diagnosis d;
+  core::AnomalyFinding f;
+  f.type = core::AnomalyType::kPfcBackpressure;
+  f.root_port = net::PortRef{21, 0};
+  f.pfc_chain = {net::PortRef{22, 3}, net::PortRef{20, 1}, net::PortRef{21, 0}};
+  d.findings.push_back(f);
+  EXPECT_TRUE(score_case(s, d).tp);
+}
+
+TEST(Metrics, PfcPresenceWithoutRootIsFp) {
+  ScenarioSpec s;
+  s.type = ScenarioType::kPfcStorm;
+  s.expected_root = net::PortRef{20, 1};
+  core::Diagnosis d;
+  core::AnomalyFinding f;
+  f.type = core::AnomalyType::kPfcBackpressure;
+  f.root_port = net::PortRef{25, 0};
+  d.findings.push_back(f);
+  EXPECT_TRUE(score_case(s, d).fp);
+}
+
+TEST(Metrics, UnimpactedPfcIsVacuousTp) {
+  ScenarioSpec s;
+  s.type = ScenarioType::kPfcStorm;
+  s.expected_root = net::PortRef{20, 1};
+  const bool impacted = false;
+  // Even with unrelated findings (or none), a storm that never met the
+  // collective scores vacuously.
+  EXPECT_TRUE(score_case(s, core::Diagnosis{}, nullptr, &impacted).tp);
+  core::Diagnosis d;
+  core::AnomalyFinding f;
+  f.type = core::AnomalyType::kPfcBackpressure;
+  f.root_port = net::PortRef{25, 0};
+  d.findings.push_back(f);
+  EXPECT_TRUE(score_case(s, d, nullptr, &impacted).tp);
+}
+
+TEST(Metrics, ImpactedPfcStillScoredStrictly) {
+  ScenarioSpec s;
+  s.type = ScenarioType::kPfcStorm;
+  s.expected_root = net::PortRef{20, 1};
+  const bool impacted = true;
+  EXPECT_TRUE(score_case(s, core::Diagnosis{}, nullptr, &impacted).fn);
+}
+
+TEST(Metrics, PfcSilenceIsFn) {
+  ScenarioSpec s;
+  s.type = ScenarioType::kPfcStorm;
+  s.expected_root = net::PortRef{20, 1};
+  EXPECT_TRUE(score_case(s, core::Diagnosis{}).fn);
+}
+
+TEST(Metrics, ContentionFindingsDoNotSatisfyPfcScenarios) {
+  ScenarioSpec s;
+  s.type = ScenarioType::kPfcStorm;
+  s.expected_root = net::PortRef{20, 1};
+  const auto d = diag_detecting({anomaly::background_key(0, 1, 2)});
+  EXPECT_TRUE(score_case(s, d).fn);
+}
+
+TEST(Metrics, PrecisionRecallMath) {
+  PrecisionRecall pr;
+  CaseOutcome tp, fp, fn;
+  tp.tp = fp.fp = fn.fn = true;
+  pr.add(tp);
+  pr.add(tp);
+  pr.add(fp);
+  pr.add(fn);
+  EXPECT_DOUBLE_EQ(pr.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(pr.recall(), 2.0 / 3.0);
+  EXPECT_EQ(pr.total(), 4);
+}
+
+TEST(Metrics, EmptyPrecisionRecallIsZero) {
+  PrecisionRecall pr;
+  EXPECT_EQ(pr.precision(), 0.0);
+  EXPECT_EQ(pr.recall(), 0.0);
+}
+
+}  // namespace
+}  // namespace vedr::eval

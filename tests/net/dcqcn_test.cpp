@@ -1,0 +1,115 @@
+#include "net/dcqcn.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace vedr::net {
+namespace {
+
+DcqcnParams params() {
+  DcqcnParams p;
+  p.line_rate_gbps = 100.0;
+  return p;
+}
+
+TEST(Dcqcn, StartsAtLineRate) {
+  sim::Simulator sim;
+  DcqcnFlow f(sim, params());
+  EXPECT_DOUBLE_EQ(f.rate_gbps(), 100.0);
+  EXPECT_TRUE(f.at_line_rate());
+}
+
+TEST(Dcqcn, FirstCnpCutsAboutHalf) {
+  sim::Simulator sim;
+  DcqcnFlow f(sim, params());
+  f.on_cnp();
+  // alpha starts at 1 -> after update alpha ~ 1, cut by alpha/2 ~ 0.5.
+  EXPECT_LT(f.rate_gbps(), 60.0);
+  EXPECT_GT(f.rate_gbps(), 40.0);
+}
+
+TEST(Dcqcn, RepeatedCnpsApproachMinRate) {
+  sim::Simulator sim;
+  DcqcnFlow f(sim, params());
+  for (int i = 0; i < 40; ++i) f.on_cnp();
+  EXPECT_LE(f.rate_gbps(), 2.0);
+  EXPECT_GE(f.rate_gbps(), params().min_rate_gbps);
+}
+
+TEST(Dcqcn, RecoversToLineRateAfterQuiet) {
+  sim::Simulator sim;
+  DcqcnFlow f(sim, params());
+  f.on_cnp();
+  f.on_cnp();
+  ASSERT_LT(f.rate_gbps(), 100.0);
+  // No further CNPs: timers drive fast recovery then additive increase.
+  sim.run(sim.now() + 50 * sim::kMillisecond);
+  EXPECT_TRUE(f.at_line_rate());
+}
+
+TEST(Dcqcn, FastRecoveryHalvesTowardTarget) {
+  sim::Simulator sim;
+  DcqcnFlow f(sim, params());
+  f.on_cnp();
+  const double after_cut = f.rate_gbps();
+  // One increase-timer period: rate = (rate + target)/2, target was pre-cut rate.
+  sim.run(sim.now() + 60 * sim::kMicrosecond);
+  EXPECT_GT(f.rate_gbps(), after_cut);
+}
+
+TEST(Dcqcn, AlphaDecaysWithoutCnp) {
+  sim::Simulator sim;
+  DcqcnFlow f(sim, params());
+  f.on_cnp();
+  const double a0 = f.alpha();
+  sim.run(sim.now() + 10 * 55 * sim::kMicrosecond);
+  EXPECT_LT(f.alpha(), a0);
+}
+
+TEST(Dcqcn, LaterCnpsCutLessWhenAlphaDecayed) {
+  sim::Simulator sim;
+  DcqcnFlow f(sim, params());
+  f.on_cnp();
+  sim.run(sim.now() + 30 * sim::kMillisecond);  // recover + decay alpha
+  ASSERT_TRUE(f.at_line_rate());
+  f.on_cnp();
+  // Decayed alpha means a gentler cut than the initial ~50%.
+  EXPECT_GT(f.rate_gbps(), 60.0);
+}
+
+TEST(Dcqcn, ByteCounterTriggersIncrease) {
+  sim::Simulator sim;
+  DcqcnParams p = params();
+  p.byte_counter = 1024 * 1024;
+  DcqcnFlow f(sim, p);
+  f.on_cnp();
+  const double cut = f.rate_gbps();
+  f.on_bytes_sent(2 * 1024 * 1024);  // crosses the byte counter
+  EXPECT_GT(f.rate_gbps(), cut);
+}
+
+TEST(Dcqcn, DeactivateFreezesState) {
+  sim::Simulator sim;
+  DcqcnFlow f(sim, params());
+  f.on_cnp();
+  f.deactivate();
+  const double r = f.rate_gbps();
+  f.on_cnp();
+  EXPECT_DOUBLE_EQ(f.rate_gbps(), r);
+  sim.run(sim.now() + 10 * sim::kMillisecond);
+  EXPECT_DOUBLE_EQ(f.rate_gbps(), r);
+}
+
+TEST(Dcqcn, RateNeverExceedsLine) {
+  sim::Simulator sim;
+  DcqcnFlow f(sim, params());
+  f.on_cnp();
+  for (int i = 0; i < 100; ++i) {
+    sim.run(sim.now() + 55 * sim::kMicrosecond);
+    EXPECT_LE(f.rate_gbps(), 100.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vedr::net

@@ -1,0 +1,147 @@
+#include "net/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace vedr::net {
+namespace {
+
+NetConfig cfg() { return NetConfig{}; }
+
+TEST(Routing, AllHostPairsReachableOnFatTree) {
+  const Topology t = make_fat_tree(4, cfg());
+  const RoutingTable rt = RoutingTable::shortest_paths(t);
+  for (NodeId src : t.hosts()) {
+    for (NodeId dst : t.hosts()) {
+      if (src == dst) continue;
+      const FlowKey f{src, dst, 1, 2};
+      const auto path = rt.path_of(t, f);
+      ASSERT_GE(path.size(), 2u);
+      EXPECT_EQ(path.front(), src);
+      EXPECT_EQ(path.back(), dst) << "unreachable " << f.str();
+    }
+  }
+}
+
+TEST(Routing, FatTreeHopCounts) {
+  const Topology t = make_fat_tree(4, cfg());
+  const RoutingTable rt = RoutingTable::shortest_paths(t);
+  // Same edge switch: host-edge-host = 2 links.
+  EXPECT_EQ(rt.hop_count(t, FlowKey{0, 1, 1, 1}), 2);
+  // Same pod, different edge: host-edge-agg-edge-host = 4 links.
+  EXPECT_EQ(rt.hop_count(t, FlowKey{0, 2, 1, 1}), 4);
+  // Cross pod: 6 links.
+  EXPECT_EQ(rt.hop_count(t, FlowKey{0, 15, 1, 1}), 6);
+}
+
+TEST(Routing, EcmpSelectionIsDeterministic) {
+  const Topology t = make_fat_tree(4, cfg());
+  const RoutingTable rt = RoutingTable::shortest_paths(t);
+  const FlowKey f{0, 15, 7, 8};
+  const NodeId edge = t.peer(0, 0).node;
+  const PortId first = rt.select(edge, f);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rt.select(edge, f), first);
+}
+
+TEST(Routing, EcmpSpreadsAcrossCandidates) {
+  const Topology t = make_fat_tree(4, cfg());
+  const RoutingTable rt = RoutingTable::shortest_paths(t);
+  const NodeId edge = t.peer(0, 0).node;
+  ASSERT_EQ(rt.candidates(edge, 15).size(), 2u);  // two aggs per pod
+  // Across many flow keys both uplinks should be used.
+  bool used[2] = {false, false};
+  const auto& cands = rt.candidates(edge, 15);
+  for (std::uint16_t sp = 0; sp < 64; ++sp) {
+    const PortId p = rt.select(edge, FlowKey{0, 15, sp, 9});
+    used[p == cands[0] ? 0 : 1] = true;
+  }
+  EXPECT_TRUE(used[0]);
+  EXPECT_TRUE(used[1]);
+}
+
+TEST(Routing, CandidatesNeverPointAtWrongHost) {
+  const Topology t = make_fat_tree(4, cfg());
+  const RoutingTable rt = RoutingTable::shortest_paths(t);
+  for (NodeId sw : t.switches()) {
+    for (NodeId dst : t.hosts()) {
+      for (PortId p : rt.candidates(sw, dst)) {
+        const PortRef peer = t.peer(sw, p);
+        if (t.is_host(peer.node)) {
+          EXPECT_EQ(peer.node, dst);
+        }
+      }
+    }
+  }
+}
+
+TEST(Routing, PathsGetStrictlyCloser) {
+  const Topology t = make_fat_tree(4, cfg());
+  const RoutingTable rt = RoutingTable::shortest_paths(t);
+  // A shortest-path route can never revisit a node.
+  for (NodeId src : {0, 3, 7}) {
+    for (NodeId dst : {12, 15}) {
+      const auto path = rt.path_of(t, FlowKey{src, dst, 3, 4});
+      std::set<NodeId> seen(path.begin(), path.end());
+      EXPECT_EQ(seen.size(), path.size());
+    }
+  }
+}
+
+TEST(Routing, OverrideRouteRedirects) {
+  const Topology t = make_chain(2, cfg());
+  RoutingTable rt = RoutingTable::shortest_paths(t);
+  const NodeId s0 = t.switches()[0];
+  const FlowKey f{0, 1, 1, 1};
+  const PortId orig = rt.select(s0, f);
+  // Redirect to a different port (the one back toward host 0).
+  PortId other = kInvalidPort;
+  for (std::size_t p = 0; p < t.node(s0).ports.size(); ++p)
+    if (static_cast<PortId>(p) != orig) other = static_cast<PortId>(p);
+  rt.override_route(s0, 1, {other});
+  EXPECT_EQ(rt.select(s0, f), other);
+}
+
+TEST(Routing, UnreachableThrows) {
+  Topology t;
+  t.add_host("a");
+  t.add_host("b");  // no links at all
+  const RoutingTable rt = RoutingTable::shortest_paths(t);
+  EXPECT_THROW(rt.candidates(0, 1), std::runtime_error);
+}
+
+TEST(Routing, PortPathMatchesNodePath) {
+  const Topology t = make_fat_tree(4, cfg());
+  const RoutingTable rt = RoutingTable::shortest_paths(t);
+  const FlowKey f{2, 13, 5, 6};
+  const auto nodes = rt.path_of(t, f);
+  const auto ports = rt.port_path_of(t, f);
+  ASSERT_EQ(ports.size(), nodes.size() - 1);
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    EXPECT_EQ(ports[i].node, nodes[i]);
+    EXPECT_EQ(t.peer(ports[i].node, ports[i].port).node, nodes[i + 1]);
+  }
+}
+
+// Property sweep: reachability holds across leaf-spine shapes.
+class LeafSpineReachability : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LeafSpineReachability, AllPairsRoute) {
+  const auto [leaves, spines, hosts_per_leaf] = GetParam();
+  const Topology t = make_leaf_spine(leaves, spines, hosts_per_leaf, cfg());
+  const RoutingTable rt = RoutingTable::shortest_paths(t);
+  for (NodeId src : t.hosts()) {
+    for (NodeId dst : t.hosts()) {
+      if (src == dst) continue;
+      const auto path = rt.path_of(t, FlowKey{src, dst, 9, 9});
+      EXPECT_EQ(path.back(), dst);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LeafSpineReachability,
+                         ::testing::Values(std::make_tuple(2, 1, 2), std::make_tuple(3, 2, 3),
+                                           std::make_tuple(4, 4, 2), std::make_tuple(6, 3, 4)));
+
+}  // namespace
+}  // namespace vedr::net

@@ -1,0 +1,117 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace vedr::net {
+namespace {
+
+NetConfig cfg() { return NetConfig{}; }
+
+TEST(Topology, FatTreeK4Shape) {
+  const Topology t = make_fat_tree(4, cfg());
+  // Paper setup: 20 switches (16 pod + 4 core) and 16 hosts.
+  EXPECT_EQ(t.num_hosts(), 16);
+  EXPECT_EQ(t.switches().size(), 20u);
+  EXPECT_EQ(t.size(), 36u);
+}
+
+TEST(Topology, FatTreeHostsComeFirst) {
+  const Topology t = make_fat_tree(4, cfg());
+  for (NodeId h = 0; h < 16; ++h) EXPECT_TRUE(t.is_host(h));
+  for (NodeId s = 16; s < 36; ++s) EXPECT_FALSE(t.is_host(s));
+}
+
+TEST(Topology, FatTreePortCounts) {
+  const Topology t = make_fat_tree(4, cfg());
+  for (NodeId h : t.hosts()) EXPECT_EQ(t.node(h).ports.size(), 1u);
+  for (NodeId s : t.switches()) {
+    // Edge/agg have k=4 ports; core have k=4 ports (one per pod).
+    EXPECT_EQ(t.node(s).ports.size(), 4u) << t.node(s).name;
+  }
+}
+
+TEST(Topology, FatTreeK6Shape) {
+  const Topology t = make_fat_tree(6, cfg());
+  EXPECT_EQ(t.num_hosts(), 54);       // k^3/4
+  EXPECT_EQ(t.switches().size(), 45u); // 6*6 pod + 9 core
+}
+
+TEST(Topology, FatTreeRejectsOddK) {
+  EXPECT_THROW(make_fat_tree(3, cfg()), std::invalid_argument);
+  EXPECT_THROW(make_fat_tree(0, cfg()), std::invalid_argument);
+}
+
+TEST(Topology, PeerSymmetry) {
+  const Topology t = make_fat_tree(4, cfg());
+  for (std::size_t n = 0; n < t.size(); ++n) {
+    const auto& node = t.node(static_cast<NodeId>(n));
+    for (std::size_t p = 0; p < node.ports.size(); ++p) {
+      const PortRef peer = t.peer(static_cast<NodeId>(n), static_cast<PortId>(p));
+      const PortRef back = t.peer(peer.node, peer.port);
+      EXPECT_EQ(back.node, static_cast<NodeId>(n));
+      EXPECT_EQ(back.port, static_cast<PortId>(p));
+    }
+  }
+}
+
+TEST(Topology, LinkParametersStored) {
+  Topology t;
+  const NodeId a = t.add_host("a");
+  const NodeId b = t.add_switch("b");
+  const auto [pa, pb] = t.link(a, b, 25.0, 3000);
+  EXPECT_EQ(t.port(a, pa).gbps, 25.0);
+  EXPECT_EQ(t.port(a, pa).delay, 3000);
+  EXPECT_EQ(t.port(b, pb).peer, a);
+}
+
+TEST(Topology, SelfLinkRejected) {
+  Topology t;
+  const NodeId a = t.add_switch("a");
+  EXPECT_THROW(t.link(a, a, 100.0, 1000), std::invalid_argument);
+}
+
+TEST(Topology, ChainShape) {
+  const Topology t = make_chain(3, cfg(), 2);
+  EXPECT_EQ(t.num_hosts(), 4);
+  EXPECT_EQ(t.switches().size(), 3u);
+}
+
+TEST(Topology, StarShape) {
+  const Topology t = make_star(5, cfg());
+  EXPECT_EQ(t.num_hosts(), 5);
+  ASSERT_EQ(t.switches().size(), 1u);
+  EXPECT_EQ(t.node(t.switches()[0]).ports.size(), 5u);
+}
+
+TEST(Topology, LeafSpineShape) {
+  const Topology t = make_leaf_spine(3, 2, 4, cfg());
+  EXPECT_EQ(t.num_hosts(), 12);
+  EXPECT_EQ(t.switches().size(), 5u);
+}
+
+TEST(FlowKey, EqualityAndHash) {
+  const FlowKey a{1, 2, 10, 20};
+  const FlowKey b{1, 2, 10, 20};
+  const FlowKey c{1, 2, 10, 21};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(FlowKey, Validity) {
+  EXPECT_FALSE(FlowKey{}.valid());
+  EXPECT_TRUE((FlowKey{0, 1, 5, 6}).valid());
+}
+
+TEST(PortRef, OrderingAndHash) {
+  const PortRef a{1, 2}, b{1, 3}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_NE(PortRefHash{}(a), PortRefHash{}(b));
+  EXPECT_FALSE(PortRef{}.valid());
+  EXPECT_TRUE(a.valid());
+}
+
+}  // namespace
+}  // namespace vedr::net

@@ -1,0 +1,117 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vedr::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickRunsInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) q.schedule(42, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kNever);
+  q.schedule(100, [] {});
+  q.schedule(50, [] {});
+  EXPECT_EQ(q.next_time(), 50);
+}
+
+TEST(EventQueue, RunNextReturnsEventTime) {
+  EventQueue q;
+  q.schedule(77, [] {});
+  EXPECT_EQ(q.run_next(), 77);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  const EventId id = q.schedule(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterRunReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(10, [] {});
+  q.run_next();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] { order.push_back(1); });
+  const EventId id = q.schedule(20, [&] { order.push_back(2); });
+  q.schedule(30, [&] { order.push_back(3); });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.run_next();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsScheduledDuringExecutionRun) {
+  EventQueue q;
+  int count = 0;
+  q.schedule(10, [&] {
+    ++count;
+    q.schedule(20, [&] { ++count; });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  Tick last = -1;
+  bool ordered = true;
+  for (int i = 0; i < 10000; ++i) {
+    const Tick t = (i * 7919) % 1000;  // pseudo-shuffled times
+    q.schedule(t, [&, t] {
+      if (t < last) ordered = false;
+      last = t;
+    });
+  }
+  while (!q.empty()) q.run_next();
+  EXPECT_TRUE(ordered);
+}
+
+}  // namespace
+}  // namespace vedr::sim

@@ -1,0 +1,178 @@
+#include "telemetry/recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace vedr::telemetry {
+namespace {
+
+FlowKey fk(int i) { return FlowKey{i, 100, static_cast<std::uint16_t>(i), 1}; }
+
+TEST(PortTelemetry, CountsFlows) {
+  PortTelemetry t;
+  t.on_enqueue(fk(1), 4096, 100);
+  t.on_enqueue(fk(1), 4096, 200);
+  t.on_enqueue(fk(2), 4096, 300);
+  const auto r = t.snapshot(PortRef{9, 0}, 400, 0);
+  ASSERT_EQ(r.flows.size(), 2u);
+  std::int64_t total = 0;
+  for (const auto& fe : r.flows) total += fe.pkts;
+  EXPECT_EQ(total, 3);
+  EXPECT_EQ(r.qdepth_pkts, 3);
+  EXPECT_EQ(r.qdepth_bytes, 3 * 4096);
+}
+
+TEST(PortTelemetry, QueueAheadMatrixExact) {
+  PortTelemetry t;
+  // f1 enqueues two packets, then f2 enqueues one: f2 waits behind 2 of f1.
+  t.on_enqueue(fk(1), 100, 1);
+  t.on_enqueue(fk(1), 100, 2);
+  t.on_enqueue(fk(2), 100, 3);
+  // f1 enqueues again behind f2's single packet.
+  t.on_enqueue(fk(1), 100, 4);
+  const auto r = t.snapshot(PortRef{9, 0}, 10, 0);
+
+  std::int64_t w_f2_f1 = 0, w_f1_f2 = 0;
+  for (const auto& we : r.waits) {
+    if (we.waiter == fk(2) && we.ahead == fk(1)) w_f2_f1 = we.weight;
+    if (we.waiter == fk(1) && we.ahead == fk(2)) w_f1_f2 = we.weight;
+  }
+  EXPECT_EQ(w_f2_f1, 2);
+  EXPECT_EQ(w_f1_f2, 1);
+}
+
+TEST(PortTelemetry, DequeueReducesDepthAndAheadCounts) {
+  PortTelemetry t;
+  t.on_enqueue(fk(1), 100, 1);
+  t.on_dequeue(fk(1), 100);
+  t.on_enqueue(fk(2), 100, 2);  // queue empty: no wait recorded
+  const auto r = t.snapshot(PortRef{9, 0}, 10, 0);
+  EXPECT_EQ(r.qdepth_pkts, 1);
+  EXPECT_TRUE(r.waits.empty());
+}
+
+TEST(PortTelemetry, WindowFiltersStaleFlows) {
+  PortTelemetry t;
+  t.on_enqueue(fk(1), 100, 1000);
+  t.on_enqueue(fk(2), 100, 9000);
+  const auto r = t.snapshot(PortRef{9, 0}, 10000, /*since=*/5000);
+  ASSERT_EQ(r.flows.size(), 1u);
+  EXPECT_EQ(r.flows[0].flow, fk(2));
+}
+
+TEST(PortTelemetry, WindowFiltersStaleWaits) {
+  PortTelemetry t;
+  t.on_enqueue(fk(1), 100, 1000);
+  t.on_enqueue(fk(2), 100, 1500);  // old wait f2-behind-f1
+  t.on_dequeue(fk(1), 100);
+  t.on_dequeue(fk(2), 100);
+  t.on_enqueue(fk(3), 100, 9000);
+  const auto r = t.snapshot(PortRef{9, 0}, 10000, 5000);
+  EXPECT_TRUE(r.waits.empty());
+}
+
+TEST(PortTelemetry, PauseAccounting) {
+  PortTelemetry t;
+  EXPECT_FALSE(t.paused());
+  t.on_pause(1000);
+  EXPECT_TRUE(t.paused());
+  EXPECT_EQ(t.total_pause_time(1500), 500);
+  t.on_resume(2000);
+  EXPECT_FALSE(t.paused());
+  EXPECT_EQ(t.total_pause_time(5000), 1000);
+  t.on_pause(6000);
+  t.on_resume(6500);
+  EXPECT_EQ(t.total_pause_time(7000), 1500);
+}
+
+TEST(PortTelemetry, PauseIdempotent) {
+  PortTelemetry t;
+  t.on_pause(100);
+  t.on_pause(200);  // redundant
+  t.on_resume(300);
+  t.on_resume(400);  // redundant
+  EXPECT_EQ(t.total_pause_time(1000), 200);
+}
+
+TEST(PortTelemetry, PausedWithinWindow) {
+  PortTelemetry t;
+  t.on_pause(1000);
+  t.on_resume(2000);
+  EXPECT_TRUE(t.paused_within(2500, 1000));   // ended 500 ago
+  EXPECT_FALSE(t.paused_within(10000, 1000)); // long over
+  t.on_pause(20000);
+  EXPECT_TRUE(t.paused_within(30000, 1000));  // still paused
+}
+
+TEST(PortTelemetry, SnapshotIncludesOpenPauseInterval) {
+  PortTelemetry t;
+  t.on_pause(1000);
+  const auto r = t.snapshot(PortRef{9, 0}, 2000, 0);
+  ASSERT_EQ(r.pauses.size(), 1u);
+  EXPECT_EQ(r.pauses[0].start, 1000);
+  EXPECT_EQ(r.pauses[0].end, sim::kNever);
+  EXPECT_TRUE(r.currently_paused);
+  EXPECT_EQ(r.total_pause_time, 1000);
+}
+
+TEST(SwitchTelemetry, MetersPerPortPair) {
+  SwitchTelemetry t(7, 4);
+  t.on_forward(0, 2, 1000);
+  t.on_forward(0, 2, 500);
+  t.on_forward(1, 2, 250);
+  EXPECT_EQ(t.meter(0, 2), 1500);
+  EXPECT_EQ(t.meter(1, 2), 250);
+  const auto r = t.port_snapshot(2, 100, 0);
+  EXPECT_EQ(r.meters.size(), 2u);
+}
+
+TEST(SwitchTelemetry, LocallyOriginatedNotMetered) {
+  SwitchTelemetry t(7, 4);
+  t.on_forward(net::kInvalidPort, 2, 1000);
+  EXPECT_EQ(t.port_snapshot(2, 100, 0).meters.size(), 0u);
+}
+
+TEST(SwitchTelemetry, CausesFilteredByPortAndTime) {
+  SwitchTelemetry t(7, 4);
+  PauseCauseReport c1;
+  c1.ingress_port = PortRef{7, 1};
+  c1.time = 1000;
+  t.record_pause_cause(c1);
+  PauseCauseReport c2 = c1;
+  c2.time = 9000;
+  t.record_pause_cause(c2);
+  PauseCauseReport c3 = c1;
+  c3.ingress_port = PortRef{7, 2};
+  c3.time = 9500;
+  t.record_pause_cause(c3);
+
+  EXPECT_EQ(t.causes_for(1, 5000).size(), 1u);
+  EXPECT_EQ(t.causes_for(1, 0).size(), 2u);
+  EXPECT_EQ(t.causes_for(2, 0).size(), 1u);
+  EXPECT_EQ(t.all_causes().size(), 3u);
+}
+
+TEST(Records, WireSizesAdditive) {
+  SwitchReport r;
+  r.switch_id = 1;
+  const std::int64_t base = r.wire_size();
+  EXPECT_EQ(base, WireCosts::kReportHeader);
+  PortReport p;
+  p.flows.resize(3);
+  p.waits.resize(2);
+  p.meters.resize(1);
+  p.pauses.resize(1);
+  r.ports.push_back(p);
+  EXPECT_EQ(r.wire_size(), base + WireCosts::kPortHeader + 3 * WireCosts::kFlowEntry +
+                               2 * WireCosts::kWaitEntry + WireCosts::kMeterEntry +
+                               WireCosts::kPauseEvent);
+  PauseCauseReport c;
+  c.contributions.resize(2);
+  r.causes.push_back(c);
+  EXPECT_EQ(r.wire_size(), base + WireCosts::kPortHeader + 3 * WireCosts::kFlowEntry +
+                               2 * WireCosts::kWaitEntry + WireCosts::kMeterEntry +
+                               WireCosts::kPauseEvent + WireCosts::kPauseCause +
+                               2 * WireCosts::kCauseContribution);
+}
+
+}  // namespace
+}  // namespace vedr::telemetry
