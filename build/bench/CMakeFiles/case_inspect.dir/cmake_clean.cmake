@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_inspect.dir/case_inspect.cpp.o"
+  "CMakeFiles/case_inspect.dir/case_inspect.cpp.o.d"
+  "case_inspect"
+  "case_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

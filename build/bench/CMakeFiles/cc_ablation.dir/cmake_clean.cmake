@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_ablation.dir/cc_ablation.cpp.o"
+  "CMakeFiles/cc_ablation.dir/cc_ablation.cpp.o.d"
+  "cc_ablation"
+  "cc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_anomalies.dir/ext_anomalies.cpp.o"
+  "CMakeFiles/ext_anomalies.dir/ext_anomalies.cpp.o.d"
+  "ext_anomalies"
+  "ext_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

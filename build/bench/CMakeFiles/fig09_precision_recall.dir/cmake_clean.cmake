@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_precision_recall.dir/fig09_precision_recall.cpp.o"
+  "CMakeFiles/fig09_precision_recall.dir/fig09_precision_recall.cpp.o.d"
+  "fig09_precision_recall"
+  "fig09_precision_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_precision_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_monitor_overhead.dir/fig11_monitor_overhead.cpp.o"
+  "CMakeFiles/fig11_monitor_overhead.dir/fig11_monitor_overhead.cpp.o.d"
+  "fig11_monitor_overhead"
+  "fig11_monitor_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_monitor_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contributor_rating.dir/contributor_rating.cpp.o"
+  "CMakeFiles/contributor_rating.dir/contributor_rating.cpp.o.d"
+  "contributor_rating"
+  "contributor_rating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contributor_rating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

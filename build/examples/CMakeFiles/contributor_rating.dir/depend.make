@@ -1,0 +1,2 @@
+# Empty dependencies file for contributor_rating.
+# This may be replaced when dependencies are built.

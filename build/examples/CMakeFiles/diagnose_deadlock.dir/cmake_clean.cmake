@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_deadlock.dir/diagnose_deadlock.cpp.o"
+  "CMakeFiles/diagnose_deadlock.dir/diagnose_deadlock.cpp.o.d"
+  "diagnose_deadlock"
+  "diagnose_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

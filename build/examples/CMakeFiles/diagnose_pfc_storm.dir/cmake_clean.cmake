@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_pfc_storm.dir/diagnose_pfc_storm.cpp.o"
+  "CMakeFiles/diagnose_pfc_storm.dir/diagnose_pfc_storm.cpp.o.d"
+  "diagnose_pfc_storm"
+  "diagnose_pfc_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_pfc_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halving_doubling_monitor.dir/halving_doubling_monitor.cpp.o"
+  "CMakeFiles/halving_doubling_monitor.dir/halving_doubling_monitor.cpp.o.d"
+  "halving_doubling_monitor"
+  "halving_doubling_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halving_doubling_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedr_anomaly.dir/injectors.cpp.o"
+  "CMakeFiles/vedr_anomaly.dir/injectors.cpp.o.d"
+  "libvedr_anomaly.a"
+  "libvedr_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedr_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/full_polling.cpp" "src/baselines/CMakeFiles/vedr_baselines.dir/full_polling.cpp.o" "gcc" "src/baselines/CMakeFiles/vedr_baselines.dir/full_polling.cpp.o.d"
+  "/root/repo/src/baselines/hawkeye.cpp" "src/baselines/CMakeFiles/vedr_baselines.dir/hawkeye.cpp.o" "gcc" "src/baselines/CMakeFiles/vedr_baselines.dir/hawkeye.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vedr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/vedr_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vedr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/vedr_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vedr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedr_baselines.dir/full_polling.cpp.o"
+  "CMakeFiles/vedr_baselines.dir/full_polling.cpp.o.d"
+  "CMakeFiles/vedr_baselines.dir/hawkeye.cpp.o"
+  "CMakeFiles/vedr_baselines.dir/hawkeye.cpp.o.d"
+  "libvedr_baselines.a"
+  "libvedr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedr_collective.dir/plan.cpp.o"
+  "CMakeFiles/vedr_collective.dir/plan.cpp.o.d"
+  "CMakeFiles/vedr_collective.dir/runner.cpp.o"
+  "CMakeFiles/vedr_collective.dir/runner.cpp.o.d"
+  "libvedr_collective.a"
+  "libvedr_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedr_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "src/core/CMakeFiles/vedr_core.dir/analyzer.cpp.o" "gcc" "src/core/CMakeFiles/vedr_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/core/diagnosis.cpp" "src/core/CMakeFiles/vedr_core.dir/diagnosis.cpp.o" "gcc" "src/core/CMakeFiles/vedr_core.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/core/json_export.cpp" "src/core/CMakeFiles/vedr_core.dir/json_export.cpp.o" "gcc" "src/core/CMakeFiles/vedr_core.dir/json_export.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/vedr_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/vedr_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/provenance_graph.cpp" "src/core/CMakeFiles/vedr_core.dir/provenance_graph.cpp.o" "gcc" "src/core/CMakeFiles/vedr_core.dir/provenance_graph.cpp.o.d"
+  "/root/repo/src/core/signatures.cpp" "src/core/CMakeFiles/vedr_core.dir/signatures.cpp.o" "gcc" "src/core/CMakeFiles/vedr_core.dir/signatures.cpp.o.d"
+  "/root/repo/src/core/vedrfolnir.cpp" "src/core/CMakeFiles/vedr_core.dir/vedrfolnir.cpp.o" "gcc" "src/core/CMakeFiles/vedr_core.dir/vedrfolnir.cpp.o.d"
+  "/root/repo/src/core/waiting_graph.cpp" "src/core/CMakeFiles/vedr_core.dir/waiting_graph.cpp.o" "gcc" "src/core/CMakeFiles/vedr_core.dir/waiting_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collective/CMakeFiles/vedr_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vedr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/vedr_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vedr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

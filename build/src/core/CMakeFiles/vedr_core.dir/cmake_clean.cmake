@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedr_core.dir/analyzer.cpp.o"
+  "CMakeFiles/vedr_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/vedr_core.dir/diagnosis.cpp.o"
+  "CMakeFiles/vedr_core.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/vedr_core.dir/json_export.cpp.o"
+  "CMakeFiles/vedr_core.dir/json_export.cpp.o.d"
+  "CMakeFiles/vedr_core.dir/monitor.cpp.o"
+  "CMakeFiles/vedr_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/vedr_core.dir/provenance_graph.cpp.o"
+  "CMakeFiles/vedr_core.dir/provenance_graph.cpp.o.d"
+  "CMakeFiles/vedr_core.dir/signatures.cpp.o"
+  "CMakeFiles/vedr_core.dir/signatures.cpp.o.d"
+  "CMakeFiles/vedr_core.dir/vedrfolnir.cpp.o"
+  "CMakeFiles/vedr_core.dir/vedrfolnir.cpp.o.d"
+  "CMakeFiles/vedr_core.dir/waiting_graph.cpp.o"
+  "CMakeFiles/vedr_core.dir/waiting_graph.cpp.o.d"
+  "libvedr_core.a"
+  "libvedr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

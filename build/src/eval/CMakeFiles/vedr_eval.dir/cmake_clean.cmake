@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedr_eval.dir/experiment.cpp.o"
+  "CMakeFiles/vedr_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/vedr_eval.dir/metrics.cpp.o"
+  "CMakeFiles/vedr_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/vedr_eval.dir/scenario.cpp.o"
+  "CMakeFiles/vedr_eval.dir/scenario.cpp.o.d"
+  "CMakeFiles/vedr_eval.dir/workload.cpp.o"
+  "CMakeFiles/vedr_eval.dir/workload.cpp.o.d"
+  "libvedr_eval.a"
+  "libvedr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

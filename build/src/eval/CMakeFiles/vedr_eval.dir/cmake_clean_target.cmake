@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvedr_eval.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/congestion_control.cpp" "src/net/CMakeFiles/vedr_net.dir/congestion_control.cpp.o" "gcc" "src/net/CMakeFiles/vedr_net.dir/congestion_control.cpp.o.d"
+  "/root/repo/src/net/dcqcn.cpp" "src/net/CMakeFiles/vedr_net.dir/dcqcn.cpp.o" "gcc" "src/net/CMakeFiles/vedr_net.dir/dcqcn.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/vedr_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/vedr_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/vedr_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/vedr_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/vedr_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/vedr_net.dir/routing.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/vedr_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/vedr_net.dir/switch.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/vedr_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/vedr_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/net/CMakeFiles/vedr_net.dir/trace.cpp.o" "gcc" "src/net/CMakeFiles/vedr_net.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vedr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/vedr_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedr_net.dir/congestion_control.cpp.o"
+  "CMakeFiles/vedr_net.dir/congestion_control.cpp.o.d"
+  "CMakeFiles/vedr_net.dir/dcqcn.cpp.o"
+  "CMakeFiles/vedr_net.dir/dcqcn.cpp.o.d"
+  "CMakeFiles/vedr_net.dir/host.cpp.o"
+  "CMakeFiles/vedr_net.dir/host.cpp.o.d"
+  "CMakeFiles/vedr_net.dir/network.cpp.o"
+  "CMakeFiles/vedr_net.dir/network.cpp.o.d"
+  "CMakeFiles/vedr_net.dir/routing.cpp.o"
+  "CMakeFiles/vedr_net.dir/routing.cpp.o.d"
+  "CMakeFiles/vedr_net.dir/switch.cpp.o"
+  "CMakeFiles/vedr_net.dir/switch.cpp.o.d"
+  "CMakeFiles/vedr_net.dir/topology.cpp.o"
+  "CMakeFiles/vedr_net.dir/topology.cpp.o.d"
+  "CMakeFiles/vedr_net.dir/trace.cpp.o"
+  "CMakeFiles/vedr_net.dir/trace.cpp.o.d"
+  "libvedr_net.a"
+  "libvedr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

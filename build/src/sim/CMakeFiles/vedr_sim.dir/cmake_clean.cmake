@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedr_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/vedr_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vedr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/vedr_sim.dir/simulator.cpp.o.d"
+  "libvedr_sim.a"
+  "libvedr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

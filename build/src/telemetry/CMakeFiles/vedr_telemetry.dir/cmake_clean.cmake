@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedr_telemetry.dir/recorder.cpp.o"
+  "CMakeFiles/vedr_telemetry.dir/recorder.cpp.o.d"
+  "libvedr_telemetry.a"
+  "libvedr_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedr_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_tests.dir/anomaly/injectors_test.cpp.o"
+  "CMakeFiles/anomaly_tests.dir/anomaly/injectors_test.cpp.o.d"
+  "anomaly_tests"
+  "anomaly_tests.pdb"
+  "anomaly_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_tests.dir/collective/data_movement_test.cpp.o"
+  "CMakeFiles/collective_tests.dir/collective/data_movement_test.cpp.o.d"
+  "CMakeFiles/collective_tests.dir/collective/plan_test.cpp.o"
+  "CMakeFiles/collective_tests.dir/collective/plan_test.cpp.o.d"
+  "CMakeFiles/collective_tests.dir/collective/runner_test.cpp.o"
+  "CMakeFiles/collective_tests.dir/collective/runner_test.cpp.o.d"
+  "CMakeFiles/collective_tests.dir/collective/tree_broadcast_test.cpp.o"
+  "CMakeFiles/collective_tests.dir/collective/tree_broadcast_test.cpp.o.d"
+  "collective_tests"
+  "collective_tests.pdb"
+  "collective_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

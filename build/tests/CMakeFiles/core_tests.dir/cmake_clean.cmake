@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/detection_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/detection_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/diagnosis_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/diagnosis_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/json_export_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/json_export_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/monitor_analyzer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/monitor_analyzer_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/provenance_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/provenance_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/signatures_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/signatures_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/waiting_graph_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/waiting_graph_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tests.dir/net/dcqcn_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/dcqcn_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/host_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/host_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/network_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/network_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/routing_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/routing_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/swift_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/swift_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/switch_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/switch_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/topology_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/topology_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/trace_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/trace_test.cpp.o.d"
+  "net_tests"
+  "net_tests.pdb"
+  "net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedr_diagnose.dir/vedr_diagnose.cpp.o"
+  "CMakeFiles/vedr_diagnose.dir/vedr_diagnose.cpp.o.d"
+  "vedr_diagnose"
+  "vedr_diagnose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedr_diagnose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

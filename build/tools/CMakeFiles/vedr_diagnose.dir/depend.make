@@ -1,0 +1,2 @@
+# Empty dependencies file for vedr_diagnose.
+# This may be replaced when dependencies are built.

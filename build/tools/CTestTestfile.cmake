@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_text_smoke "/root/repo/build/tools/vedr_diagnose" "--scenario" "incast" "--case" "0" "--scale" "0.0039")
+set_tests_properties(cli_text_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_json_smoke "/root/repo/build/tools/vedr_diagnose" "--scenario" "storm" "--case" "2" "--scale" "0.0039" "--json")
+set_tests_properties(cli_json_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
