@@ -1,7 +1,6 @@
 #include "collective/runner.h"
 
-#include <cassert>
-
+#include "common/check.h"
 #include "net/host.h"
 
 namespace vedr::collective {
@@ -64,6 +63,12 @@ void CollectiveRunner::try_start_send(int flow, int step) {
   if (step > 0 && records_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step - 1)]
                           .end_time == sim::kNever)
     return;
+  // Step indices advance monotonically per rank: a step never starts before
+  // its predecessor has both started and finished.
+  if (step > 0) {
+    VEDR_CHECK(send_started_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step - 1)],
+               "rank ", flow, " starting step ", step, " before step ", step - 1, " started");
+  }
   // Gate 2: the data dependency must have been received locally.
   if (s.has_dependency() &&
       !recv_done_[static_cast<std::size_t>(s.dep_flow)][static_cast<std::size_t>(s.dep_step)])
@@ -79,6 +84,15 @@ void CollectiveRunner::try_start_send(int flow, int step) {
 
 void CollectiveRunner::on_send_done(int flow, int step, Tick t) {
   StepRecord& r = records_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step)];
+  VEDR_CHECK_EQ(r.end_time, sim::kNever, "rank ", flow, " step ", step,
+                " completed twice");
+  VEDR_CHECK_GE(t, r.start_time, "rank ", flow, " step ", step,
+                " completed before it started");
+  if (step > 0) {
+    VEDR_CHECK_NE(
+        records_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step - 1)].end_time,
+        sim::kNever, "rank ", flow, " completed step ", step, " before step ", step - 1);
+  }
   r.end_time = t;
   queues_[static_cast<std::size_t>(flow)].on_send_complete(step);
   if (step + 1 < static_cast<int>(plan_.steps_of_flow(flow).size())) {

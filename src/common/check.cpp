@@ -1,0 +1,64 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vedr::common {
+
+std::atomic<bool> InvariantAuditor::enabled_{false};
+std::atomic<std::uint64_t> InvariantAuditor::audits_{0};
+
+std::string CheckContext::str() const {
+  std::string s = "VEDR_CHECK failed at ";
+  s += file;
+  s += ":";
+  s += std::to_string(line);
+  s += ": ";
+  s += expr;
+  if (!message.empty()) {
+    s += " (";
+    s += message;
+    s += ")";
+  }
+  return s;
+}
+
+namespace {
+
+[[noreturn]] void abort_handler(const CheckContext& ctx) {
+  std::fprintf(stderr, "%s\n", ctx.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void throw_handler(const CheckContext& ctx) { throw CheckFailure(ctx); }
+
+CheckFailureHandler g_handler = abort_handler;
+
+}  // namespace
+
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
+  CheckFailureHandler prev = g_handler;
+  g_handler = handler != nullptr ? handler : abort_handler;
+  return prev;
+}
+
+ScopedThrowOnCheckFailure::ScopedThrowOnCheckFailure()
+    : previous_(set_check_failure_handler(throw_handler)) {}
+
+ScopedThrowOnCheckFailure::~ScopedThrowOnCheckFailure() {
+  set_check_failure_handler(previous_);
+}
+
+void check_failed(const char* file, int line, const char* expr, const std::string& message) {
+  CheckContext ctx;
+  ctx.file = file;
+  ctx.line = line;
+  ctx.expr = expr;
+  ctx.message = message;
+  g_handler(ctx);
+  // A user-installed handler must not return; guarantee [[noreturn]] anyway.
+  std::abort();
+}
+
+}  // namespace vedr::common

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// Runtime invariant checking for the simulator and diagnosis core.
+///
+/// Three tiers, by cost and severity:
+///   VEDR_CHECK(cond, ...)    always on, even in release: hot-state-machine
+///                            invariants whose violation means silent
+///                            corruption (buffer accounting, time monotonicity,
+///                            CC bounds). Failure prints file:line, the
+///                            expression, any message operands, then calls the
+///                            installed failure handler (abort by default).
+///   VEDR_CHECK_EQ/NE/LT/LE/GT/GE(a, b, ...)
+///                            like VEDR_CHECK but prints both operand values.
+///   VEDR_ASSERT(cond, ...)   debug-only (compiled out under NDEBUG): cheap
+///                            sanity conditions that would slow hot paths in
+///                            release builds.
+///   VEDR_AUDIT(body)         opt-in deep audits: `body` runs only while
+///                            InvariantAuditor::set_enabled(true) is in
+///                            effect. Use for O(n) cross-checks (full queue
+///                            accounting scans, graph validation) that tests
+///                            and the determinism/fuzz harnesses turn on.
+namespace vedr::common {
+
+/// Context handed to the failure handler (and formatted into CheckFailure).
+struct CheckContext {
+  const char* file = "";
+  int line = 0;
+  const char* expr = "";
+  std::string message;
+
+  std::string str() const;
+};
+
+/// Thrown instead of aborting while a ScopedThrowOnCheckFailure is active.
+class CheckFailure : public std::runtime_error {
+ public:
+  explicit CheckFailure(const CheckContext& ctx)
+      : std::runtime_error(ctx.str()), context_(ctx) {}
+  const CheckContext& context() const { return context_; }
+
+ private:
+  CheckContext context_;
+};
+
+/// Handler invoked on check failure; must not return. The default prints the
+/// context to stderr and aborts.
+using CheckFailureHandler = void (*)(const CheckContext&);
+
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
+
+/// RAII: while alive, failed checks throw CheckFailure instead of aborting,
+/// so unit tests can assert an invariant fires without a death test (which
+/// interacts poorly with sanitizer runtimes).
+class ScopedThrowOnCheckFailure {
+ public:
+  ScopedThrowOnCheckFailure();
+  ~ScopedThrowOnCheckFailure();
+  ScopedThrowOnCheckFailure(const ScopedThrowOnCheckFailure&) = delete;
+  ScopedThrowOnCheckFailure& operator=(const ScopedThrowOnCheckFailure&) = delete;
+
+ private:
+  CheckFailureHandler previous_;
+};
+
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+/// Global switch for the opt-in deep audits guarded by VEDR_AUDIT.
+/// Disabled by default so release hot paths pay a single relaxed atomic load.
+class InvariantAuditor {
+ public:
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  static void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  /// Number of audit blocks executed since process start (for tests to
+  /// verify the hooks actually ran).
+  static std::uint64_t audits_run() { return audits_.load(std::memory_order_relaxed); }
+  static void note_audit() { audits_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// RAII enable, restoring the previous state (tests, tools).
+  class Scope {
+   public:
+    explicit Scope(bool on = true) : previous_(enabled()) { set_enabled(on); }
+    ~Scope() { set_enabled(previous_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    bool previous_;
+  };
+
+ private:
+  static std::atomic<bool> enabled_;
+  static std::atomic<std::uint64_t> audits_;
+};
+
+namespace detail {
+
+/// Streams `...` message operands into one string; empty call -> "".
+template <typename... Args>
+std::string format_message(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+
+template <typename A, typename B, typename... Args>
+std::string format_op_message(const char* a_expr, const A& a, const char* b_expr, const B& b,
+                              const Args&... args) {
+  std::ostringstream os;
+  os << "with " << a_expr << " = " << a << ", " << b_expr << " = " << b;
+  if constexpr (sizeof...(Args) > 0) {
+    os << ": ";
+    (os << ... << args);
+  }
+  return os.str();
+}
+
+}  // namespace detail
+}  // namespace vedr::common
+
+#define VEDR_CHECK(cond, ...)                                                        \
+  do {                                                                               \
+    if (!(cond)) [[unlikely]] {                                                      \
+      ::vedr::common::check_failed(__FILE__, __LINE__, #cond,                        \
+                                   ::vedr::common::detail::format_message(__VA_ARGS__)); \
+    }                                                                                \
+  } while (0)
+
+#define VEDR_CHECK_OP_IMPL(op, a, b, ...)                                            \
+  do {                                                                               \
+    if (!((a)op(b))) [[unlikely]] {                                                  \
+      ::vedr::common::check_failed(                                                  \
+          __FILE__, __LINE__, #a " " #op " " #b,                                     \
+          ::vedr::common::detail::format_op_message(#a, (a), #b, (b), ##__VA_ARGS__)); \
+    }                                                                                \
+  } while (0)
+
+#define VEDR_CHECK_EQ(a, b, ...) VEDR_CHECK_OP_IMPL(==, a, b, ##__VA_ARGS__)
+#define VEDR_CHECK_NE(a, b, ...) VEDR_CHECK_OP_IMPL(!=, a, b, ##__VA_ARGS__)
+#define VEDR_CHECK_LT(a, b, ...) VEDR_CHECK_OP_IMPL(<, a, b, ##__VA_ARGS__)
+#define VEDR_CHECK_LE(a, b, ...) VEDR_CHECK_OP_IMPL(<=, a, b, ##__VA_ARGS__)
+#define VEDR_CHECK_GT(a, b, ...) VEDR_CHECK_OP_IMPL(>, a, b, ##__VA_ARGS__)
+#define VEDR_CHECK_GE(a, b, ...) VEDR_CHECK_OP_IMPL(>=, a, b, ##__VA_ARGS__)
+
+#ifdef NDEBUG
+#define VEDR_ASSERT(cond, ...) \
+  do {                         \
+  } while (0)
+#else
+#define VEDR_ASSERT(cond, ...) VEDR_CHECK(cond, ##__VA_ARGS__)
+#endif
+
+#define VEDR_AUDIT(body)                                       \
+  do {                                                         \
+    if (::vedr::common::InvariantAuditor::enabled()) [[unlikely]] { \
+      ::vedr::common::InvariantAuditor::note_audit();          \
+      body;                                                    \
+    }                                                          \
+  } while (0)

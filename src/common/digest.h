@@ -1,0 +1,62 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vedr::common {
+
+/// Incremental order-sensitive 64-bit digest (FNV-1a core) used by the
+/// determinism checker: every simulated packet event and every diagnosis
+/// field folds into one value, so two same-seed runs must produce identical
+/// digests bit-for-bit. Not cryptographic — it only needs to make divergence
+/// overwhelmingly likely to surface.
+class Digest {
+ public:
+  Digest& mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= (v >> (i * 8)) & 0xFFU;
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Digest& mix(std::int64_t v) { return mix(static_cast<std::uint64_t>(v)); }
+  Digest& mix(std::int32_t v) {
+    return mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
+  Digest& mix(std::uint32_t v) { return mix(static_cast<std::uint64_t>(v)); }
+  Digest& mix(bool v) { return mix(static_cast<std::uint64_t>(v ? 1 : 0)); }
+
+  /// Doubles fold by bit pattern: any FP divergence (e.g. accumulation-order
+  /// drift in contribution scores) changes the digest.
+  Digest& mix(double v) { return mix(std::bit_cast<std::uint64_t>(v)); }
+
+  Digest& mix(std::string_view s) {
+    for (const char c : s) {
+      state_ ^= static_cast<std::uint8_t>(c);
+      state_ *= kPrime;
+    }
+    return mix(static_cast<std::uint64_t>(s.size()));
+  }
+
+  std::uint64_t value() const { return state_; }
+
+  std::string hex() const {
+    static const char* kDigits = "0123456789abcdef";
+    std::string out(16, '0');
+    std::uint64_t v = state_;
+    for (int i = 15; i >= 0; --i) {
+      out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+      v >>= 4;
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace vedr::common

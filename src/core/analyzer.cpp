@@ -87,8 +87,14 @@ Diagnosis Analyzer::diagnose() {
         }
       }
       d.contributions.assign(scores.begin(), scores.end());
+      // Deterministic ranking: ties (and near-ties) must not fall back to
+      // unordered_map iteration order, or the reported contributor list
+      // would vary run to run.
       std::sort(d.contributions.begin(), d.contributions.end(),
-                [](const auto& a, const auto& b) { return a.second > b.second; });
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
     }
   }
 

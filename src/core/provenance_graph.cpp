@@ -1,6 +1,9 @@
 #include "core/provenance_graph.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
 
 namespace vedr::core {
 
@@ -73,6 +76,10 @@ void ProvenanceGraph::finalize() {
     }
     for (const auto& [egress, bytes] : cause.contributions) {
       const PortRef down{cause.ingress_port.node, egress};
+      // A port pausing itself is physically impossible; an edge like that
+      // means the pause-cause plumbing crossed wires somewhere upstream.
+      VEDR_CHECK(!(up == down), "provenance PFC self-edge at ", up.str());
+      VEDR_CHECK_GE(bytes, 0, "negative pause-cause contribution at ", down.str());
       auto& contrib = pfc_contrib_[up][down];
       contrib = std::max(contrib, bytes);
       const std::uint64_t ek =
@@ -93,22 +100,92 @@ void ProvenanceGraph::finalize() {
         }
         if (total > 0) w = from_up / total;
       }
+      VEDR_CHECK(w >= 0.0 && w <= 1.0, "PFC edge weight out of [0,1]: ", w, " for ",
+                 up.str(), " -> ", down.str());
       pfc_weights_[up][down] = w;
     }
   }
+  VEDR_AUDIT(audit(false));
 }
 
+bool ProvenanceGraph::pfc_has_cycle() const {
+  // Iterative DFS over the port->port PAUSE edges. A cycle here is the
+  // deadlock signature (§III-D2); everywhere else the spreading tree must be
+  // a DAG.
+  enum class Mark : std::uint8_t { kWhite, kGrey, kBlack };
+  std::unordered_map<PortRef, Mark, PortRefHash> mark;
+  for (const auto& [up, downs] : pfc_adj_) {
+    (void)downs;
+    if (mark[up] != Mark::kWhite) continue;
+    std::vector<std::pair<PortRef, std::size_t>> stack{{up, 0}};
+    mark[up] = Mark::kGrey;
+    while (!stack.empty()) {
+      const PortRef cur = stack.back().first;
+      const auto it = pfc_adj_.find(cur);
+      const std::size_t fanout = it == pfc_adj_.end() ? 0 : it->second.size();
+      if (stack.back().second >= fanout) {
+        mark[cur] = Mark::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const PortRef down = it->second[stack.back().second++];
+      Mark& m = mark[down];
+      if (m == Mark::kGrey) return true;
+      if (m == Mark::kWhite) {
+        m = Mark::kGrey;
+        stack.emplace_back(down, 0);
+      }
+    }
+  }
+  return false;
+}
+
+void ProvenanceGraph::audit(bool expect_dag) const {
+  for (const auto& [port, pd] : port_reports_) {
+    VEDR_CHECK(port.valid(), "provenance report for an invalid port");
+    VEDR_CHECK_GE(pd.max_qdepth_pkts, 0, "negative queue depth reported at ", port.str());
+    VEDR_CHECK_GE(pd.max_qdepth_bytes, 0, "negative queue bytes reported at ", port.str());
+    for (const auto& [waiter, row] : pd.waits) {
+      for (const auto& [ahead, w] : row) {
+        VEDR_CHECK(!(waiter == ahead), "flow waiting on itself in provenance graph: ",
+                   waiter.str(), " at ", port.str());
+        VEDR_CHECK_GE(w, 0, "negative wait weight at ", port.str());
+      }
+    }
+    for (const auto& [in, bytes] : pd.meters)
+      VEDR_CHECK_GE(bytes, 0, "negative ingress meter at ", port.str(), " ingress ", in);
+  }
+  for (const auto& [up, row] : pfc_weights_) {
+    for (const auto& [down, w] : row) {
+      VEDR_CHECK(std::isfinite(w) && w >= 0.0 && w <= 1.0,
+                 "PFC edge weight out of [0,1]: ", w, " for ", up.str(), " -> ",
+                 down.str());
+    }
+  }
+  if (expect_dag) {
+    VEDR_CHECK(!pfc_has_cycle(),
+               "provenance PFC spreading graph has a cycle in a non-deadlock scenario");
+  }
+}
+
+// Enumeration methods return canonically sorted vectors: callers iterate
+// them to build findings and accumulate floating-point scores, so leaking
+// hash-table iteration order here would make diagnosis output depend on
+// bucket layout rather than on the simulation.
 std::vector<FlowKey> ProvenanceGraph::flows() const {
   std::unordered_set<FlowKey, FlowKeyHash> set;
   for (const auto& [port, pd] : port_reports_)
     for (const auto& [key, fe] : pd.flow_entries) set.insert(key);
-  return {set.begin(), set.end()};
+  std::vector<FlowKey> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<PortRef> ProvenanceGraph::ports() const {
   std::vector<PortRef> out;
   out.reserve(port_reports_.size());
   for (const auto& [port, pd] : port_reports_) out.push_back(port);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -166,6 +243,7 @@ std::vector<PortRef> ProvenanceGraph::ports_waited_by(const FlowKey& f) const {
     auto it = pd.waits.find(f);
     if (it != pd.waits.end() && !it->second.empty()) out.push_back(port);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -175,6 +253,7 @@ std::vector<FlowKey> ProvenanceGraph::waiters_at(const PortRef& p) const {
   if (it == port_reports_.end()) return out;
   for (const auto& [waiter, row] : it->second.waits)
     if (!row.empty()) out.push_back(waiter);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -183,6 +262,7 @@ std::vector<FlowKey> ProvenanceGraph::flows_at(const PortRef& p) const {
   auto it = port_reports_.find(p);
   if (it == port_reports_.end()) return out;
   for (const auto& [key, fe] : it->second.flow_entries) out.push_back(key);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -247,15 +327,14 @@ double ProvenanceGraph::contribution_to_flow(const FlowKey& f, const FlowKey& cf
 std::string ProvenanceGraph::to_dot(
     const std::unordered_set<FlowKey, FlowKeyHash>& cc_flows) const {
   std::string dot = "digraph provenance {\n";
-  for (const auto& [port, pd] : port_reports_) {
+  for (const PortRef& port : ports()) {
     dot += "  \"" + port.str() + "\" [shape=box];\n";
-    for (const auto& [waiter, row] : pd.waits) {
-      if (row.empty()) continue;
+    for (const FlowKey& waiter : waiters_at(port)) {
       const char* color = cc_flows.count(waiter) > 0 ? "red" : "black";
       dot += "  \"" + waiter.str() + "\" -> \"" + port.str() + "\" [color=" +
              std::string(color) + "];\n";
     }
-    for (const auto& [key, fe] : pd.flow_entries) {
+    for (const FlowKey& key : flows_at(port)) {
       const double w = port_flow_weight(port, key);
       if (w > 0)
         dot += "  \"" + port.str() + "\" -> \"" + key.str() + "\" [style=dashed];\n";

@@ -94,6 +94,18 @@ class ProvenanceGraph {
   bool empty() const { return port_reports_.empty(); }
   std::size_t report_count() const { return reports_seen_; }
 
+  /// Whether the port->port PAUSE edges contain a cycle. A cycle is exactly
+  /// the PFC-deadlock signature; in every other scenario the spreading graph
+  /// must stay a DAG.
+  bool pfc_has_cycle() const;
+
+  /// Structural invariant audit: finite weights in range, non-negative
+  /// depths/meters, no self-waits or self PFC edges; with `expect_dag` it
+  /// also fails on any PFC cycle. Runs automatically at finalize() when the
+  /// InvariantAuditor is enabled (cycle check excluded — deadlock scenarios
+  /// legitimately cycle).
+  void audit(bool expect_dag = false) const;
+
   std::string to_dot(const std::unordered_set<FlowKey, FlowKeyHash>& cc_flows) const;
 
  private:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/check.h"
+
 namespace vedr::core {
 
 WaitingGraph WaitingGraph::build(std::vector<StepRecord> records) {
@@ -19,11 +21,20 @@ WaitingGraph WaitingGraph::build(std::vector<StepRecord> records) {
     g.index_[key(g.records_[i].flow_index, g.records_[i].step)] = i;
 
   for (const StepRecord& r : g.records_) {
+    // Host monitors can only report well-formed step identities; a negative
+    // index or a self-dependency would wedge graph construction silently.
+    VEDR_CHECK(r.flow_index >= 0 && r.step >= 0,
+               "waiting-graph record with invalid identity F", r.flow_index, "S", r.step);
+    VEDR_CHECK(!(r.dep_flow == r.flow_index && r.dep_step == r.step),
+               "waiting-graph self-wait: F", r.flow_index, "S", r.step,
+               " depends on itself");
     const WgVertex start{r.flow_index, r.step, false};
     const WgVertex end{r.flow_index, r.step, true};
     const Tick duration = (r.end_time != sim::kNever && r.start_time != sim::kNever)
                               ? r.end_time - r.start_time
                               : 0;
+    VEDR_CHECK_GE(duration, 0, "waiting-graph step F", r.flow_index, "S", r.step,
+                  " ended before it started");
     g.edges_.push_back(WgEdge{end, start, WgEdgeType::kExecution, duration});
     if (r.step > 0 && g.index_.count(key(r.flow_index, r.step - 1)) > 0)
       g.edges_.push_back(
@@ -32,8 +43,22 @@ WaitingGraph WaitingGraph::build(std::vector<StepRecord> records) {
       g.edges_.push_back(
           WgEdge{start, WgVertex{r.dep_flow, r.dep_step, true}, WgEdgeType::kDataDep, 0});
   }
+  VEDR_AUDIT(g.audit());
   g.compute_critical_path();
   return g;
+}
+
+void WaitingGraph::audit() const {
+  for (const WgEdge& e : edges_) {
+    VEDR_CHECK(!(e.from == e.to), "waiting-graph self-loop at ", e.from.str());
+    // Every edge endpoint must name a recorded step — dangling endpoints
+    // mean the index and edge list diverged.
+    VEDR_CHECK_GT(index_.count(key(e.from.flow, e.from.step)), 0U,
+                  "waiting-graph edge from unknown vertex ", e.from.str());
+    VEDR_CHECK_GT(index_.count(key(e.to.flow, e.to.step)), 0U,
+                  "waiting-graph edge to unknown vertex ", e.to.str());
+    VEDR_CHECK_GE(e.weight, 0, "negative waiting-graph edge weight at ", e.from.str());
+  }
 }
 
 const StepRecord* WaitingGraph::record_of(int flow, int step) const {

@@ -82,6 +82,11 @@ class WaitingGraph {
   /// Graphviz DOT rendering (used for the Fig. 14a case study).
   std::string to_dot() const;
 
+  /// Structural invariant audit: every edge endpoint resolves through the
+  /// record index, no self-loops, no negative weights. Runs automatically at
+  /// build() time when the InvariantAuditor is enabled.
+  void audit() const;
+
  private:
   std::vector<StepRecord> records_;
   std::unordered_map<std::uint64_t, std::size_t> index_;  // (flow,step) -> records_ idx

@@ -7,9 +7,12 @@
 #include "baselines/full_polling.h"
 #include "baselines/hawkeye.h"
 #include "collective/runner.h"
+#include "common/digest.h"
+#include "core/json_export.h"
 #include "core/vedrfolnir.h"
 #include "net/network.h"
 #include "net/switch.h"
+#include "net/trace.h"
 #include "sim/simulator.h"
 
 namespace vedr::eval {
@@ -126,6 +129,7 @@ CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig
   sim::Simulator sim;
   const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
   net::Network network(sim, topo, cfg.netcfg);
+  if (cfg.tracer != nullptr) network.set_tracer(cfg.tracer);
 
   auto plan = collective::CollectivePlan::ring(0, collective::OpType::kAllGather,
                                                spec.participants, spec.cc_step_bytes);
@@ -192,6 +196,43 @@ CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig
   result.notify_bytes = stats.counter("overhead.notify_bytes");
   result.report_count = stats.counter("overhead.report_count");
   return result;
+}
+
+std::uint64_t run_case_digest(const ScenarioSpec& spec, SystemKind system, RunConfig cfg) {
+  common::Digest digest;
+
+  // Stream every packet event into the digest as it happens: capacity 1 keeps
+  // the tracer's ring buffer from holding the (possibly multi-million-event)
+  // stream in memory.
+  net::PacketTracer tracer(1);
+  tracer.set_sink([&digest](const net::TraceEvent& ev) {
+    digest.mix(static_cast<std::uint64_t>(ev.kind))
+        .mix(ev.time)
+        .mix(ev.node)
+        .mix(ev.port)
+        .mix(static_cast<std::uint64_t>(ev.pkt_type))
+        .mix(ev.flow.hash())
+        .mix(ev.seq)
+        .mix(ev.size);
+  });
+  cfg.tracer = &tracer;
+
+  const CaseResult result = run_case(spec, system, cfg);
+
+  // Fold every output a consumer of the diagnosis could observe.
+  digest.mix(std::string_view(result.outcome.label()));
+  digest.mix(result.cc_completed);
+  digest.mix(result.cc_time);
+  digest.mix(result.sim_events);
+  digest.mix(result.telemetry_bytes);
+  digest.mix(result.bandwidth_bytes);
+  digest.mix(result.poll_bytes);
+  digest.mix(result.notify_bytes);
+  digest.mix(result.report_count);
+  digest.mix(std::string_view(core::json::diagnosis_to_json(result.diagnosis)));
+  for (const auto& [flow, score] : result.diagnosis.contributions)
+    digest.mix(flow.hash()).mix(score);
+  return digest.value();
 }
 
 std::vector<CaseResult> run_scenario_suite(ScenarioType type, int n_cases, SystemKind system,

@@ -11,6 +11,10 @@
 #include "eval/scenario.h"
 #include "net/types.h"
 
+namespace vedr::net {
+class PacketTracer;
+}
+
 namespace vedr::eval {
 
 enum class SystemKind : std::uint8_t {
@@ -28,6 +32,10 @@ struct RunConfig {
   core::DetectionConfig detection;  ///< Vedrfolnir knobs (swept in Figs. 12/13)
   sim::Tick full_poll_interval = 100 * sim::kMicrosecond;
   double hawkeye_multiplier = 1.2;
+  /// Optional packet tracer attached to the run's Network (observation only;
+  /// must not change behavior). Used by the determinism checker to digest
+  /// the complete packet-event stream.
+  net::PacketTracer* tracer = nullptr;
 };
 
 /// One case's complete result: verdict, overheads, and timing.
@@ -52,6 +60,15 @@ struct CaseResult {
 /// and scores it. Fully self-contained (fresh simulator per call) and
 /// thread-safe to run concurrently.
 CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig& cfg = {});
+
+/// Runs one case and folds the complete packet-event stream plus every
+/// diagnosis-visible output (findings JSON, contributor scores, overhead
+/// counters, timing) into a single 64-bit digest. Two same-seed invocations
+/// must agree bit-for-bit; any divergence means hidden nondeterminism
+/// (hash-order leakage, uninitialized reads, wall-clock use) in the
+/// simulator or diagnosis core. Drives `tools/vedr_determinism` and the
+/// determinism regression tests.
+std::uint64_t run_case_digest(const ScenarioSpec& spec, SystemKind system, RunConfig cfg = {});
 
 /// Convenience: generate case ids [0, n) for `type` and run them all,
 /// optionally across `threads` worker threads (0 = hardware concurrency).

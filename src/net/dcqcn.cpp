@@ -2,15 +2,42 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace vedr::net {
+
+DcqcnFlow::DcqcnFlow(sim::Simulator& sim, const DcqcnParams& params)
+    : sim_(&sim), p_(params), rate_(params.line_rate_gbps), target_(params.line_rate_gbps) {
+  VEDR_CHECK_GT(p_.min_rate_gbps, 0.0, "DCQCN min rate must be positive");
+  VEDR_CHECK_LE(p_.min_rate_gbps, p_.line_rate_gbps,
+                "DCQCN min rate above line rate: the flow could never be valid");
+  VEDR_CHECK(p_.g > 0.0 && p_.g <= 1.0, "DCQCN alpha gain g must lie in (0, 1]");
+  VEDR_CHECK_GT(p_.alpha_timer, 0, "DCQCN alpha timer must be positive");
+  VEDR_CHECK_GT(p_.increase_timer, 0, "DCQCN increase timer must be positive");
+  VEDR_CHECK_GT(p_.byte_counter, 0, "DCQCN byte counter must be positive");
+  VEDR_CHECK_GE(p_.rai_gbps, 0.0, "DCQCN additive increase step must be non-negative");
+}
+
+void DcqcnFlow::check_bounds() const {
+  VEDR_CHECK(alpha_ >= 0.0 && alpha_ <= 1.0, "DCQCN alpha out of [0,1]: alpha=", alpha_);
+  VEDR_CHECK(rate_ >= p_.min_rate_gbps && rate_ <= p_.line_rate_gbps,
+             "DCQCN rate out of [min,line]: rate=", rate_, " min=", p_.min_rate_gbps,
+             " line=", p_.line_rate_gbps);
+  VEDR_CHECK(target_ <= p_.line_rate_gbps, "DCQCN target rate above line rate: ", target_);
+}
 
 void DcqcnFlow::on_cnp() {
   if (!active_) return;
+  // Precondition as well as postcondition: the cut formula clamps, so a
+  // corrupted rate/alpha would otherwise be silently "healed" here instead
+  // of diagnosed at the first opportunity.
+  check_bounds();
   alpha_ = (1.0 - p_.g) * alpha_ + p_.g;
   target_ = rate_;
   rate_ = std::max(p_.min_rate_gbps, rate_ * (1.0 - alpha_ / 2.0));
   rounds_since_cut_ = 0;
   bytes_since_round_ = 0;
+  check_bounds();
   // Restart the timer epoch so recovery waits a full period after the cut.
   ++generation_;
   cancel_timers();
@@ -52,6 +79,7 @@ void DcqcnFlow::on_alpha_timer(std::uint64_t gen) {
   alpha_pending_ = false;
   if (gen != generation_ || !active_) return;
   alpha_ *= (1.0 - p_.g);
+  check_bounds();
   if (!at_line_rate()) {
     alpha_ev_ = sim_->schedule_in(p_.alpha_timer, [this, gen] { on_alpha_timer(gen); });
     alpha_pending_ = true;
@@ -77,6 +105,7 @@ void DcqcnFlow::increase_round() {
     rate_ = p_.line_rate_gbps;
     timers_running_ = false;
   }
+  check_bounds();
 }
 
 }  // namespace vedr::net

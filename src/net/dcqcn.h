@@ -28,8 +28,7 @@ struct DcqcnParams {
 /// events after each CNP.
 class DcqcnFlow {
  public:
-  DcqcnFlow(sim::Simulator& sim, const DcqcnParams& params)
-      : sim_(&sim), p_(params), rate_(params.line_rate_gbps), target_(params.line_rate_gbps) {}
+  DcqcnFlow(sim::Simulator& sim, const DcqcnParams& params);
 
   DcqcnFlow(const DcqcnFlow&) = delete;
   DcqcnFlow& operator=(const DcqcnFlow&) = delete;
@@ -54,6 +53,11 @@ class DcqcnFlow {
   }
 
  private:
+  /// Reaction-point invariants (checked after every state update): the paced
+  /// rate must stay within [min_rate, line_rate] and alpha within [0, 1] —
+  /// outside either, the NIC would pace garbage and every FCT downstream of
+  /// it silently corrupts.
+  void check_bounds() const;
   void schedule_timers();
   void cancel_timers();
   void on_alpha_timer(std::uint64_t gen);
@@ -74,6 +78,15 @@ class DcqcnFlow {
   sim::EventId incr_ev_ = 0;
   bool alpha_pending_ = false;
   bool incr_pending_ = false;
+
+  friend struct DcqcnTestPeer;  ///< test-only corruption hook (invariant tests)
+};
+
+/// Test-only backdoor for the invariant unit tests: corrupts reaction-point
+/// state so the bounds checks can be shown to fire. Never use outside tests.
+struct DcqcnTestPeer {
+  static void set_alpha(DcqcnFlow& f, double alpha) { f.alpha_ = alpha; }
+  static void set_rate(DcqcnFlow& f, double rate_gbps) { f.rate_ = rate_gbps; }
 };
 
 }  // namespace vedr::net

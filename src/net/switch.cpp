@@ -1,8 +1,8 @@
 #include "net/switch.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "net/network.h"
 #include "sim/rng.h"
 
@@ -16,7 +16,20 @@ Switch::Switch(Network& net, NodeId id, int num_ports)
                    std::vector<std::int64_t>(static_cast<std::size_t>(num_ports), 0)),
       telem_(id, num_ports),
       ecn_rng_(sim::Rng::mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)),
-                             0xEC11ULL)) {}
+                             0xEC11ULL)) {
+  const auto& cfg = net.config();
+  VEDR_CHECK_GT(num_ports, 0, "switch needs at least one port");
+  VEDR_CHECK_GT(cfg.pfc_xoff_bytes, 0, "PFC XOFF threshold must be positive");
+  VEDR_CHECK_LE(cfg.pfc_xon_bytes, cfg.pfc_xoff_bytes,
+                "PFC hysteresis inverted: XON above XOFF would oscillate");
+  VEDR_CHECK_GT(cfg.queue_cap_bytes, 0, "egress queue capacity must be positive");
+  VEDR_CHECK_GE(cfg.pfc_xon_bytes, 0, "PFC XON threshold must be non-negative");
+  // Kmin == Kmax is the idiom for "ECN off" (the marking ramp has zero
+  // width); only an inverted pair is a configuration bug. Likewise an XOFF
+  // above the queue cap is the "PFC off" idiom (taildrop-only switch), so no
+  // headroom relation between the two is enforced here.
+  VEDR_CHECK_LE(cfg.ecn_kmin_bytes, cfg.ecn_kmax_bytes, "ECN Kmin must not exceed Kmax");
+}
 
 void Switch::handle_rx(Packet pkt, PortId in_port) {
   switch (pkt.type) {
@@ -50,6 +63,7 @@ void Switch::forward(Packet pkt, PortId in_port) {
 void Switch::enqueue(PortId out, Packet pkt, PortId in_port) {
   Egress& eg = egress_.at(static_cast<std::size_t>(out));
   const int pi = index_of(pkt.prio);
+  VEDR_ASSERT(pkt.size > 0, "zero/negative-size packet enqueued at switch ", id_);
 
   if (eg.bytes[pi] + pkt.size > net_.config().queue_cap_bytes) {
     ++drops_;
@@ -86,7 +100,10 @@ void Switch::enqueue(PortId out, Packet pkt, PortId in_port) {
     t->record(net::TraceEvent{net::TraceEvent::Kind::kSwitchEnqueue, net_.sim().now(), id_, out,
                               pkt.type, pkt.flow, pkt.seq, pkt.size});
   eg.bytes[pi] += pkt.size;
+  VEDR_CHECK_LE(eg.bytes[pi], net_.config().queue_cap_bytes,
+                "egress queue exceeded its capacity at switch ", id_, " port ", out);
   eg.q[pi].push_back(Queued{std::move(pkt), in_port});
+  VEDR_AUDIT(audit_invariants());
   kick(out);
 }
 
@@ -105,14 +122,22 @@ void Switch::kick(PortId out) {
   Queued item = std::move(eg.q[pi].front());
   eg.q[pi].pop_front();
   eg.bytes[pi] -= item.pkt.size;
+  VEDR_CHECK_GE(eg.bytes[pi], 0, "egress byte accounting went negative at switch ", id_,
+                " port ", out);
 
   if (item.pkt.prio == Priority::kData) {
     telem_.port(out).on_dequeue(item.pkt.flow, item.pkt.size);
     if (item.in_port != kInvalidPort) {
-      queued_from_[static_cast<std::size_t>(out)][static_cast<std::size_t>(item.in_port)] -=
-          item.pkt.size;
+      std::int64_t& from =
+          queued_from_[static_cast<std::size_t>(out)][static_cast<std::size_t>(item.in_port)];
+      from -= item.pkt.size;
+      VEDR_CHECK_GE(from, 0, "per-ingress attribution went negative at switch ", id_,
+                    " egress ", out, " ingress ", item.in_port);
       PauseSignal& sig = pause_sig_.at(static_cast<std::size_t>(item.in_port));
       sig.ingress_bytes -= item.pkt.size;
+      VEDR_CHECK_GE(sig.ingress_bytes, 0,
+                    "PFC ingress byte accounting went negative at switch ", id_, " ingress ",
+                    item.in_port);
       update_pause_signal(item.in_port);
     }
   }
@@ -129,6 +154,51 @@ void Switch::kick(PortId out) {
   });
 }
 
+void Switch::audit_invariants() const {
+  std::vector<std::int64_t> ingress_totals(egress_.size(), 0);
+  for (std::size_t out = 0; out < egress_.size(); ++out) {
+    const Egress& eg = egress_[out];
+    for (int pi = 0; pi < kNumPriorities; ++pi) {
+      std::int64_t queued = 0;
+      for (const Queued& item : eg.q[pi]) {
+        VEDR_CHECK_GT(item.pkt.size, 0, "queued packet with non-positive size at switch ", id_);
+        queued += item.pkt.size;
+        if (item.pkt.prio == Priority::kData && item.in_port != kInvalidPort)
+          ingress_totals.at(static_cast<std::size_t>(item.in_port)) += item.pkt.size;
+      }
+      VEDR_CHECK_EQ(eg.bytes[pi], queued, "egress byte counter diverged from queued packets",
+                    " at switch ", id_, " port ", out, " prio ", pi);
+      VEDR_CHECK_GE(eg.bytes[pi], 0, "negative egress byte counter at switch ", id_);
+      VEDR_CHECK_LE(eg.bytes[pi], net_.config().queue_cap_bytes,
+                    "egress queue above capacity at switch ", id_, " port ", out);
+    }
+    for (std::size_t in = 0; in < queued_from_[out].size(); ++in) {
+      VEDR_CHECK_GE(queued_from_[out][in], 0, "negative per-ingress attribution at switch ",
+                    id_, " egress ", out, " ingress ", in);
+    }
+  }
+  for (std::size_t in = 0; in < pause_sig_.size(); ++in) {
+    const PauseSignal& sig = pause_sig_[in];
+    VEDR_CHECK_GE(sig.ingress_bytes, 0, "negative PFC ingress counter at switch ", id_,
+                  " ingress ", in);
+    // The PFC counter must agree with the data packets actually queued that
+    // arrived through this ingress — the accounting PFC decisions rest on.
+    VEDR_CHECK_EQ(sig.ingress_bytes, ingress_totals[in],
+                  "PFC ingress counter diverged from queued data at switch ", id_,
+                  " ingress ", in);
+    std::int64_t attributed = 0;
+    for (std::size_t out = 0; out < queued_from_.size(); ++out)
+      attributed += queued_from_[out][in];
+    VEDR_CHECK_EQ(attributed, sig.ingress_bytes,
+                  "queued_from rows diverged from PFC ingress counter at switch ", id_,
+                  " ingress ", in);
+    // A pause on the wire must be explained by congestion or injection.
+    VEDR_CHECK(!sig.sent_pause || sig.congestion || sig.forced,
+               "PAUSE asserted without congestion or injection at switch ", id_, " ingress ",
+               in);
+  }
+}
+
 void Switch::finish_tx(PortId out) {
   egress_.at(static_cast<std::size_t>(out)).busy = false;
   kick(out);
@@ -142,6 +212,12 @@ void Switch::update_pause_signal(PortId in_port) {
   } else if (sig.ingress_bytes <= cfg.pfc_xon_bytes) {
     sig.congestion = false;
   }
+  // XOFF/XON legality after hysteresis resolution: at-or-above XOFF must be
+  // congested, at-or-below XON must not (in between, the previous state holds).
+  VEDR_ASSERT(sig.ingress_bytes < cfg.pfc_xoff_bytes || sig.congestion,
+              "ingress above XOFF without a congestion signal at switch ", id_);
+  VEDR_ASSERT(sig.ingress_bytes > cfg.pfc_xon_bytes || !sig.congestion,
+              "ingress at/below XON still flagged congested at switch ", id_);
   const bool desired = sig.congestion || sig.forced;
   if (desired == sig.sent_pause) return;
   sig.sent_pause = desired;

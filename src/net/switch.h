@@ -36,6 +36,14 @@ class Switch : public Device {
 
   // --- introspection ---------------------------------------------------------
 
+  /// Deep invariant audit: every per-priority egress byte counter must equal
+  /// the sum of its queued packet sizes, per-(egress, ingress) attribution
+  /// must sum to the ingress PFC counter, and nothing may ever be negative
+  /// or above the configured cap. O(total queued packets); runs automatically
+  /// via VEDR_AUDIT when the InvariantAuditor is enabled, and directly from
+  /// tests. Fails a VEDR_CHECK on corruption.
+  void audit_invariants() const;
+
   const telemetry::SwitchTelemetry& telem() const { return telem_; }
   telemetry::SwitchTelemetry& telem() { return telem_; }
   std::int64_t queue_bytes(PortId port, Priority prio) const {
@@ -91,6 +99,21 @@ class Switch : public Device {
   std::mt19937_64 ecn_rng_;
   std::int64_t drops_ = 0;
   std::int64_t ttl_drops_ = 0;
+
+  friend struct SwitchTestPeer;  ///< test-only corruption hook (invariant tests)
+};
+
+/// Test-only backdoor used by the invariant unit tests to deliberately
+/// corrupt internal accounting and assert that audit_invariants() fires.
+/// Never use outside tests.
+struct SwitchTestPeer {
+  static void corrupt_egress_bytes(Switch& sw, PortId port, Priority prio,
+                                   std::int64_t delta) {
+    sw.egress_.at(static_cast<std::size_t>(port)).bytes[index_of(prio)] += delta;
+  }
+  static void corrupt_ingress_bytes(Switch& sw, PortId port, std::int64_t delta) {
+    sw.pause_sig_.at(static_cast<std::size_t>(port)).ingress_bytes += delta;
+  }
 };
 
 }  // namespace vedr::net

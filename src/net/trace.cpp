@@ -29,6 +29,7 @@ bool PacketTracer::accepts(const TraceEvent& ev) const {
 
 void PacketTracer::record(TraceEvent ev) {
   if (!accepts(ev)) return;
+  if (sink_) sink_(ev);
   if (events_.size() >= capacity_) {
     events_.pop_front();
     ++dropped_;

@@ -41,6 +41,11 @@ class PacketTracer {
   /// Restricts recording to data packets only.
   void data_only(bool v) { data_only_ = v; }
 
+  /// Streaming sink: called for every accepted event, before ring-buffer
+  /// truncation, so consumers (the determinism digest) see the complete
+  /// stream even when it exceeds `capacity`.
+  void set_sink(std::function<void(const TraceEvent&)> sink) { sink_ = std::move(sink); }
+
   void record(TraceEvent ev);
 
   const std::deque<TraceEvent>& events() const { return events_; }
@@ -64,6 +69,7 @@ class PacketTracer {
 
   std::size_t capacity_;
   std::deque<TraceEvent> events_;
+  std::function<void(const TraceEvent&)> sink_;
   std::vector<FlowKey> filter_;
   bool data_only_ = false;
   std::size_t dropped_ = 0;

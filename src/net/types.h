@@ -37,6 +37,9 @@ struct FlowKey {
   std::uint16_t dport = 0;
 
   friend bool operator==(const FlowKey&, const FlowKey&) = default;
+  /// Field-wise total order: gives containers and reports a canonical flow
+  /// ordering that never depends on hash-table iteration order.
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
 
   std::uint64_t hash() const {
     std::uint64_t h = 0xcbf29ce484222325ULL;

@@ -1,7 +1,8 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
 #include <utility>
+
+#include "common/check.h"
 
 namespace vedr::sim {
 
@@ -27,9 +28,22 @@ Tick EventQueue::next_time() const {
 
 Tick EventQueue::run_next() {
   skip_cancelled();
-  assert(!heap_.empty());
+  VEDR_CHECK(!heap_.empty(), "run_next() on an empty event queue (live=", live_,
+             ", scheduled=", next_id_, ")");
   Entry e = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
+  // Time must never run backwards, and equal-time events must pop in
+  // schedule order — the determinism contract every model relies on.
+  if (has_popped_) {
+    VEDR_CHECK_GE(e.at, last_pop_time_, "event queue popped out of time order");
+    if (e.at == last_pop_time_) {
+      VEDR_CHECK_GT(e.id, last_pop_id_,
+                    "same-tick events popped out of schedule order at t=", e.at);
+    }
+  }
+  has_popped_ = true;
+  last_pop_time_ = e.at;
+  last_pop_id_ = e.id;
   pending_.erase(e.id);
   --live_;
   e.fn();

@@ -59,6 +59,11 @@ class EventQueue {
   std::unordered_set<EventId> pending_;
   std::uint64_t next_id_ = 0;
   std::size_t live_ = 0;
+  // Invariant-audit state: the last popped (time, id), to machine-check the
+  // monotonic-time + stable-tie-break guarantee documented above.
+  Tick last_pop_time_ = 0;
+  EventId last_pop_id_ = 0;
+  bool has_popped_ = false;
 };
 
 }  // namespace vedr::sim

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include "common/check.h"
+
 namespace vedr::sim {
 
 std::uint64_t Simulator::run(Tick until) {
@@ -7,6 +9,7 @@ std::uint64_t Simulator::run(Tick until) {
   while (!queue_.empty()) {
     const Tick next = queue_.next_time();
     if (next == kNever || next > until) break;
+    VEDR_CHECK_GE(next, now_, "simulation clock would run backwards");
     now_ = next;
     queue_.run_next();
     ++executed_;
@@ -19,6 +22,7 @@ bool Simulator::step() {
   if (queue_.empty()) return false;
   const Tick next = queue_.next_time();
   if (next == kNever) return false;
+  VEDR_CHECK_GE(next, now_, "simulation clock would run backwards");
   now_ = next;
   queue_.run_next();
   ++executed_;

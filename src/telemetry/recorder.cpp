@@ -94,6 +94,15 @@ PortReport PortTelemetry::snapshot(PortRef self, Tick now, Tick since) const {
     const Tick end = ev.end == sim::kNever ? now : ev.end;
     if (end >= since) r.pauses.push_back(PauseEvent{ev.start, ev.end});
   }
+  // Reports are assembled from unordered_maps; canonicalize their order so a
+  // snapshot's content never depends on hash-table iteration (which would
+  // leak into downstream graphs, findings, and the determinism digest).
+  std::sort(r.flows.begin(), r.flows.end(),
+            [](const FlowEntry& a, const FlowEntry& b) { return a.flow < b.flow; });
+  std::sort(r.waits.begin(), r.waits.end(), [](const WaitEntry& a, const WaitEntry& b) {
+    if (a.waiter != b.waiter) return a.waiter < b.waiter;
+    return a.ahead < b.ahead;
+  });
   return r;
 }
 
@@ -110,6 +119,8 @@ std::vector<DropEntry> SwitchTelemetry::drops_since(Tick since) const {
   std::vector<DropEntry> out;
   for (const auto& [flow, d] : drops_)
     if (d.last_drop >= since) out.push_back(d);
+  std::sort(out.begin(), out.end(),
+            [](const DropEntry& a, const DropEntry& b) { return a.flow < b.flow; });
   return out;
 }
 

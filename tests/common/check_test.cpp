@@ -1,0 +1,135 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/digest.h"
+
+namespace vedr::common {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  VEDR_CHECK(1 + 1 == 2);
+  VEDR_CHECK(true, "never printed");
+  VEDR_CHECK_EQ(4, 4);
+  VEDR_CHECK_LE(3, 4, "ordered");
+}
+
+TEST(Check, FailingCheckThrowsUnderScopedHandler) {
+  ScopedThrowOnCheckFailure guard;
+  EXPECT_THROW(VEDR_CHECK(false), CheckFailure);
+}
+
+TEST(Check, FailureCarriesExpressionFileAndMessage) {
+  ScopedThrowOnCheckFailure guard;
+  try {
+    const int live = 3;
+    VEDR_CHECK(live == 0, "queue still has ", live, " events");
+    FAIL() << "check did not fire";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("live == 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("queue still has 3 events"), std::string::npos) << what;
+    EXPECT_GT(e.context().line, 0);
+  }
+}
+
+TEST(Check, ComparisonMacrosPrintBothOperands) {
+  ScopedThrowOnCheckFailure guard;
+  const std::int64_t bytes = -42;
+  const std::int64_t floor = 0;
+  try {
+    VEDR_CHECK_GE(bytes, floor, "accounting went negative");
+    FAIL() << "check did not fire";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bytes >= floor"), std::string::npos) << what;
+    EXPECT_NE(what.find("bytes = -42"), std::string::npos) << what;
+    EXPECT_NE(what.find("floor = 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("accounting went negative"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  auto probe = [&] {
+    ++evaluations;
+    return true;
+  };
+  VEDR_CHECK(probe(), "side effects must not double");
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, ScopedHandlerRestoresPreviousOnExit) {
+  // Nested scopes: the inner guard must hand control back to the outer one,
+  // which still throws (rather than reverting all the way to abort).
+  ScopedThrowOnCheckFailure outer;
+  {
+    ScopedThrowOnCheckFailure inner;
+    EXPECT_THROW(VEDR_CHECK(false), CheckFailure);
+  }
+  EXPECT_THROW(VEDR_CHECK(false), CheckFailure);
+}
+
+TEST(Check, AssertMatchesBuildMode) {
+  ScopedThrowOnCheckFailure guard;
+#ifdef NDEBUG
+  VEDR_ASSERT(false, "compiled out in release builds");
+#else
+  EXPECT_THROW(VEDR_ASSERT(false, "live in debug builds"), CheckFailure);
+#endif
+}
+
+TEST(Auditor, AuditBodySkippedWhenDisabled) {
+  ASSERT_FALSE(InvariantAuditor::enabled()) << "audits must be opt-in";
+  bool ran = false;
+  VEDR_AUDIT(ran = true);
+  EXPECT_FALSE(ran);
+}
+
+TEST(Auditor, ScopeEnablesAndCountsAudits) {
+  const std::uint64_t before = InvariantAuditor::audits_run();
+  {
+    InvariantAuditor::Scope scope;
+    EXPECT_TRUE(InvariantAuditor::enabled());
+    bool ran = false;
+    VEDR_AUDIT(ran = true);
+    EXPECT_TRUE(ran);
+  }
+  EXPECT_FALSE(InvariantAuditor::enabled());
+  EXPECT_EQ(InvariantAuditor::audits_run(), before + 1);
+}
+
+TEST(Digest, DeterministicForSameInput) {
+  Digest a;
+  Digest b;
+  a.mix(std::uint64_t{1}).mix(2.5).mix(std::string_view("flow"));
+  b.mix(std::uint64_t{1}).mix(2.5).mix(std::string_view("flow"));
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.hex(), b.hex());
+}
+
+TEST(Digest, SensitiveToValueAndOrder) {
+  Digest a;
+  Digest b;
+  Digest c;
+  a.mix(std::uint64_t{1}).mix(std::uint64_t{2});
+  b.mix(std::uint64_t{2}).mix(std::uint64_t{1});
+  c.mix(std::uint64_t{1}).mix(std::uint64_t{3});
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_NE(a.value(), c.value());
+}
+
+TEST(Digest, StringsDoNotCollideAcrossBoundaries) {
+  // Length folding keeps ("ab","c") distinct from ("a","bc").
+  Digest a;
+  Digest b;
+  a.mix(std::string_view("ab")).mix(std::string_view("c"));
+  b.mix(std::string_view("a")).mix(std::string_view("bc"));
+  EXPECT_NE(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace vedr::common

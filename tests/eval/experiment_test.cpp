@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "net/routing.h"
+#include "net/trace.h"
+
 namespace vedr::eval {
 namespace {
 
@@ -92,6 +95,48 @@ TEST(Experiment, FullPollingHasNoPollBytes) {
   EXPECT_EQ(r.poll_bytes, 0);
   EXPECT_EQ(r.notify_bytes, 0);
   EXPECT_GT(r.telemetry_bytes, 0);
+}
+
+TEST(Experiment, RunCaseDigestIsReproducible) {
+  const net::Topology topo = net::make_fat_tree(4, tiny_config().netcfg);
+  const auto routing = net::RoutingTable::shortest_paths(topo);
+  const auto spec =
+      make_scenario(ScenarioType::kFlowContention, 0, topo, routing, tiny_params());
+  const std::uint64_t first = run_case_digest(spec, SystemKind::kVedrfolnir, tiny_config());
+  const std::uint64_t second = run_case_digest(spec, SystemKind::kVedrfolnir, tiny_config());
+  EXPECT_EQ(first, second)
+      << "same-seed runs diverged: hidden nondeterminism in the simulator or diagnosis core";
+  EXPECT_NE(first, 0u);
+}
+
+TEST(Experiment, RunCaseDigestDistinguishesCases) {
+  const net::Topology topo = net::make_fat_tree(4, tiny_config().netcfg);
+  const auto routing = net::RoutingTable::shortest_paths(topo);
+  const auto spec0 = make_scenario(ScenarioType::kIncast, 0, topo, routing, tiny_params());
+  const auto spec1 = make_scenario(ScenarioType::kIncast, 1, topo, routing, tiny_params());
+  EXPECT_NE(run_case_digest(spec0, SystemKind::kVedrfolnir, tiny_config()),
+            run_case_digest(spec1, SystemKind::kVedrfolnir, tiny_config()));
+}
+
+TEST(Experiment, TracerObservationDoesNotChangeOutcome) {
+  // Attaching the digest tracer must be observation-only: the traced run's
+  // event count and verdict must match an untraced run bit for bit.
+  const net::Topology topo = net::make_fat_tree(4, tiny_config().netcfg);
+  const auto routing = net::RoutingTable::shortest_paths(topo);
+  const auto spec = make_scenario(ScenarioType::kIncast, 0, topo, routing, tiny_params());
+  const auto untraced = run_case(spec, SystemKind::kVedrfolnir, tiny_config());
+
+  net::PacketTracer tracer(1);
+  std::size_t seen = 0;
+  tracer.set_sink([&seen](const net::TraceEvent&) { ++seen; });
+  RunConfig cfg = tiny_config();
+  cfg.tracer = &tracer;
+  const auto traced = run_case(spec, SystemKind::kVedrfolnir, cfg);
+
+  EXPECT_GT(seen, 0u);
+  EXPECT_EQ(traced.sim_events, untraced.sim_events);
+  EXPECT_EQ(traced.cc_time, untraced.cc_time);
+  EXPECT_STREQ(traced.outcome.label(), untraced.outcome.label());
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "common/check.h"
+
 namespace vedr::sim {
 namespace {
 
@@ -96,6 +98,40 @@ TEST(EventQueue, EventsScheduledDuringExecutionRun) {
   });
   while (!q.empty()) q.run_next();
   EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, RunNextOnEmptyQueueFiresCheck) {
+  EventQueue q;
+  common::ScopedThrowOnCheckFailure guard;
+  EXPECT_THROW(q.run_next(), common::CheckFailure);
+}
+
+TEST(EventQueue, SameTickTieBreakSurvivesInterleavedScheduling) {
+  // Schedule same-tick events both up front and from inside a running event;
+  // the (time, id) tie-break must still replay exact schedule order — this is
+  // the property that keeps whole-simulation runs bit-reproducible.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5, [&] {
+    order.push_back(0);
+    q.schedule(5, [&] { order.push_back(3); });
+    q.schedule(5, [&] { order.push_back(4); });
+  });
+  q.schedule(5, [&] { order.push_back(1); });
+  q.schedule(5, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, IdenticalSchedulesReplayIdentically) {
+  auto run_once = [] {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 64; ++i) q.schedule((i * 13) % 8, [&order, i] { order.push_back(i); });
+    while (!q.empty()) q.run_next();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Repository lint: bans patterns that break simulation determinism or hygiene.
+
+Checks (see DESIGN.md "Debugging & correctness tooling"):
+  * ``rand()`` / ``srand()`` anywhere — all randomness must flow through the
+    seeded ``std::mt19937_64`` generators so runs are reproducible.
+  * Raw floating-point ``==`` / ``!=`` against float literals — exact FP
+    comparison is order-sensitive; use integral Ticks/bytes or an epsilon.
+  * Wall-clock reads inside ``src/sim`` and ``src/net`` — model code must only
+    observe the simulated clock, never the host's.
+  * Headers missing ``#pragma once``.
+
+Suppress a deliberate use with a ``lint-ok: <rule>`` comment on the same line.
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_DIRS = ["src", "tools", "tests", "bench", "examples"]
+SOURCE_EXTS = {".h", ".hpp", ".cc", ".cpp"}
+
+# Rule name -> (regex, message, directory restriction or None).
+RULES = {
+    "rand": (
+        re.compile(r"\b(?:std::)?s?rand\s*\("),
+        "rand()/srand() is banned: use a seeded std::mt19937_64",
+        None,
+    ),
+    "float-eq": (
+        re.compile(r"[=!]=\s*[-+]?[0-9]*\.[0-9]+f?\b|[0-9]*\.[0-9]+f?\s*[=!]="),
+        "raw floating-point ==/!= is banned: compare integral units or use an epsilon",
+        None,
+    ),
+    "wall-clock": (
+        re.compile(
+            r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+            r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+        ),
+        "wall-clock reads are banned in model code: use the simulated clock (Simulator::now)",
+        ("src/sim", "src/net"),
+    ),
+}
+
+GUARD_RE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
+SUPPRESS_RE = re.compile(r"lint-ok:\s*([\w-]+)")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of string literals and // comments so banned tokens
+    inside documentation or log messages don't trip the rules."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def lint_file(path: Path, repo: Path) -> list[str]:
+    findings = []
+    rel = path.relative_to(repo).as_posix()
+    text = path.read_text(encoding="utf-8", errors="replace")
+
+    if path.suffix in {".h", ".hpp"} and not GUARD_RE.search(text):
+        findings.append(f"{rel}:1: header is missing '#pragma once' [header-guard]")
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        suppressed = set(SUPPRESS_RE.findall(raw))
+        code = strip_comments_and_strings(raw)
+        for name, (pattern, message, dirs) in RULES.items():
+            if dirs is not None and not any(rel.startswith(d + "/") for d in dirs):
+                continue
+            if name in suppressed:
+                continue
+            if pattern.search(code):
+                findings.append(f"{rel}:{lineno}: {message} [{name}]")
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="files to lint (default: all sources)")
+    parser.add_argument("--repo", default=None, help="repository root (default: parent of tools/)")
+    args = parser.parse_args()
+
+    repo = Path(args.repo).resolve() if args.repo else Path(__file__).resolve().parent.parent
+
+    if args.files:
+        files = [Path(f).resolve() for f in args.files]
+        files = [f for f in files if f.suffix in SOURCE_EXTS and f.is_file()]
+    else:
+        files = [
+            f
+            for d in SOURCE_DIRS
+            for f in sorted((repo / d).rglob("*"))
+            if f.suffix in SOURCE_EXTS and f.is_file()
+        ]
+
+    findings = []
+    for f in files:
+        try:
+            rel_ok = f.is_relative_to(repo)
+        except AttributeError:  # pragma: no cover (py<3.9)
+            rel_ok = str(f).startswith(str(repo))
+        if not rel_ok:
+            continue
+        findings.extend(lint_file(f, repo))
+
+    for line in findings:
+        print(line)
+    if findings:
+        print(f"lint: {len(findings)} finding(s) in {len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
