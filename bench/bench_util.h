@@ -9,30 +9,38 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "eval/experiment.h"
 
 namespace vedr::bench {
 
 /// Cases per scenario: VEDR_CASES=paper reproduces the paper's 60/60/40/60;
-/// VEDR_CASES=<n> forces n; default is a CI-friendly subset.
+/// VEDR_CASES=<n> forces n; default is a CI-friendly subset. A value that is
+/// neither "paper" nor a positive integer aborts — atoi's silent 0 would
+/// quietly run the default instead of what was asked.
 inline int cases_for(eval::ScenarioType type, int default_cases = 20) {
-  const char* env = std::getenv("VEDR_CASES");
-  if (env != nullptr) {
-    const std::string v(env);
-    if (v == "paper") return eval::paper_case_count(type);
-    const int n = std::atoi(env);
-    if (n > 0) return n;
+  if (const auto env = common::env_str("VEDR_CASES")) {
+    if (*env == "paper") return eval::paper_case_count(type);
+    const int n = static_cast<int>(common::parse_i64_or_die("VEDR_CASES", *env));
+    if (n <= 0) {
+      std::fprintf(stderr, "error: VEDR_CASES: must be positive or \"paper\": %s\n", env->c_str());
+      std::exit(2);
+    }
+    return n;
   }
   return std::min(default_cases, eval::paper_case_count(type));
 }
 
 /// Workload scale (fraction of the paper's 360 MB steps); VEDR_SCALE
-/// overrides, e.g. VEDR_SCALE=0.03125 for 1/32.
+/// overrides, e.g. VEDR_SCALE=0.03125 for 1/32. Garbage aborts.
 inline double scale_from_env(double def = 1.0 / 64.0) {
-  const char* env = std::getenv("VEDR_SCALE");
-  if (env != nullptr) {
-    const double s = std::atof(env);
-    if (s > 0) return s;
+  if (const auto env = common::env_str("VEDR_SCALE")) {
+    const double s = common::parse_f64_or_die("VEDR_SCALE", *env);
+    if (s <= 0) {
+      std::fprintf(stderr, "error: VEDR_SCALE: must be positive: %s\n", env->c_str());
+      std::exit(2);
+    }
+    return s;
   }
   return def;
 }

@@ -1,0 +1,115 @@
+// replay_throughput — measures the offline trace path: record one case to a
+// .vtrc file, then time repeated full replays (streaming read + re-diagnosis)
+// and report events/sec and MB/sec as JSON.
+//
+//   replay_throughput [--scenario contention|incast|storm|backpressure]
+//                     [--case N] [--scale F] [--iters N] [--out FILE.vtrc]
+//
+// VEDR_SCALE applies when --scale is absent. The trace file defaults to a
+// path under the build directory's CWD and is left on disk for inspection.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "common/env.h"
+#include "eval/experiment.h"
+#include "net/routing.h"
+#include "replay/collector.h"
+#include "replay/trace_reader.h"
+
+namespace {
+
+using namespace vedr;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scenario contention|incast|storm|backpressure] [--case N]\n"
+               "          [--scale F] [--iters N] [--out FILE.vtrc]\n",
+               argv0);
+  std::exit(2);
+}
+
+eval::ScenarioType parse_scenario(const std::string& s, const char* argv0) {
+  if (s == "contention") return eval::ScenarioType::kFlowContention;
+  if (s == "incast") return eval::ScenarioType::kIncast;
+  if (s == "storm") return eval::ScenarioType::kPfcStorm;
+  if (s == "backpressure") return eval::ScenarioType::kPfcBackpressure;
+  usage(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eval::ScenarioType scenario = eval::ScenarioType::kIncast;
+  int case_id = 0;
+  int iters = 20;
+  double scale = bench::scale_from_env();
+  std::string out_path = "replay_throughput.vtrc";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      scenario = parse_scenario(next(), argv[0]);
+    } else if (arg == "--case") {
+      case_id = static_cast<int>(common::parse_i64_or_die("--case", next()));
+    } else if (arg == "--scale") {
+      scale = common::parse_f64_or_die("--scale", next());
+      if (scale <= 0) usage(argv[0]);
+    } else if (arg == "--iters") {
+      iters = static_cast<int>(common::parse_i64_or_die("--iters", next()));
+      if (iters < 1) usage(argv[0]);
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  eval::RunConfig cfg;
+  eval::ScenarioParams params;
+  params.scale = scale;
+  const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
+  const auto routing = net::RoutingTable::shortest_paths(topo);
+  const auto spec = eval::make_scenario(scenario, case_id, topo, routing, params);
+
+  std::string record_error;
+  eval::record_case(spec, eval::SystemKind::kVedrfolnir, cfg, out_path, &record_error);
+  if (!record_error.empty()) {
+    std::fprintf(stderr, "error: recording %s: %s\n", out_path.c_str(), record_error.c_str());
+    return 3;
+  }
+
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    replay::TraceReader reader(out_path);
+    replay::StreamingCollector collector;
+    const replay::ReplayResult result = collector.replay(reader);
+    if (!result.ok || !result.digest_matches) {
+      std::fprintf(stderr, "error: replay iteration %d failed: %s\n", i,
+                   result.ok ? "digest mismatch" : result.error.str().c_str());
+      return 3;
+    }
+    frames = result.stats.frames;
+    bytes = result.stats.bytes;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  const double total_frames = static_cast<double>(frames) * iters;
+  const double total_bytes = static_cast<double>(bytes) * iters;
+
+  std::printf("{\"scenario\":\"%s\",\"case\":%d,\"scale\":%g,\"iters\":%d,"
+              "\"trace_frames\":%llu,\"trace_bytes\":%llu,\"seconds\":%.6f,"
+              "\"records_per_sec\":%.1f,\"mb_per_sec\":%.2f}\n",
+              eval::to_string(scenario), case_id, scale, iters,
+              static_cast<unsigned long long>(frames), static_cast<unsigned long long>(bytes),
+              seconds, seconds > 0 ? total_frames / seconds : 0.0,
+              seconds > 0 ? total_bytes / 1e6 / seconds : 0.0);
+  return 0;
+}

@@ -12,13 +12,18 @@ Analyzer::Analyzer(const net::Topology* topo, const collective::CollectivePlan* 
   }
 }
 
-void Analyzer::add_step_record(const collective::StepRecord& r) { records_.push_back(r); }
+void Analyzer::add_step_record(const collective::StepRecord& r) {
+  if (tap_ != nullptr) tap_->on_step_record(r);
+  records_.push_back(r);
+}
 
 void Analyzer::register_poll(std::uint64_t poll_id, int flow, int step) {
+  if (tap_ != nullptr) tap_->on_poll_registered(poll_id, flow, step);
   poll_index_[poll_id] = {flow, step};
 }
 
 void Analyzer::on_switch_report(const telemetry::SwitchReport& report) {
+  if (tap_ != nullptr) tap_->on_switch_report_in(report);
   ++reports_received_;
   auto it = poll_index_.find(report.poll_id);
   if (it != poll_index_.end()) {

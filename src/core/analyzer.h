@@ -10,6 +10,7 @@
 #include "core/diagnosis.h"
 #include "core/provenance_graph.h"
 #include "core/signatures.h"
+#include "core/trace_tap.h"
 #include "core/waiting_graph.h"
 #include "net/topology.h"
 #include "telemetry/records.h"
@@ -41,6 +42,11 @@ class Analyzer : public telemetry::ReportSink {
     cc_flows_ = std::move(flows);
   }
 
+  /// Observation-only mirror of the full ingestion stream (step records,
+  /// poll registrations, switch reports) into a trace writer. Replaying the
+  /// mirrored calls into a fresh Analyzer reproduces diagnose() exactly.
+  void set_trace_tap(TraceTap* tap) { tap_ = tap; }
+
   // --- diagnosis ---------------------------------------------------------------
 
   Diagnosis diagnose();
@@ -62,6 +68,7 @@ class Analyzer : public telemetry::ReportSink {
   WaitingGraph waiting_graph_;
   SignatureClassifier classifier_;
   std::size_t reports_received_ = 0;
+  TraceTap* tap_ = nullptr;
 };
 
 }  // namespace vedr::core

@@ -101,6 +101,8 @@ void Monitor::send_notification(const collective::StepRecord& r) {
     if (remainder > 0) --remainder;
     if (share <= 0) continue;
     const net::NodeId to = plan_.participants()[static_cast<std::size_t>(waiter)];
+    if (tap_ != nullptr)
+      tap_->on_notification_sent(net_.sim().now(), host_, to, r.step, share);
     net::Packet pkt;
     pkt.type = net::PacketType::kNotification;
     pkt.flow = net::FlowKey{host_, to, 777, 777};
@@ -125,6 +127,8 @@ void Monitor::on_rtt_sample(const net::FlowKey& flow, Tick rtt, std::uint32_t se
 void Monitor::trigger_poll(const net::FlowKey& key) {
   const std::uint64_t poll_id = sim::Rng::mix(
       static_cast<std::uint64_t>(static_cast<std::uint32_t>(host_)) << 20, ++poll_seq_);
+  if (tap_ != nullptr)
+    tap_->on_poll_trigger(net_.sim().now(), host_, key, poll_id, current_step_);
   analyzer_.register_poll(poll_id, flow_index_, current_step_);
 
   net::Packet pkt;

@@ -28,6 +28,10 @@ class Monitor {
   void on_rtt_sample(const net::FlowKey& flow, Tick rtt, std::uint32_t seq);
   void on_control_packet(const net::Packet& pkt, Tick now);
 
+  /// Observation-only trace tap for poll triggers and budget notifications
+  /// (set by the Vedrfolnir facade when the run is being recorded).
+  void set_trace_tap(TraceTap* tap) { tap_ = tap; }
+
   net::NodeId host() const { return host_; }
   int flow_index() const { return flow_index_; }
   int polls_sent() const { return polls_sent_; }
@@ -48,6 +52,7 @@ class Monitor {
   net::NodeId host_;
   int flow_index_ = -1;
   DetectionConfig cfg_;
+  TraceTap* tap_ = nullptr;
 
   StepTrigger trigger_;
   int current_step_ = -1;

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "collective/runner.h"
+#include "net/types.h"
+#include "telemetry/records.h"
+#include "telemetry/trace_tap.h"
+
+namespace vedr::core {
+
+/// Observation-only tap over the diagnosis plane's complete input stream:
+/// everything the Analyzer ingests (step records, poll registrations, switch
+/// reports) plus the Monitor-side events that explain *why* reports exist
+/// (detection triggers, budget notifications) and the switch-local telemetry
+/// events inherited from TelemetryTap.
+///
+/// The replay subsystem's TraceWriter is the canonical implementation; a
+/// fresh Analyzer fed the mirrored ingestion calls in order reproduces the
+/// live Diagnosis exactly. Implementations must not perturb the simulation:
+/// no event scheduling, no RNG draws, no mutation of the observed objects.
+class TraceTap : public telemetry::TelemetryTap {
+ public:
+  /// Mirror of Analyzer::add_step_record.
+  virtual void on_step_record(const collective::StepRecord& r) = 0;
+  /// Mirror of Analyzer::register_poll.
+  virtual void on_poll_registered(std::uint64_t poll_id, int flow, int step) = 0;
+  /// Mirror of Analyzer::on_switch_report (post-retention for baselines that
+  /// filter, so replay sees exactly what the analyzer saw).
+  virtual void on_switch_report_in(const telemetry::SwitchReport& report) = 0;
+  /// A host monitor fired a detection trigger (budgeted, watchdog, or
+  /// baseline-threshold) and sent a poll packet.
+  virtual void on_poll_trigger(net::Tick time, net::NodeId host, const net::FlowKey& flow,
+                               std::uint64_t poll_id, int step) = 0;
+  /// A host monitor transferred leftover detection budget downstream.
+  virtual void on_notification_sent(net::Tick time, net::NodeId from, net::NodeId to, int step,
+                                    int budget) = 0;
+};
+
+}  // namespace vedr::core

@@ -8,9 +8,11 @@ Vedrfolnir::Vedrfolnir(net::Network& net, collective::CollectiveRunner& runner,
                        VedrfolnirConfig cfg)
     : net_(net), runner_(runner), analyzer_(&net.topology(), &runner.plan()) {
   net_.set_report_sink(&analyzer_);
+  analyzer_.set_trace_tap(cfg.trace);
 
   for (net::NodeId host : runner_.plan().participants()) {
     auto mon = std::make_unique<Monitor>(net_, runner_.plan(), analyzer_, host, cfg.detection);
+    mon->set_trace_tap(cfg.trace);
     Monitor* m = mon.get();
     net_.host(host).set_rtt_listener(
         [m](const net::FlowKey& f, net::Tick rtt, std::uint32_t seq) {

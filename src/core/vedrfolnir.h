@@ -13,6 +13,9 @@ namespace vedr::core {
 
 struct VedrfolnirConfig {
   DetectionConfig detection;
+  /// Optional observation-only trace tap wired into the analyzer fan-in and
+  /// every host monitor (see core/trace_tap.h). Must not perturb the run.
+  TraceTap* trace = nullptr;
 };
 
 /// The assembled Vedrfolnir system (Fig. 3): one monitor per participating

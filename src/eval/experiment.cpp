@@ -13,6 +13,8 @@
 #include "net/network.h"
 #include "net/switch.h"
 #include "net/trace.h"
+#include "replay/collector.h"
+#include "replay/trace_writer.h"
 #include "sim/simulator.h"
 
 namespace vedr::eval {
@@ -130,6 +132,7 @@ CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig
   const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
   net::Network network(sim, topo, cfg.netcfg);
   if (cfg.tracer != nullptr) network.set_tracer(cfg.tracer);
+  if (cfg.trace_writer != nullptr) network.set_telemetry_tap(cfg.trace_writer);
 
   auto plan = collective::CollectivePlan::ring(0, collective::OpType::kAllGather,
                                                spec.participants, spec.cc_step_bytes);
@@ -141,8 +144,8 @@ CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig
 
   switch (system) {
     case SystemKind::kVedrfolnir:
-      vedr = std::make_unique<core::Vedrfolnir>(network, runner,
-                                                core::VedrfolnirConfig{cfg.detection});
+      vedr = std::make_unique<core::Vedrfolnir>(
+          network, runner, core::VedrfolnirConfig{cfg.detection, cfg.trace_writer});
       break;
     case SystemKind::kHawkeyeMaxR:
     case SystemKind::kHawkeyeMinR: {
@@ -150,11 +153,13 @@ CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig
       hc.rtt_multiplier = cfg.hawkeye_multiplier;
       hc.use_max_rtt = system == SystemKind::kHawkeyeMaxR;
       hawkeye = std::make_unique<baselines::Hawkeye>(network, runner.plan(), hc);
+      hawkeye->analyzer().set_trace_tap(cfg.trace_writer);
       break;
     }
     case SystemKind::kFullPolling:
       full = std::make_unique<baselines::FullPolling>(network, runner.plan(),
                                                       cfg.full_poll_interval);
+      full->analyzer().set_trace_tap(cfg.trace_writer);
       full->start(spec.horizon);
       break;
   }
@@ -195,6 +200,63 @@ CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig
   result.poll_bytes = stats.counter("overhead.poll_bytes");
   result.notify_bytes = stats.counter("overhead.notify_bytes");
   result.report_count = stats.counter("overhead.report_count");
+  return result;
+}
+
+// The replay enums mirror the eval ones so replay needs no eval dependency;
+// any renumbering here must bump the trace format version.
+static_assert(static_cast<int>(SystemKind::kVedrfolnir) ==
+              static_cast<int>(replay::RecordedSystem::kVedrfolnir));
+static_assert(static_cast<int>(SystemKind::kHawkeyeMaxR) ==
+              static_cast<int>(replay::RecordedSystem::kHawkeyeMaxR));
+static_assert(static_cast<int>(SystemKind::kHawkeyeMinR) ==
+              static_cast<int>(replay::RecordedSystem::kHawkeyeMinR));
+static_assert(static_cast<int>(SystemKind::kFullPolling) ==
+              static_cast<int>(replay::RecordedSystem::kFullPolling));
+static_assert(static_cast<int>(ScenarioType::kFlowContention) ==
+              static_cast<int>(replay::RecordedScenario::kFlowContention));
+static_assert(static_cast<int>(ScenarioType::kIncast) ==
+              static_cast<int>(replay::RecordedScenario::kIncast));
+static_assert(static_cast<int>(ScenarioType::kPfcStorm) ==
+              static_cast<int>(replay::RecordedScenario::kPfcStorm));
+static_assert(static_cast<int>(ScenarioType::kPfcBackpressure) ==
+              static_cast<int>(replay::RecordedScenario::kPfcBackpressure));
+
+CaseResult record_case(const ScenarioSpec& spec, SystemKind system, const RunConfig& cfg,
+                       const std::string& path, std::string* error) {
+  replay::TraceWriter writer(path);
+
+  replay::TraceEnvelope env;
+  env.system = static_cast<replay::RecordedSystem>(system);
+  env.scenario = static_cast<replay::RecordedScenario>(spec.type);
+  env.case_id = spec.case_id;
+  env.seed = spec.seed;
+  env.fat_tree_k = 4;  // must match run_case's make_fat_tree call
+  env.horizon = spec.horizon;
+  env.participants = spec.participants;
+  env.cc_step_bytes = spec.cc_step_bytes;
+  env.netcfg = cfg.netcfg;
+  env.bg_flows = spec.bg_flows;
+  env.storms = spec.storms;
+  env.expected_root = spec.expected_root;
+  writer.write_envelope(env);
+
+  RunConfig run_cfg = cfg;
+  run_cfg.trace_writer = &writer;
+  const CaseResult result = run_case(spec, system, run_cfg);
+
+  replay::TraceFooter footer;
+  const std::string json = core::json::diagnosis_to_json(result.diagnosis);
+  footer.diagnosis_digest = replay::diagnosis_json_digest(json);
+  footer.diagnosis_json_bytes = json.size();
+  footer.outcome = result.outcome.tp   ? replay::RecordedOutcome::kTruePositive
+                   : result.outcome.fp ? replay::RecordedOutcome::kFalsePositive
+                                       : replay::RecordedOutcome::kFalseNegative;
+  footer.cc_completed = result.cc_completed;
+  footer.cc_time = result.cc_time;
+  writer.write_footer(footer);
+  writer.close();
+  if (!writer.ok() && error != nullptr) *error = writer.error();
   return result;
 }
 

@@ -15,6 +15,10 @@ namespace vedr::net {
 class PacketTracer;
 }
 
+namespace vedr::core {
+class TraceTap;
+}
+
 namespace vedr::eval {
 
 enum class SystemKind : std::uint8_t {
@@ -36,6 +40,12 @@ struct RunConfig {
   /// must not change behavior). Used by the determinism checker to digest
   /// the complete packet-event stream.
   net::PacketTracer* tracer = nullptr;
+  /// Optional trace tap (normally a replay::TraceWriter) mirroring the
+  /// diagnosis plane's full input stream to a .vtrc file. Observation only:
+  /// a recorded run must produce the same determinism digest as an
+  /// unrecorded one. Prefer record_case(), which also writes the
+  /// envelope/footer frames.
+  core::TraceTap* trace_writer = nullptr;
 };
 
 /// One case's complete result: verdict, overheads, and timing.
@@ -60,6 +70,14 @@ struct CaseResult {
 /// and scores it. Fully self-contained (fresh simulator per call) and
 /// thread-safe to run concurrently.
 CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig& cfg = {});
+
+/// Runs one case with a replay::TraceWriter attached and writes the complete
+/// .vtrc trace (envelope, streamed diagnosis-plane records, footer with the
+/// live diagnosis digest) to `path`. The returned CaseResult is identical to
+/// a plain run_case — recording observes, never perturbs. On I/O failure
+/// returns normally but sets *error (when non-null) to a description.
+CaseResult record_case(const ScenarioSpec& spec, SystemKind system, const RunConfig& cfg,
+                       const std::string& path, std::string* error = nullptr);
 
 /// Runs one case and folds the complete packet-event stream plus every
 /// diagnosis-visible output (findings JSON, contributor scores, overhead

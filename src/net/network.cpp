@@ -39,6 +39,10 @@ Switch& Network::switch_at(NodeId id) {
   return static_cast<Switch&>(*devices_.at(static_cast<std::size_t>(id)));
 }
 
+void Network::set_telemetry_tap(telemetry::TelemetryTap* tap) {
+  for (const NodeId sw : topo_.switches()) switch_at(sw).telem().set_tap(tap);
+}
+
 void Network::deliver(NodeId from, PortId out_port, Packet pkt) {
   const PortRef peer = topo_.peer(from, out_port);
   const Tick delay = topo_.port(from, out_port).delay;

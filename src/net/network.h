@@ -13,6 +13,7 @@
 #include "sim/simulator.h"
 #include "sim/stats.h"
 #include "telemetry/records.h"
+#include "telemetry/trace_tap.h"
 
 namespace vedr::net {
 
@@ -54,6 +55,10 @@ class Network {
   /// Optional packet tracer for debugging; nullptr (default) costs nothing.
   void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
   PacketTracer* tracer() { return tracer_; }
+
+  /// Attaches an observation-only telemetry tap to every switch's recorder
+  /// (pause causes, TTL drops) — the switch-side leg of trace recording.
+  void set_telemetry_tap(telemetry::TelemetryTap* tap);
 
   /// Link-level delivery: schedules arrival of `pkt` at the peer of
   /// (from, out_port) after the link propagation delay. Serialization time

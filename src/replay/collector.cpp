@@ -1,0 +1,106 @@
+#include "replay/collector.h"
+
+#include <utility>
+
+#include "core/json_export.h"
+
+namespace vedr::replay {
+
+StreamingCollector::StreamingCollector() = default;
+StreamingCollector::~StreamingCollector() = default;
+
+void StreamingCollector::build_from_envelope(const TraceEnvelope& env) {
+  topo_ = std::make_unique<net::Topology>(net::make_fat_tree(env.fat_tree_k, env.netcfg));
+  plan_ = std::make_unique<collective::CollectivePlan>(collective::CollectivePlan::ring(
+      0, collective::OpType::kAllGather, env.participants, env.cc_step_bytes));
+
+  cc_flows_.clear();
+  for (int f = 0; f < plan_->num_flows(); ++f)
+    for (const auto& s : plan_->steps_of_flow(f)) cc_flows_.insert(plan_->key_for(f, s.step));
+
+  // Mirror the live construction exactly: Vedrfolnir's analyzer knows the
+  // plan (per-step graphs, waiting graph, contributor rating); the baselines'
+  // analyzers are plan-less and only know the monitored flow set.
+  if (env.system == RecordedSystem::kVedrfolnir) {
+    analyzer_ = std::make_unique<core::Analyzer>(topo_.get(), plan_.get());
+  } else {
+    analyzer_ = std::make_unique<core::Analyzer>(topo_.get(), nullptr);
+    analyzer_->set_cc_flows(cc_flows_);
+  }
+}
+
+ReplayResult StreamingCollector::replay(TraceReader& reader) {
+  ReplayResult result;
+  if (!reader.ok()) {
+    result.error = reader.error();
+    return result;
+  }
+
+  TraceRecord rec;
+  TraceStatus status;
+  while ((status = reader.next(rec)) == TraceStatus::kOk) {
+    ++result.stats.frames;
+    result.stats.by_type[static_cast<std::size_t>(rec.type)] += 1;
+    switch (rec.type) {
+      case RecordType::kEnvelope:
+        result.envelope = std::get<TraceEnvelope>(rec.payload);
+        build_from_envelope(result.envelope);
+        break;
+      case RecordType::kStepRecord:
+        analyzer_->add_step_record(std::get<collective::StepRecord>(rec.payload));
+        break;
+      case RecordType::kPollRegistration: {
+        const auto& p = std::get<PollRegistration>(rec.payload);
+        analyzer_->register_poll(p.poll_id, p.flow, p.step);
+        break;
+      }
+      case RecordType::kSwitchReport:
+        analyzer_->on_switch_report(std::get<telemetry::SwitchReport>(rec.payload));
+        break;
+      case RecordType::kFooter:
+        result.have_footer = true;
+        result.footer = std::get<TraceFooter>(rec.payload);
+        break;
+      case RecordType::kPollTrigger:
+      case RecordType::kNotification:
+      case RecordType::kPauseCause:
+      case RecordType::kTtlDrop:
+        break;  // informational: counted above, never fed to a live analyzer
+    }
+  }
+  result.stats.bytes = reader.bytes_read();
+
+  if (status != TraceStatus::kEof) {
+    result.error = reader.error();
+  } else if (result.have_footer) {
+    // Frame-count cross-check: a frame-granular truncation that removed
+    // whole records (every surviving frame intact) still disagrees with the
+    // footer's counts.
+    for (std::size_t t = 0; t < kNumRecordSlots; ++t) {
+      // The footer's own slot is written before the footer frame exists.
+      const std::uint64_t expect =
+          t == static_cast<std::size_t>(RecordType::kFooter)
+              ? result.footer.record_counts[t] + 1
+              : result.footer.record_counts[t];
+      if (result.stats.by_type[t] != expect) {
+        result.error = TraceError{TraceStatus::kTruncated, result.stats.bytes,
+                                  std::string("footer counts disagree for record type ") +
+                                      std::to_string(t) + " (frames lost mid-stream)"};
+        break;
+      }
+    }
+    if (result.error.status == TraceStatus::kOk) result.ok = true;
+  }
+
+  if (analyzer_ != nullptr) {
+    result.diagnosis = analyzer_->diagnose();
+    result.diagnosis_json = core::json::diagnosis_to_json(result.diagnosis);
+    result.diagnosis_digest = diagnosis_json_digest(result.diagnosis_json);
+    result.digest_matches = result.ok && result.have_footer &&
+                            result.diagnosis_digest == result.footer.diagnosis_digest &&
+                            result.diagnosis_json.size() == result.footer.diagnosis_json_bytes;
+  }
+  return result;
+}
+
+}  // namespace vedr::replay

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "collective/plan.h"
+#include "common/digest.h"
+#include "core/analyzer.h"
+#include "core/diagnosis.h"
+#include "net/topology.h"
+#include "replay/trace_reader.h"
+
+namespace vedr::replay {
+
+/// How the diagnosis JSON folds into the 64-bit digest stored in the footer
+/// and compared by --verify-digest. One definition shared by the recording
+/// side (eval::record_case) and the replay side so they cannot drift.
+inline std::uint64_t diagnosis_json_digest(std::string_view json) {
+  return common::Digest().mix(json).value();
+}
+
+struct ReplayStats {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t by_type[kNumRecordSlots] = {};
+};
+
+struct ReplayResult {
+  bool ok = false;      ///< stream complete (envelope..footer) and well-formed
+  TraceError error;     ///< set when !ok
+  TraceEnvelope envelope;
+  bool have_footer = false;
+  TraceFooter footer;
+  core::Diagnosis diagnosis;    ///< produced by the replayed analyzer
+  std::string diagnosis_json;   ///< canonical JSON export of `diagnosis`
+  std::uint64_t diagnosis_digest = 0;
+  /// Replayed diagnosis digest equals the live run's footer digest — the
+  /// offline path reproduced the online diagnosis bit-for-bit.
+  bool digest_matches = false;
+  ReplayStats stats;
+};
+
+/// Feeds a fresh Analyzer incrementally from a TraceReader: the envelope
+/// rebuilds the topology, collective plan, and analyzer; every subsequent
+/// frame is dispatched as it is read (bounded memory — the reader holds one
+/// frame at a time, the analyzer accumulates exactly what a live run's
+/// analyzer would). Informational frames (poll triggers, notifications,
+/// pause causes, TTL drops) are counted but not fed to the analyzer, which
+/// never sees them live either.
+class StreamingCollector {
+ public:
+  StreamingCollector();
+  ~StreamingCollector();
+
+  /// Pumps the reader to its end and diagnoses. Diagnosis is attempted even
+  /// on a damaged stream (best effort over the frames that survived), but
+  /// `ok` and `digest_matches` are only set for a complete, verified stream.
+  ReplayResult replay(TraceReader& reader);
+
+  /// Valid after replay(); exposes the replayed graphs for DOT/JSON export.
+  core::Analyzer* analyzer() { return analyzer_.get(); }
+  const std::unordered_set<net::FlowKey, net::FlowKeyHash>& cc_flows() const {
+    return cc_flows_;
+  }
+
+ private:
+  void build_from_envelope(const TraceEnvelope& env);
+
+  std::unique_ptr<net::Topology> topo_;
+  std::unique_ptr<collective::CollectivePlan> plan_;
+  std::unique_ptr<core::Analyzer> analyzer_;
+  std::unordered_set<net::FlowKey, net::FlowKeyHash> cc_flows_;
+};
+
+}  // namespace vedr::replay

@@ -1,0 +1,188 @@
+#include "replay/trace_reader.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace vedr::replay {
+
+const char* to_string(TraceStatus s) {
+  switch (s) {
+    case TraceStatus::kOk: return "ok";
+    case TraceStatus::kEof: return "eof";
+    case TraceStatus::kIoError: return "io-error";
+    case TraceStatus::kBadMagic: return "bad-magic";
+    case TraceStatus::kBadVersion: return "bad-version";
+    case TraceStatus::kBadHeader: return "bad-header";
+    case TraceStatus::kTruncated: return "truncated";
+    case TraceStatus::kCrcMismatch: return "crc-mismatch";
+    case TraceStatus::kBadRecord: return "bad-record";
+  }
+  return "?";
+}
+
+std::string TraceError::str() const {
+  std::string s = to_string(status);
+  s += " at offset " + std::to_string(offset);
+  if (!detail.empty()) s += ": " + detail;
+  return s;
+}
+
+TraceReader::TraceReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    fail(TraceStatus::kIoError, 0, "open " + path + ": " + std::strerror(errno));
+    return;
+  }
+  read_header();
+}
+
+TraceReader::~TraceReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+TraceStatus TraceReader::fail(TraceStatus status, std::uint64_t offset, std::string detail) {
+  if (error_.status == TraceStatus::kOk) {
+    error_.status = status;
+    error_.offset = offset;
+    error_.detail = std::move(detail);
+  }
+  return error_.status;
+}
+
+void TraceReader::read_header() {
+  char header[kFileHeaderBytes];
+  const std::size_t got = std::fread(header, 1, sizeof header, file_);
+  if (got != sizeof header) {
+    fail(TraceStatus::kBadHeader, got, "file shorter than the 12-byte header");
+    return;
+  }
+  if (std::memcmp(header, kMagic, sizeof kMagic) != 0) {
+    fail(TraceStatus::kBadMagic, 0, "magic is not \"VTRC\"");
+    return;
+  }
+  ByteReader r(std::string_view(header, sizeof header));
+  // Validate the CRC before interpreting the version: a flipped version
+  // byte must read as corruption, not as a huff about compatibility.
+  const std::uint32_t expect = crc32(std::string_view(header, 8));
+  ByteReader crc_r(std::string_view(header + 8, 4));
+  if (crc_r.u32() != expect) {
+    fail(TraceStatus::kBadHeader, 0, "header CRC mismatch");
+    return;
+  }
+  r.u32();  // magic, already checked
+  version_ = r.u16();
+  if (version_ != kTraceVersion) {
+    fail(TraceStatus::kBadVersion, 4,
+         "trace version " + std::to_string(version_) + ", reader supports " +
+             std::to_string(kTraceVersion));
+    return;
+  }
+  // flags is reserved: until a versioned meaning exists, nonzero is from
+  // the future and must be rejected, not ignored.
+  const std::uint16_t flags = r.u16();
+  if (flags != 0) {
+    fail(TraceStatus::kBadHeader, 6, "reserved header flags are nonzero");
+    return;
+  }
+  bytes_ = kFileHeaderBytes;
+}
+
+TraceStatus TraceReader::next(TraceRecord& out) {
+  if (error_.status != TraceStatus::kOk) return error_.status;
+  if (eof_) return TraceStatus::kEof;
+
+  const std::uint64_t frame_offset = bytes_;
+  char prefix[kFramePrefixBytes];
+  const std::size_t got = std::fread(prefix, 1, sizeof prefix, file_);
+  if (got == 0) {
+    if (std::ferror(file_) != 0)
+      return fail(TraceStatus::kIoError, frame_offset, std::strerror(errno));
+    eof_ = true;
+    if (!seen_footer_)
+      return fail(TraceStatus::kTruncated, frame_offset,
+                  "stream ends without a footer frame");
+    return TraceStatus::kEof;
+  }
+  if (got != sizeof prefix)
+    return fail(TraceStatus::kTruncated, frame_offset, "file ends inside a frame prefix");
+
+  ByteReader pr(std::string_view(prefix, sizeof prefix));
+  const std::uint8_t type_byte = pr.u8();
+  const std::uint32_t len = pr.u32();
+  if (len > kMaxFramePayload)
+    return fail(TraceStatus::kBadRecord, frame_offset,
+                "frame payload length " + std::to_string(len) + " exceeds the format cap");
+
+  payload_.resize(len);
+  if (len > 0 && std::fread(payload_.data(), 1, len, file_) != len)
+    return fail(TraceStatus::kTruncated, frame_offset, "file ends inside a frame payload");
+
+  char crc_buf[kFrameCrcBytes];
+  if (std::fread(crc_buf, 1, sizeof crc_buf, file_) != sizeof crc_buf)
+    return fail(TraceStatus::kTruncated, frame_offset, "file ends inside a frame CRC");
+  ByteReader cr(std::string_view(crc_buf, sizeof crc_buf));
+  const std::uint32_t stored = cr.u32();
+  std::uint32_t state = crc32_update(kCrcInit, std::string_view(prefix, sizeof prefix));
+  state = crc32_update(state, payload_);
+  if (crc32_finish(state) != stored)
+    return fail(TraceStatus::kCrcMismatch, frame_offset, "frame CRC mismatch");
+
+  if (type_byte < static_cast<std::uint8_t>(RecordType::kEnvelope) ||
+      type_byte > static_cast<std::uint8_t>(RecordType::kFooter))
+    return fail(TraceStatus::kBadRecord, frame_offset,
+                "unknown record type " + std::to_string(type_byte));
+  const RecordType type = static_cast<RecordType>(type_byte);
+
+  // Structural rules: exactly one envelope, first; nothing after the footer.
+  if (seen_footer_)
+    return fail(TraceStatus::kBadRecord, frame_offset, "frame after the footer");
+  if (type == RecordType::kEnvelope && seen_envelope_)
+    return fail(TraceStatus::kBadRecord, frame_offset, "second envelope frame");
+  if (type != RecordType::kEnvelope && !seen_envelope_)
+    return fail(TraceStatus::kBadRecord, frame_offset,
+                std::string(to_string(type)) + " frame before the envelope");
+
+  out.type = type;
+  ByteReader body(payload_);
+  bool decoded = false;
+  switch (type) {
+    case RecordType::kEnvelope:
+      decoded = decode(body, out.payload.emplace<TraceEnvelope>());
+      break;
+    case RecordType::kStepRecord:
+      decoded = decode(body, out.payload.emplace<collective::StepRecord>());
+      break;
+    case RecordType::kPollRegistration:
+      decoded = decode(body, out.payload.emplace<PollRegistration>());
+      break;
+    case RecordType::kSwitchReport:
+      decoded = decode(body, out.payload.emplace<telemetry::SwitchReport>());
+      break;
+    case RecordType::kPollTrigger:
+      decoded = decode(body, out.payload.emplace<PollTriggerRecord>());
+      break;
+    case RecordType::kNotification:
+      decoded = decode(body, out.payload.emplace<NotificationRecord>());
+      break;
+    case RecordType::kPauseCause:
+      decoded = decode(body, out.payload.emplace<PauseCauseRecord>());
+      break;
+    case RecordType::kTtlDrop:
+      decoded = decode(body, out.payload.emplace<TtlDropRecord>());
+      break;
+    case RecordType::kFooter:
+      decoded = decode(body, out.payload.emplace<TraceFooter>());
+      break;
+  }
+  if (!decoded)
+    return fail(TraceStatus::kBadRecord, frame_offset,
+                std::string("malformed ") + to_string(type) + " payload");
+
+  if (type == RecordType::kEnvelope) seen_envelope_ = true;
+  if (type == RecordType::kFooter) seen_footer_ = true;
+  ++frames_;
+  bytes_ += kFramePrefixBytes + len + kFrameCrcBytes;
+  return TraceStatus::kOk;
+}
+
+}  // namespace vedr::replay

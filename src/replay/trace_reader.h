@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "replay/trace_format.h"
+
+namespace vedr::replay {
+
+/// Typed failure modes. A corrupt, truncated, or wrong-version file must
+/// produce exactly one of these — never a crash or undefined behavior (the
+/// corruption tests bit-flip and truncate traces at every frame boundary
+/// under ASan/UBSan to enforce this).
+enum class TraceStatus : std::uint8_t {
+  kOk = 0,
+  kEof,          ///< clean end of stream at a frame boundary
+  kIoError,      ///< open/read failed at the OS level
+  kBadMagic,     ///< not a .vtrc file
+  kBadVersion,   ///< .vtrc from an incompatible format version
+  kBadHeader,    ///< header CRC mismatch or short header
+  kTruncated,    ///< file ends mid-frame
+  kCrcMismatch,  ///< frame payload corrupt
+  kBadRecord,    ///< frame decodes to an invalid record (unknown type,
+                 ///< malformed payload, envelope/footer misplacement)
+};
+
+const char* to_string(TraceStatus s);
+
+struct TraceError {
+  TraceStatus status = TraceStatus::kOk;
+  std::uint64_t offset = 0;  ///< file offset of the offending frame (or header)
+  std::string detail;
+
+  std::string str() const;
+};
+
+/// Streaming .vtrc reader: validates the file header on construction, then
+/// yields one decoded record per next() call. Memory use is bounded by the
+/// largest single frame (the payload buffer is reused); there is no
+/// load-the-whole-file path.
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+  ~TraceReader();
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  /// Header parsed and no error yet.
+  bool ok() const { return error_.status == TraceStatus::kOk; }
+  const TraceError& error() const { return error_; }
+  std::uint16_t version() const { return version_; }
+
+  /// Reads and decodes the next frame. Returns kOk with `out` filled, kEof
+  /// at a clean end of stream, or a terminal error (which latches: further
+  /// calls return the same error).
+  TraceStatus next(TraceRecord& out);
+
+  std::uint64_t frames_read() const { return frames_; }
+  std::uint64_t bytes_read() const { return bytes_; }
+
+ private:
+  TraceStatus fail(TraceStatus status, std::uint64_t offset, std::string detail);
+  void read_header();
+
+  std::FILE* file_ = nullptr;
+  TraceError error_;
+  bool eof_ = false;
+  std::uint16_t version_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+  bool seen_envelope_ = false;
+  bool seen_footer_ = false;
+  std::string payload_;  ///< reused frame buffer (bounded by kMaxFramePayload)
+};
+
+}  // namespace vedr::replay

@@ -1,0 +1,128 @@
+#include "replay/trace_writer.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace vedr::replay {
+
+TraceWriter::TraceWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    fail("open " + path + ": " + std::strerror(errno));
+    return;
+  }
+  const std::string header = encode_file_header();
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    fail("write header: " + std::string(std::strerror(errno)));
+    return;
+  }
+  bytes_ += header.size();
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::fail(const std::string& what) {
+  ok_ = false;
+  if (error_.empty()) error_ = what;
+}
+
+bool TraceWriter::close() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0) fail("close: " + std::string(std::strerror(errno)));
+    file_ = nullptr;
+  }
+  return ok_;
+}
+
+void TraceWriter::write_frame(RecordType type, const std::string& payload) {
+  if (!ok_ || file_ == nullptr) return;
+  VEDR_CHECK(payload.size() <= kMaxFramePayload, "trace frame payload too large");
+  ByteWriter prefix;
+  prefix.u8(static_cast<std::uint8_t>(type));
+  prefix.u32(static_cast<std::uint32_t>(payload.size()));
+
+  // The CRC covers type + length + payload, so a bit flip anywhere in the
+  // frame (including the framing itself) is detected.
+  std::uint32_t state = crc32_update(kCrcInit, prefix.data());
+  state = crc32_update(state, payload);
+  ByteWriter tail;
+  tail.u32(crc32_finish(state));
+
+  if (std::fwrite(prefix.data().data(), 1, prefix.data().size(), file_) !=
+          prefix.data().size() ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size() ||
+      std::fwrite(tail.data().data(), 1, tail.data().size(), file_) != tail.data().size()) {
+    fail("write frame: " + std::string(std::strerror(errno)));
+    return;
+  }
+  ++frames_;
+  bytes_ += kFramePrefixBytes + payload.size() + kFrameCrcBytes;
+  ++counts_[static_cast<std::size_t>(type)];
+}
+
+void TraceWriter::write_envelope(const TraceEnvelope& env) {
+  VEDR_CHECK(!envelope_written_, "trace envelope written twice");
+  envelope_written_ = true;
+  ByteWriter w;
+  encode(w, env);
+  write_frame(RecordType::kEnvelope, w.data());
+}
+
+void TraceWriter::write_footer(TraceFooter footer) {
+  VEDR_CHECK(envelope_written_, "trace footer without envelope");
+  VEDR_CHECK(!footer_written_, "trace footer written twice");
+  footer_written_ = true;
+  for (std::size_t i = 0; i < kNumRecordSlots; ++i) footer.record_counts[i] = counts_[i];
+  ByteWriter w;
+  encode(w, footer);
+  write_frame(RecordType::kFooter, w.data());
+}
+
+void TraceWriter::on_step_record(const collective::StepRecord& r) {
+  ByteWriter w;
+  encode(w, r);
+  write_frame(RecordType::kStepRecord, w.data());
+}
+
+void TraceWriter::on_poll_registered(std::uint64_t poll_id, int flow, int step) {
+  ByteWriter w;
+  encode(w, PollRegistration{poll_id, flow, step});
+  write_frame(RecordType::kPollRegistration, w.data());
+}
+
+void TraceWriter::on_switch_report_in(const telemetry::SwitchReport& report) {
+  ByteWriter w;
+  encode(w, report);
+  write_frame(RecordType::kSwitchReport, w.data());
+}
+
+void TraceWriter::on_poll_trigger(net::Tick time, net::NodeId host, const net::FlowKey& flow,
+                                  std::uint64_t poll_id, int step) {
+  ByteWriter w;
+  encode(w, PollTriggerRecord{time, host, flow, poll_id, step});
+  write_frame(RecordType::kPollTrigger, w.data());
+}
+
+void TraceWriter::on_notification_sent(net::Tick time, net::NodeId from, net::NodeId to,
+                                       int step, int budget) {
+  ByteWriter w;
+  encode(w, NotificationRecord{time, from, to, step, budget});
+  write_frame(RecordType::kNotification, w.data());
+}
+
+void TraceWriter::on_pause_cause(net::NodeId switch_id,
+                                 const telemetry::PauseCauseReport& cause) {
+  ByteWriter w;
+  encode(w, PauseCauseRecord{switch_id, cause});
+  write_frame(RecordType::kPauseCause, w.data());
+}
+
+void TraceWriter::on_ttl_drop(net::NodeId switch_id, const telemetry::DropEntry& drop) {
+  ByteWriter w;
+  encode(w, TtlDropRecord{switch_id, drop});
+  write_frame(RecordType::kTtlDrop, w.data());
+}
+
+}  // namespace vedr::replay

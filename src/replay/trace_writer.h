@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/trace_tap.h"
+#include "replay/trace_format.h"
+
+namespace vedr::replay {
+
+/// Streaming .vtrc writer and the canonical core::TraceTap implementation:
+/// attach it to a run (RunConfig::trace_writer) and every analyzer ingestion
+/// call, monitor trigger, and switch-local telemetry event is framed, CRC'd,
+/// and appended to the file as it happens — no in-memory event list.
+///
+/// Usage: construct, write_envelope() once, run the case with the tap
+/// attached, write_footer() once, close(). Errors latch: after the first
+/// I/O failure all writes become no-ops and ok() stays false.
+class TraceWriter final : public core::TraceTap {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter() override;
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  void write_envelope(const TraceEnvelope& env);
+  void write_footer(TraceFooter footer);  ///< record_counts filled in by the writer
+
+  /// Flushes and closes; returns ok(). Idempotent.
+  bool close();
+
+  std::uint64_t frames_written() const { return frames_; }
+  std::uint64_t bytes_written() const { return bytes_; }
+
+  // --- core::TraceTap (observation only) -------------------------------------
+  void on_step_record(const collective::StepRecord& r) override;
+  void on_poll_registered(std::uint64_t poll_id, int flow, int step) override;
+  void on_switch_report_in(const telemetry::SwitchReport& report) override;
+  void on_poll_trigger(net::Tick time, net::NodeId host, const net::FlowKey& flow,
+                       std::uint64_t poll_id, int step) override;
+  void on_notification_sent(net::Tick time, net::NodeId from, net::NodeId to, int step,
+                            int budget) override;
+  void on_pause_cause(net::NodeId switch_id, const telemetry::PauseCauseReport& cause) override;
+  void on_ttl_drop(net::NodeId switch_id, const telemetry::DropEntry& drop) override;
+
+ private:
+  void write_frame(RecordType type, const std::string& payload);
+  void fail(const std::string& what);
+
+  std::FILE* file_ = nullptr;
+  bool ok_ = true;
+  std::string error_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t counts_[kNumRecordSlots] = {};
+  bool envelope_written_ = false;
+  bool footer_written_ = false;
+};
+
+}  // namespace vedr::replay

@@ -1,0 +1,33 @@
+#include "replay/wire.h"
+
+#include <array>
+#include <bit>
+
+namespace vedr::replay {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, std::string_view data) {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  for (const char ch : data)
+    state = kTable[(state ^ static_cast<std::uint8_t>(ch)) & 0xFFU] ^ (state >> 8);
+  return state;
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+}  // namespace vedr::replay

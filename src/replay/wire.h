@@ -1,0 +1,122 @@
+#pragma once
+
+// Low-level byte codec for the .vtrc trace format: little-endian fixed-width
+// scalars, length-prefixed sequences, and CRC-32 (IEEE 802.3) for frame
+// integrity. Shared by TraceWriter and TraceReader so the two sides cannot
+// drift; see DESIGN.md appendix "The .vtrc trace format" for the layout.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vedr::replay {
+
+/// CRC-32 (reflected polynomial 0xEDB88320, init/xorout 0xFFFFFFFF) — the
+/// standard zlib/Ethernet CRC, table-driven. The streaming form lets a frame
+/// CRC cover several buffers without concatenating them:
+///   state = crc32_update(kCrcInit, a); state = crc32_update(state, b);
+///   crc = crc32_finish(state);
+inline constexpr std::uint32_t kCrcInit = 0xFFFFFFFFU;
+std::uint32_t crc32_update(std::uint32_t state, std::string_view data);
+inline std::uint32_t crc32_finish(std::uint32_t state) { return state ^ 0xFFFFFFFFU; }
+inline std::uint32_t crc32(std::string_view data) {
+  return crc32_finish(crc32_update(kCrcInit, data));
+}
+
+/// Appends little-endian scalars to a growing byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v & 0xFF));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v & 0xFFFF));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFU));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// u32 element count; the caller then writes `n` elements.
+  void count(std::size_t n) { u32(static_cast<std::uint32_t>(n)); }
+
+  void bytes(std::string_view s) { buf_.append(s.data(), s.size()); }
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over a decoded payload. Any read past
+/// the end latches `ok() == false` and returns zeros; decoders check ok()
+/// once at the end instead of after every field, and a short payload can
+/// never read out of bounds (the corruption tests exercise this under ASan).
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    if (pos_ + 1 > data_.size()) return fail8();
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint16_t u16() {
+    const std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(u8()) << 8));
+  }
+
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool boolean() { return u8() != 0; }
+
+  /// Reads a u32 element count and validates that at least `min_elem_bytes`
+  /// per element remain — a corrupt count cannot trigger a huge reserve.
+  std::size_t count(std::size_t min_elem_bytes) {
+    const std::uint32_t n = u32();
+    if (min_elem_bytes > 0 && static_cast<std::uint64_t>(n) * min_elem_bytes > remaining()) {
+      ok_ = false;
+      return 0;
+    }
+    return n;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool ok() const { return ok_; }
+
+ private:
+  std::uint8_t fail8() {
+    ok_ = false;
+    pos_ = data_.size();
+    return 0;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace vedr::replay

@@ -6,6 +6,7 @@
 
 #include "net/types.h"
 #include "telemetry/records.h"
+#include "telemetry/trace_tap.h"
 
 namespace vedr::telemetry {
 
@@ -86,7 +87,14 @@ class SwitchTelemetry {
     return meter_.at(static_cast<std::size_t>(in_port)).at(static_cast<std::size_t>(out_port));
   }
 
-  void record_pause_cause(PauseCauseReport cause) { causes_.push_back(std::move(cause)); }
+  void record_pause_cause(PauseCauseReport cause) {
+    if (tap_ != nullptr) tap_->on_pause_cause(switch_id_, cause);
+    causes_.push_back(std::move(cause));
+  }
+
+  /// Observation-only trace tap: sees every pause cause and TTL drop as it
+  /// is recorded, including ones no poll window ever covers.
+  void set_tap(TelemetryTap* tap) { tap_ = tap; }
 
   /// TTL expiry observed for `flow` whose next hop would have been `egress`.
   void record_ttl_drop(const FlowKey& flow, PortId egress, Tick now);
@@ -110,6 +118,7 @@ class SwitchTelemetry {
   std::vector<PauseCauseReport> causes_;
   std::unordered_map<FlowKey, DropEntry, net::FlowKeyHash> drops_;
   std::int64_t total_drops_ = 0;
+  TelemetryTap* tap_ = nullptr;
 };
 
 }  // namespace vedr::telemetry

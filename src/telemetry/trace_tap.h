@@ -1,0 +1,20 @@
+#pragma once
+
+#include "net/types.h"
+#include "telemetry/records.h"
+
+namespace vedr::telemetry {
+
+/// Observation-only tap for switch-local telemetry events that may never be
+/// carried by any poll response: PAUSE causes and TTL-expiry drops are only
+/// reported when a poll's window covers them, but a trace wants all of them.
+/// Implementations must not mutate simulation state — the tap exists so a
+/// recorded run stays bit-identical to an unrecorded one.
+class TelemetryTap {
+ public:
+  virtual ~TelemetryTap() = default;
+  virtual void on_pause_cause(net::NodeId switch_id, const PauseCauseReport& cause) = 0;
+  virtual void on_ttl_drop(net::NodeId switch_id, const DropEntry& drop) = 0;
+};
+
+}  // namespace vedr::telemetry

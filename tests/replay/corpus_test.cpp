@@ -1,0 +1,96 @@
+// Golden-trace corpus: one recorded case per scenario, checked into
+// tests/replay/corpus/ alongside the live run's diagnosis JSON. Replaying a
+// stored trace must reproduce the stored diagnosis byte-for-byte — this
+// pins the analyzer's behavior across refactors (an intended behavior change
+// shows up as a corpus diff, regenerated with VEDR_UPDATE_CORPUS=1).
+//
+//   VEDR_UPDATE_CORPUS=1 ./replay_tests --gtest_filter='Corpus*'
+//
+// re-records every trace and expectation in the source tree.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "common/env.h"
+#include "core/json_export.h"
+#include "eval/experiment.h"
+#include "net/routing.h"
+#include "replay/collector.h"
+#include "replay/trace_reader.h"
+
+#ifndef VEDR_REPLAY_CORPUS_DIR
+#error "VEDR_REPLAY_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace vedr {
+namespace {
+
+// Must stay fixed: changing either invalidates every stored trace.
+constexpr double kCorpusScale = 1.0 / 256.0;
+constexpr int kCorpusCase = 0;
+
+struct CorpusEntry {
+  const char* name;
+  eval::ScenarioType type;
+};
+
+const CorpusEntry kCorpus[] = {
+    {"contention", eval::ScenarioType::kFlowContention},
+    {"incast", eval::ScenarioType::kIncast},
+    {"storm", eval::ScenarioType::kPfcStorm},
+    {"backpressure", eval::ScenarioType::kPfcBackpressure},
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+class CorpusTest : public ::testing::TestWithParam<CorpusEntry> {};
+
+TEST_P(CorpusTest, ReplayedDiagnosisMatchesStoredExpectation) {
+  const CorpusEntry& entry = GetParam();
+  const std::string dir = VEDR_REPLAY_CORPUS_DIR;
+  const std::string trace_path = dir + "/" + entry.name + ".vtrc";
+  const std::string json_path = dir + "/" + entry.name + ".expected.json";
+
+  if (common::env_str("VEDR_UPDATE_CORPUS")) {
+    eval::RunConfig cfg;
+    eval::ScenarioParams params;
+    params.scale = kCorpusScale;
+    const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
+    const auto routing = net::RoutingTable::shortest_paths(topo);
+    const auto spec = eval::make_scenario(entry.type, kCorpusCase, topo, routing, params);
+    std::string error;
+    const eval::CaseResult live =
+        eval::record_case(spec, eval::SystemKind::kVedrfolnir, cfg, trace_path, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    out << core::json::diagnosis_to_json(live.diagnosis);
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "corpus regenerated: " << trace_path;
+  }
+
+  replay::TraceReader reader(trace_path);
+  replay::StreamingCollector collector;
+  const replay::ReplayResult replayed = collector.replay(reader);
+  ASSERT_TRUE(replayed.ok) << trace_path << ": " << replayed.error.str()
+                           << " (regenerate with VEDR_UPDATE_CORPUS=1)";
+
+  const std::string expected = read_file(json_path);
+  ASSERT_FALSE(expected.empty()) << "missing expectation " << json_path;
+  // Byte-identical: the replayed diagnosis must equal the diagnosis the
+  // recording run produced, as stored at recording time.
+  EXPECT_EQ(replayed.diagnosis_json, expected) << entry.name;
+  EXPECT_TRUE(replayed.digest_matches) << entry.name;
+  EXPECT_EQ(replayed.diagnosis_digest, replayed.footer.diagnosis_digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, CorpusTest, ::testing::ValuesIn(kCorpus),
+                         [](const ::testing::TestParamInfo<CorpusEntry>& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace vedr

@@ -1,0 +1,132 @@
+// End-to-end guarantees of the trace subsystem:
+//  1. Recording is observation-only — a recorded run produces the same
+//     determinism digest as an unrecorded one.
+//  2. The offline replay path reproduces the live diagnosis bit-for-bit,
+//     for every system kind (Vedrfolnir and the baselines route all
+//     diagnosis input through the Analyzer, which is what the trace mirrors).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/json_export.h"
+#include "eval/experiment.h"
+#include "net/routing.h"
+#include "replay/collector.h"
+#include "replay/trace_reader.h"
+#include "replay/trace_writer.h"
+
+namespace vedr {
+namespace {
+
+// Tiny workload: full fidelity, CI-friendly runtime.
+constexpr double kScale = 1.0 / 256.0;
+
+eval::ScenarioSpec make_spec(eval::ScenarioType type, int case_id, const eval::RunConfig& cfg) {
+  eval::ScenarioParams params;
+  params.scale = kScale;
+  const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
+  const auto routing = net::RoutingTable::shortest_paths(topo);
+  return eval::make_scenario(type, case_id, topo, routing, params);
+}
+
+TEST(ReplayIdentity, RecordingDoesNotPerturbTheRun) {
+  eval::RunConfig cfg;
+  const auto spec = make_spec(eval::ScenarioType::kIncast, 0, cfg);
+
+  const std::uint64_t bare = eval::run_case_digest(spec, eval::SystemKind::kVedrfolnir, cfg);
+
+  const std::string path = ::testing::TempDir() + "/perturb.vtrc";
+  replay::TraceWriter writer(path);
+  eval::RunConfig recording = cfg;
+  recording.trace_writer = &writer;
+  const std::uint64_t recorded =
+      eval::run_case_digest(spec, eval::SystemKind::kVedrfolnir, recording);
+  writer.close();
+
+  EXPECT_EQ(bare, recorded) << "attaching a TraceWriter changed the simulation";
+  EXPECT_TRUE(writer.ok());
+  EXPECT_GT(writer.frames_written(), 0u);
+}
+
+TEST(ReplayIdentity, ReplayReproducesLiveDiagnosisForAllSystems) {
+  const eval::SystemKind kinds[] = {
+      eval::SystemKind::kVedrfolnir,
+      eval::SystemKind::kHawkeyeMaxR,
+      eval::SystemKind::kHawkeyeMinR,
+      eval::SystemKind::kFullPolling,
+  };
+  eval::RunConfig cfg;
+  const auto spec = make_spec(eval::ScenarioType::kFlowContention, 1, cfg);
+
+  for (const auto kind : kinds) {
+    const std::string path =
+        ::testing::TempDir() + "/identity_" + std::string(eval::to_string(kind)) + ".vtrc";
+    std::string error;
+    const eval::CaseResult live = eval::record_case(spec, kind, cfg, path, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    const std::string live_json = core::json::diagnosis_to_json(live.diagnosis);
+
+    replay::TraceReader reader(path);
+    replay::StreamingCollector collector;
+    const replay::ReplayResult replayed = collector.replay(reader);
+
+    ASSERT_TRUE(replayed.ok) << eval::to_string(kind) << ": " << replayed.error.str();
+    EXPECT_TRUE(replayed.have_footer);
+    EXPECT_EQ(replayed.diagnosis_json, live_json) << eval::to_string(kind);
+    EXPECT_EQ(replayed.diagnosis_digest, replay::diagnosis_json_digest(live_json));
+    EXPECT_TRUE(replayed.digest_matches) << eval::to_string(kind);
+  }
+}
+
+TEST(ReplayIdentity, RecordCaseMatchesPlainRunCase) {
+  eval::RunConfig cfg;
+  const auto spec = make_spec(eval::ScenarioType::kPfcStorm, 0, cfg);
+
+  const eval::CaseResult plain = eval::run_case(spec, eval::SystemKind::kVedrfolnir, cfg);
+  const std::string path = ::testing::TempDir() + "/record_eq.vtrc";
+  std::string error;
+  const eval::CaseResult recorded =
+      eval::record_case(spec, eval::SystemKind::kVedrfolnir, cfg, path, &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  EXPECT_EQ(core::json::diagnosis_to_json(plain.diagnosis),
+            core::json::diagnosis_to_json(recorded.diagnosis));
+  EXPECT_EQ(plain.cc_time, recorded.cc_time);
+  EXPECT_EQ(plain.cc_completed, recorded.cc_completed);
+  EXPECT_EQ(plain.telemetry_bytes, recorded.telemetry_bytes);
+  EXPECT_EQ(plain.bandwidth_bytes, recorded.bandwidth_bytes);
+  EXPECT_EQ(plain.sim_events, recorded.sim_events);
+}
+
+TEST(ReplayIdentity, FooterCarriesTheLiveOutcome) {
+  eval::RunConfig cfg;
+  const auto spec = make_spec(eval::ScenarioType::kPfcBackpressure, 0, cfg);
+  const std::string path = ::testing::TempDir() + "/footer.vtrc";
+  std::string error;
+  const eval::CaseResult live =
+      eval::record_case(spec, eval::SystemKind::kVedrfolnir, cfg, path, &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  replay::TraceReader reader(path);
+  replay::StreamingCollector collector;
+  const replay::ReplayResult replayed = collector.replay(reader);
+  ASSERT_TRUE(replayed.ok) << replayed.error.str();
+
+  EXPECT_EQ(replayed.footer.cc_completed, live.cc_completed);
+  EXPECT_EQ(replayed.footer.cc_time, live.cc_time);
+  EXPECT_EQ(replayed.footer.diagnosis_json_bytes,
+            core::json::diagnosis_to_json(live.diagnosis).size());
+  const auto expect_outcome = live.outcome.tp   ? replay::RecordedOutcome::kTruePositive
+                              : live.outcome.fp ? replay::RecordedOutcome::kFalsePositive
+                                                : replay::RecordedOutcome::kFalseNegative;
+  EXPECT_EQ(replayed.footer.outcome, expect_outcome);
+  // Envelope ground truth survives the round trip.
+  EXPECT_EQ(replayed.envelope.seed, spec.seed);
+  EXPECT_EQ(replayed.envelope.case_id, spec.case_id);
+  EXPECT_EQ(replayed.envelope.participants.size(), spec.participants.size());
+  EXPECT_EQ(replayed.envelope.bg_flows.size(), spec.bg_flows.size());
+  EXPECT_EQ(replayed.envelope.storms.size(), spec.storms.size());
+}
+
+}  // namespace
+}  // namespace vedr

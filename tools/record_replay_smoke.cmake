@@ -1,0 +1,15 @@
+# Runs vedr_diagnose --record then vedr_replay --verify-digest as one test.
+# vedr_diagnose exits 1 when the case is not a true positive; that is a valid
+# outcome here, so only exit codes above 1 fail the test.
+execute_process(
+  COMMAND ${DIAGNOSE} --scenario incast --case 0 --scale 0.0039 --record ${TRACE}
+  RESULT_VARIABLE rc)
+if(rc GREATER 1)
+  message(FATAL_ERROR "vedr_diagnose --record failed with exit code ${rc}")
+endif()
+execute_process(
+  COMMAND ${REPLAY} ${TRACE} --verify-digest
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vedr_replay --verify-digest failed with exit code ${rc}")
+endif()

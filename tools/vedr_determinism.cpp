@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "eval/experiment.h"
 #include "net/routing.h"
 
@@ -68,12 +69,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--system") {
       system = parse_system(next(), argv[0]);
     } else if (arg == "--case") {
-      case_id = std::atoi(next().c_str());
+      case_id = static_cast<int>(common::parse_i64_or_die("--case", next()));
     } else if (arg == "--scale") {
-      scale = std::atof(next().c_str());
+      scale = common::parse_f64_or_die("--scale", next());
       if (scale <= 0) usage(argv[0]);
     } else if (arg == "--runs") {
-      runs = std::atoi(next().c_str());
+      runs = static_cast<int>(common::parse_i64_or_die("--runs", next()));
       if (runs < 2) usage(argv[0]);
     } else {
       usage(argv[0]);

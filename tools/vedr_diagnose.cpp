@@ -2,15 +2,18 @@
 //
 //   vedr_diagnose [--scenario contention|incast|storm|backpressure]
 //                 [--case N] [--system vedrfolnir|hawkeye-max|hawkeye-min|full]
-//                 [--scale F] [--json] [--dot PREFIX]
+//                 [--scale F] [--json] [--dot PREFIX] [--record FILE.vtrc]
 //
 // Runs one seeded case end to end and prints the diagnosis as text (default)
 // or JSON (--json); --dot writes the waiting-graph DOT file for rendering.
+// --record streams the diagnosis plane's complete input into a .vtrc trace
+// that tools/vedr_replay can re-diagnose offline.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "common/env.h"
 #include "core/json_export.h"
 #include "eval/experiment.h"
 #include "net/routing.h"
@@ -23,7 +26,7 @@ using namespace vedr;
   std::fprintf(stderr,
                "usage: %s [--scenario contention|incast|storm|backpressure] [--case N]\n"
                "          [--system vedrfolnir|hawkeye-max|hawkeye-min|full] [--scale F]\n"
-               "          [--json] [--dot PREFIX]\n",
+               "          [--json] [--dot PREFIX] [--record FILE.vtrc]\n",
                argv0);
   std::exit(2);
 }
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
   double scale = 1.0 / 64.0;
   bool as_json = false;
   std::string dot_prefix;
+  std::string record_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,14 +69,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--system") {
       system = parse_system(next(), argv[0]);
     } else if (arg == "--case") {
-      case_id = std::atoi(next().c_str());
+      case_id = static_cast<int>(common::parse_i64_or_die("--case", next()));
     } else if (arg == "--scale") {
-      scale = std::atof(next().c_str());
+      scale = common::parse_f64_or_die("--scale", next());
       if (scale <= 0) usage(argv[0]);
     } else if (arg == "--json") {
       as_json = true;
     } else if (arg == "--dot") {
       dot_prefix = next();
+    } else if (arg == "--record") {
+      record_path = next();
     } else {
       usage(argv[0]);
     }
@@ -84,7 +90,20 @@ int main(int argc, char** argv) {
   const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
   const auto routing = net::RoutingTable::shortest_paths(topo);
   const auto spec = eval::make_scenario(scenario, case_id, topo, routing, params);
-  const auto result = eval::run_case(spec, system, cfg);
+
+  eval::CaseResult result;
+  if (record_path.empty()) {
+    result = eval::run_case(spec, system, cfg);
+  } else {
+    std::string record_error;
+    result = eval::record_case(spec, system, cfg, record_path, &record_error);
+    if (!record_error.empty()) {
+      std::fprintf(stderr, "error: --record %s: %s\n", record_path.c_str(),
+                   record_error.c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "recorded %s\n", record_path.c_str());
+  }
 
   if (as_json) {
     std::printf("{\"scenario\":\"%s\",\"case\":%d,\"system\":\"%s\",\"outcome\":\"%s\","

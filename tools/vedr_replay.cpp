@@ -1,0 +1,148 @@
+// vedr_replay — offline re-diagnosis of a recorded .vtrc trace.
+//
+//   vedr_replay TRACE.vtrc [--json] [--dot PREFIX] [--verify-digest]
+//
+// Streams the trace through a fresh Analyzer (replay::StreamingCollector) and
+// prints a text summary by default. --json emits the replayed diagnosis as
+// JSON; --dot writes the replayed waiting graph and global provenance graph
+// as PREFIX_waiting.dot / PREFIX_provenance.dot; --verify-digest compares the
+// replayed diagnosis digest against the footer digest recorded by the live
+// run and fails on mismatch.
+//
+// Exit codes: 0 success (and digest verified, when requested), 1 digest
+// mismatch, 2 usage error, 3 unreadable/corrupt trace.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/env.h"
+#include "core/json_export.h"
+#include "replay/collector.h"
+#include "replay/trace_reader.h"
+
+namespace {
+
+using namespace vedr;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s TRACE.vtrc [--json] [--dot PREFIX] [--verify-digest]\n", argv0);
+  std::exit(2);
+}
+
+const char* system_name(replay::RecordedSystem s) {
+  switch (s) {
+    case replay::RecordedSystem::kVedrfolnir: return "vedrfolnir";
+    case replay::RecordedSystem::kHawkeyeMaxR: return "hawkeye-max";
+    case replay::RecordedSystem::kHawkeyeMinR: return "hawkeye-min";
+    case replay::RecordedSystem::kFullPolling: return "full";
+  }
+  return "?";
+}
+
+const char* scenario_name(replay::RecordedScenario s) {
+  switch (s) {
+    case replay::RecordedScenario::kFlowContention: return "contention";
+    case replay::RecordedScenario::kIncast: return "incast";
+    case replay::RecordedScenario::kPfcStorm: return "storm";
+    case replay::RecordedScenario::kPfcBackpressure: return "backpressure";
+  }
+  return "?";
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << body;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string dot_prefix;
+  bool as_json = false;
+  bool verify_digest = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--dot") {
+      dot_prefix = next();
+    } else if (arg == "--verify-digest") {
+      verify_digest = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (trace_path.empty()) usage(argv[0]);
+
+  replay::TraceReader reader(trace_path);
+  replay::StreamingCollector collector;
+  const replay::ReplayResult result = collector.replay(reader);
+
+  if (!result.ok) {
+    std::fprintf(stderr, "error: %s: %s\n", trace_path.c_str(), result.error.str().c_str());
+    return 3;
+  }
+
+  if (as_json) {
+    std::printf("{\"trace\":\"%s\",\"scenario\":\"%s\",\"case\":%d,\"system\":\"%s\","
+                "\"frames\":%llu,\"bytes\":%llu,"
+                "\"cc_completed\":%s,\"cc_time_ns\":%lld,"
+                "\"diagnosis_digest\":%llu,\"digest_matches\":%s,"
+                "\"diagnosis\":%s}\n",
+                trace_path.c_str(), scenario_name(result.envelope.scenario),
+                static_cast<int>(result.envelope.case_id), system_name(result.envelope.system),
+                static_cast<unsigned long long>(result.stats.frames),
+                static_cast<unsigned long long>(result.stats.bytes),
+                result.footer.cc_completed ? "true" : "false",
+                static_cast<long long>(result.footer.cc_time),
+                static_cast<unsigned long long>(result.diagnosis_digest),
+                result.digest_matches ? "true" : "false", result.diagnosis_json.c_str());
+  } else {
+    std::printf("trace: %s (%llu frames, %llu bytes)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(result.stats.frames),
+                static_cast<unsigned long long>(result.stats.bytes));
+    std::printf("case: %s/%d  system: %s  seed: %llu\n", scenario_name(result.envelope.scenario),
+                static_cast<int>(result.envelope.case_id), system_name(result.envelope.system),
+                static_cast<unsigned long long>(result.envelope.seed));
+    std::printf("live outcome: %s  digest: %016llx  replayed digest: %016llx (%s)\n",
+                result.footer.outcome == replay::RecordedOutcome::kTruePositive  ? "TP"
+                : result.footer.outcome == replay::RecordedOutcome::kFalsePositive ? "FP"
+                                                                                   : "FN",
+                static_cast<unsigned long long>(result.footer.diagnosis_digest),
+                static_cast<unsigned long long>(result.diagnosis_digest),
+                result.digest_matches ? "match" : "MISMATCH");
+    std::printf("\n%s", result.diagnosis.summary().c_str());
+  }
+
+  if (!dot_prefix.empty() && collector.analyzer() != nullptr) {
+    const std::string waiting = collector.analyzer()->waiting_graph().to_dot();
+    const std::string prov = collector.analyzer()->global_graph().to_dot(collector.cc_flows());
+    if (!write_file(dot_prefix + "_waiting.dot", waiting) ||
+        !write_file(dot_prefix + "_provenance.dot", prov)) {
+      std::fprintf(stderr, "error: cannot write DOT files at prefix %s\n", dot_prefix.c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "wrote %s_waiting.dot and %s_provenance.dot\n", dot_prefix.c_str(),
+                 dot_prefix.c_str());
+  }
+
+  if (verify_digest && !result.digest_matches) {
+    std::fprintf(stderr, "digest mismatch: footer %016llx, replayed %016llx\n",
+                 static_cast<unsigned long long>(result.footer.diagnosis_digest),
+                 static_cast<unsigned long long>(result.diagnosis_digest));
+    return 1;
+  }
+  return 0;
+}
