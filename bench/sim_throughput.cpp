@@ -1,0 +1,175 @@
+// sim_throughput — event-engine microbench: drives one full scenario case
+// end-to-end (simulator + fabric + diagnosis plane) and reports engine
+// throughput. This is the perf trajectory for the typed-event scheduler:
+// every figure in the evaluation is bounded by how fast this loop runs.
+//
+//   sim_throughput [--scenario contention|incast|storm|backpressure]
+//                  [--case N] [--system vedrfolnir|hawkeye-max|hawkeye-min|full]
+//                  [--scale F] [--runs N] [--smoke] [--json PATH]
+//
+// Prints events/sec, packets/sec, wall time, and peak RSS; --json also emits
+// a machine-readable record (CI writes it as BENCH_sim.json). --smoke shrinks
+// the case so the whole run fits in a CI smoke-test budget.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "eval/experiment.h"
+#include "net/routing.h"
+
+namespace {
+
+using namespace vedr;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scenario contention|incast|storm|backpressure] [--case N]\n"
+               "          [--system vedrfolnir|hawkeye-max|hawkeye-min|full] [--scale F]\n"
+               "          [--runs N] [--smoke] [--json PATH]\n",
+               argv0);
+  std::exit(2);
+}
+
+eval::ScenarioType parse_scenario(const std::string& s, const char* argv0) {
+  if (s == "contention") return eval::ScenarioType::kFlowContention;
+  if (s == "incast") return eval::ScenarioType::kIncast;
+  if (s == "storm") return eval::ScenarioType::kPfcStorm;
+  if (s == "backpressure") return eval::ScenarioType::kPfcBackpressure;
+  usage(argv0);
+}
+
+eval::SystemKind parse_system(const std::string& s, const char* argv0) {
+  if (s == "vedrfolnir") return eval::SystemKind::kVedrfolnir;
+  if (s == "hawkeye-max") return eval::SystemKind::kHawkeyeMaxR;
+  if (s == "hawkeye-min") return eval::SystemKind::kHawkeyeMinR;
+  if (s == "full") return eval::SystemKind::kFullPolling;
+  usage(argv0);
+}
+
+const char* scenario_slug(eval::ScenarioType t) {
+  switch (t) {
+    case eval::ScenarioType::kFlowContention: return "contention";
+    case eval::ScenarioType::kIncast: return "incast";
+    case eval::ScenarioType::kPfcStorm: return "storm";
+    case eval::ScenarioType::kPfcBackpressure: return "backpressure";
+  }
+  return "?";
+}
+
+long peak_rss_kb() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return -1;
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eval::ScenarioType scenario = eval::ScenarioType::kPfcBackpressure;
+  eval::SystemKind system = eval::SystemKind::kVedrfolnir;
+  int case_id = 0;
+  int runs = 3;
+  double scale = 1.0 / 64.0;
+  bool smoke = false;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      scenario = parse_scenario(next(), argv[0]);
+    } else if (arg == "--system") {
+      system = parse_system(next(), argv[0]);
+    } else if (arg == "--case") {
+      case_id = static_cast<int>(common::parse_i64_or_die("--case", next()));
+    } else if (arg == "--scale") {
+      scale = common::parse_f64_or_die("--scale", next());
+      if (scale <= 0) usage(argv[0]);
+    } else if (arg == "--runs") {
+      runs = static_cast<int>(common::parse_i64_or_die("--runs", next()));
+      if (runs < 1) usage(argv[0]);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json") {
+      json_path = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (smoke) {
+    scale = std::min(scale, 1.0 / 256.0);
+    runs = 1;
+  }
+
+  eval::RunConfig cfg;
+  eval::ScenarioParams params;
+  params.scale = scale;
+  const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
+  const auto routing = net::RoutingTable::shortest_paths(topo);
+  const auto spec = eval::make_scenario(scenario, case_id, topo, routing, params);
+
+  std::printf("case: %s\n", spec.str().c_str());
+  std::printf("system: %s, %d run(s), scale %g\n", eval::to_string(system), runs, scale);
+
+  // Best-of-N wall time: the engine's speed is the fastest run; slower runs
+  // measure the machine, not the scheduler.
+  double best_wall = 0.0;
+  std::uint64_t events = 0, packets = 0;
+  for (int r = 0; r < runs; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const eval::CaseResult result = eval::run_case(spec, system, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    if (r == 0 || wall < best_wall) best_wall = wall;
+    events = result.sim_events;
+    packets = result.packets_delivered;
+    std::printf("run %d: %.3fs  (%.3fM events, %.3fM packets)\n", r, wall,
+                static_cast<double>(events) / 1e6, static_cast<double>(packets) / 1e6);
+  }
+
+  const double events_per_sec = best_wall > 0 ? static_cast<double>(events) / best_wall : 0;
+  const double packets_per_sec = best_wall > 0 ? static_cast<double>(packets) / best_wall : 0;
+  const long rss_kb = peak_rss_kb();
+  std::printf("events/sec:  %.0f\n", events_per_sec);
+  std::printf("packets/sec: %.0f\n", packets_per_sec);
+  std::printf("wall:        %.3fs (best of %d)\n", best_wall, runs);
+  std::printf("peak RSS:    %ld KiB\n", rss_kb);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"sim_throughput\",\n"
+                 "  \"scenario\": \"%s\",\n"
+                 "  \"system\": \"%s\",\n"
+                 "  \"case_id\": %d,\n"
+                 "  \"scale\": %g,\n"
+                 "  \"runs\": %d,\n"
+                 "  \"events\": %" PRIu64 ",\n"
+                 "  \"packets\": %" PRIu64 ",\n"
+                 "  \"wall_seconds\": %.6f,\n"
+                 "  \"events_per_sec\": %.0f,\n"
+                 "  \"packets_per_sec\": %.0f,\n"
+                 "  \"peak_rss_kb\": %ld\n"
+                 "}\n",
+                 scenario_slug(scenario), eval::to_string(system), case_id, scale, runs, events,
+                 packets, best_wall, events_per_sec, packets_per_sec, rss_kb);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -49,9 +49,14 @@ void pin_clockwise_routes(net::Network& net, const std::vector<NodeId>& ring) {
 }
 
 void inject_storm(net::Network& net, const StormSpec& storm) {
-  net.sim().schedule_at(storm.start, [&net, storm] {
-    net.switch_at(storm.port.node).force_pause(storm.port.port, storm.duration);
-  });
+  // The target switch is resolved now rather than at fire time: the device
+  // table is fixed at Network construction, so the pointer stays valid and
+  // the trigger can ride a typed event (flow/routing injectors above keep
+  // the schedule_at closure escape hatch — they capture completion callbacks).
+  net::Switch& sw = net.switch_at(storm.port.node);
+  net.sim().schedule_event_at(storm.start, sim::EventKind::kInjectorTrigger,
+                              {&sw, static_cast<std::uint64_t>(storm.duration),
+                               static_cast<std::uint64_t>(storm.port.port)});
 }
 
 }  // namespace vedr::anomaly

@@ -4,9 +4,18 @@
 
 namespace vedr::baselines {
 
+namespace {
+
+void on_poll_sweep(const sim::EventPayload& p) {
+  static_cast<FullPolling*>(p.obj)->sweep();
+}
+
+}  // namespace
+
 FullPolling::FullPolling(net::Network& net, const collective::CollectivePlan& plan,
                          sim::Tick interval)
     : net_(net), analyzer_(&net.topology(), nullptr), interval_(interval) {
+  net_.sim().set_handler(sim::EventKind::kPollSweep, &on_poll_sweep);
   std::unordered_set<net::FlowKey, net::FlowKeyHash> cc;
   for (int f = 0; f < plan.num_flows(); ++f)
     for (const auto& s : plan.steps_of_flow(f)) cc.insert(plan.key_for(f, s.step));
@@ -15,7 +24,7 @@ FullPolling::FullPolling(net::Network& net, const collective::CollectivePlan& pl
 
 void FullPolling::start(sim::Tick until) {
   until_ = until;
-  net_.sim().schedule_in(interval_, [this] { sweep(); });
+  net_.sim().schedule_event_in(interval_, sim::EventKind::kPollSweep, {this, 0, 0});
 }
 
 void FullPolling::sweep() {
@@ -47,7 +56,7 @@ void FullPolling::sweep() {
     net_.sim().schedule_in(net_.config().controller_delay,
                            [this, r = std::move(report)] { analyzer_.on_switch_report(r); });
   }
-  net_.sim().schedule_in(interval_, [this] { sweep(); });
+  net_.sim().schedule_event_in(interval_, sim::EventKind::kPollSweep, {this, 0, 0});
 }
 
 }  // namespace vedr::baselines

@@ -22,8 +22,11 @@ class FullPolling {
   core::Analyzer& analyzer() { return analyzer_; }
   std::size_t sweeps() const { return sweeps_; }
 
- private:
+  // --- event-dispatch entry point (kPollSweep trampoline only) -------------
+
   void sweep();
+
+ private:
 
   net::Network& net_;
   core::Analyzer analyzer_;

@@ -5,8 +5,17 @@
 
 namespace vedr::collective {
 
+namespace {
+
+void on_collective_start(const sim::EventPayload& p) {
+  static_cast<CollectiveRunner*>(p.obj)->on_start();
+}
+
+}  // namespace
+
 CollectiveRunner::CollectiveRunner(net::Network& net, CollectivePlan plan)
     : net_(net), plan_(std::move(plan)) {
+  net_.sim().set_handler(sim::EventKind::kCollectiveStart, &on_collective_start);
   const int flows = plan_.num_flows();
   records_.resize(static_cast<std::size_t>(flows));
   recv_done_.resize(static_cast<std::size_t>(flows));
@@ -37,19 +46,21 @@ CollectiveRunner::CollectiveRunner(net::Network& net, CollectivePlan plan)
 }
 
 void CollectiveRunner::start(Tick at) {
-  net_.sim().schedule_at(at, [this] {
-    start_time_ = net_.sim().now();
-    // Register every expected receive up front; the plan is known before
-    // execution (§III-B: steps are predefined prior to execution).
-    for (int f = 0; f < plan_.num_flows(); ++f) {
-      for (const StepSpec& s : plan_.steps_of_flow(f)) {
-        net_.host(s.dst).expect_flow(
-            plan_.key_for(f, s.step), s.bytes,
-            [this, f, step = s.step](const net::FlowKey&, Tick t) { on_recv_done(f, step, t); });
-      }
+  net_.sim().schedule_event_at(at, sim::EventKind::kCollectiveStart, {this, 0, 0});
+}
+
+void CollectiveRunner::on_start() {
+  start_time_ = net_.sim().now();
+  // Register every expected receive up front; the plan is known before
+  // execution (§III-B: steps are predefined prior to execution).
+  for (int f = 0; f < plan_.num_flows(); ++f) {
+    for (const StepSpec& s : plan_.steps_of_flow(f)) {
+      net_.host(s.dst).expect_flow(
+          plan_.key_for(f, s.step), s.bytes,
+          [this, f, step = s.step](const net::FlowKey&, Tick t) { on_recv_done(f, step, t); });
     }
-    for (int f = 0; f < plan_.num_flows(); ++f) try_start_send(f, 0);
-  });
+  }
+  for (int f = 0; f < plan_.num_flows(); ++f) try_start_send(f, 0);
 }
 
 void CollectiveRunner::try_start_send(int flow, int step) {

@@ -65,6 +65,11 @@ class CollectiveRunner {
     return queues_.at(static_cast<std::size_t>(flow));
   }
 
+  // --- event-dispatch entry point (kCollectiveStart trampoline only) -------
+
+  /// The scheduled start time arrived: register receives and launch step 0.
+  void on_start();
+
  private:
   void try_start_send(int flow, int step);
   void on_send_done(int flow, int step, Tick t);

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace vedr::common {
+
+/// Growable FIFO over a power-of-two circular buffer.
+///
+/// Replaces std::deque on the engine's hot queues: a deque allocates and
+/// frees chunk nodes as it drains, so even a steady-state workload keeps
+/// touching the heap. The ring only ever grows — once it has reached the
+/// workload's high-water mark, push/pop are pointer arithmetic.
+///
+/// operator[](i) indexes from the front (0 == front()), which is what the
+/// invariant auditors iterate.
+template <typename T>
+class Ring {
+ public:
+  Ring() = default;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  T& front() {
+    VEDR_ASSERT(size_ > 0, "front() on empty ring");
+    return buf_[head_];
+  }
+  const T& front() const {
+    VEDR_ASSERT(size_ > 0, "front() on empty ring");
+    return buf_[head_];
+  }
+
+  T& operator[](std::size_t i) {
+    VEDR_ASSERT(i < size_, "ring index out of range");
+    return buf_[(head_ + i) & mask_];
+  }
+  const T& operator[](std::size_t i) const {
+    VEDR_ASSERT(i < size_, "ring index out of range");
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void push_back(T v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = std::move(v);
+    ++size_;
+  }
+
+  T pop_front() {
+    VEDR_ASSERT(size_ > 0, "pop_front() on empty ring");
+    T v = std::move(buf_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return v;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) next[i] = std::move(buf_[(head_ + i) & mask_]);
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace vedr::common

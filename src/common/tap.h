@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.h"
+#include "telemetry/records.h"
+
+// Forward-declared: runner.h sits above net/network.h, and this header is
+// included from net — pulling runner.h in here would cycle the include graph.
+namespace vedr::collective {
+struct StepRecord;
+}
+
+/// Observation-only tap interfaces, merged into one header so there is a
+/// single place that defines what "observation-only" means: a tap must not
+/// perturb the simulation — no event scheduling, no RNG draws, no mutation
+/// of observed objects. A recorded run stays bit-identical to an unrecorded
+/// one. The classes keep their historical namespaces (telemetry::, core::)
+/// so implementations and wiring are unchanged.
+
+namespace vedr::telemetry {
+
+/// Tap for switch-local telemetry events that may never be carried by any
+/// poll response: PAUSE causes and TTL-expiry drops are only reported when a
+/// poll's window covers them, but a trace wants all of them.
+class TelemetryTap {
+ public:
+  virtual ~TelemetryTap() = default;
+  virtual void on_pause_cause(net::NodeId switch_id, const PauseCauseReport& cause) = 0;
+  virtual void on_ttl_drop(net::NodeId switch_id, const DropEntry& drop) = 0;
+};
+
+}  // namespace vedr::telemetry
+
+namespace vedr::core {
+
+/// Tap over the diagnosis plane's complete input stream: everything the
+/// Analyzer ingests (step records, poll registrations, switch reports) plus
+/// the Monitor-side events that explain *why* reports exist (detection
+/// triggers, budget notifications) and the switch-local telemetry events
+/// inherited from TelemetryTap.
+///
+/// The replay subsystem's TraceWriter is the canonical implementation; a
+/// fresh Analyzer fed the mirrored ingestion calls in order reproduces the
+/// live Diagnosis exactly.
+class TraceTap : public telemetry::TelemetryTap {
+ public:
+  /// Mirror of Analyzer::add_step_record.
+  virtual void on_step_record(const collective::StepRecord& r) = 0;
+  /// Mirror of Analyzer::register_poll.
+  virtual void on_poll_registered(std::uint64_t poll_id, int flow, int step) = 0;
+  /// Mirror of Analyzer::on_switch_report (post-retention for baselines that
+  /// filter, so replay sees exactly what the analyzer saw).
+  virtual void on_switch_report_in(const telemetry::SwitchReport& report) = 0;
+  /// A host monitor fired a detection trigger (budgeted, watchdog, or
+  /// baseline-threshold) and sent a poll packet.
+  virtual void on_poll_trigger(net::Tick time, net::NodeId host, const net::FlowKey& flow,
+                               std::uint64_t poll_id, int step) = 0;
+  /// A host monitor transferred leftover detection budget downstream.
+  virtual void on_notification_sent(net::Tick time, net::NodeId from, net::NodeId to, int step,
+                                    int budget) = 0;
+};
+
+}  // namespace vedr::core

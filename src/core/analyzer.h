@@ -9,8 +9,8 @@
 #include "collective/runner.h"
 #include "core/diagnosis.h"
 #include "core/provenance_graph.h"
+#include "common/tap.h"
 #include "core/signatures.h"
-#include "core/trace_tap.h"
 #include "core/waiting_graph.h"
 #include "net/topology.h"
 #include "telemetry/records.h"

@@ -8,9 +8,18 @@
 
 namespace vedr::core {
 
+namespace {
+
+void on_step_poll(const sim::EventPayload& p) {
+  static_cast<Monitor*>(p.obj)->watchdog_check(p.a);
+}
+
+}  // namespace
+
 Monitor::Monitor(net::Network& net, const collective::CollectivePlan& plan, Analyzer& analyzer,
                  net::NodeId host, DetectionConfig cfg)
     : net_(net), plan_(plan), analyzer_(analyzer), host_(host), cfg_(cfg) {
+  net_.sim().set_handler(sim::EventKind::kStepPoll, &on_step_poll);
   flow_index_ = plan_.flow_of_host(host);
 }
 
@@ -46,7 +55,7 @@ void Monitor::on_step_start(const collective::StepRecord& r) {
 void Monitor::arm_watchdog() {
   if (cfg_.stall_timeout <= 0) return;
   const std::uint64_t gen = ++watchdog_generation_;
-  net_.sim().schedule_in(cfg_.stall_timeout, [this, gen] { watchdog_check(gen); });
+  net_.sim().schedule_event_in(cfg_.stall_timeout, sim::EventKind::kStepPoll, {this, gen, 0});
 }
 
 void Monitor::watchdog_check(std::uint64_t generation) {

@@ -40,11 +40,16 @@ class Monitor {
   int watchdog_polls() const { return watchdog_polls_; }
   const StepTrigger& trigger() const { return trigger_; }
 
+  // --- event-dispatch entry point (kStepPoll trampoline only) --------------
+
+  /// The armed stall watchdog fired; `generation` invalidates checks disarmed
+  /// by step progress since arming.
+  void watchdog_check(std::uint64_t generation);
+
  private:
   void trigger_poll(const net::FlowKey& key);
   void send_notification(const collective::StepRecord& r);
   void arm_watchdog();
-  void watchdog_check(std::uint64_t generation);
 
   net::Network& net_;
   const collective::CollectivePlan& plan_;

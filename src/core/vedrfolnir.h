@@ -14,7 +14,7 @@ namespace vedr::core {
 struct VedrfolnirConfig {
   DetectionConfig detection;
   /// Optional observation-only trace tap wired into the analyzer fan-in and
-  /// every host monitor (see core/trace_tap.h). Must not perturb the run.
+  /// every host monitor (see common/tap.h). Must not perturb the run.
   TraceTap* trace = nullptr;
 };
 

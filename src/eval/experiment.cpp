@@ -173,6 +173,7 @@ CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig
   result.cc_completed = runner.done();
   result.cc_time = runner.done() ? runner.finish_time() - runner.start_time() : 0;
   result.sim_events = sim.events_executed();
+  result.packets_delivered = network.packets_delivered();
 
   switch (system) {
     case SystemKind::kVedrfolnir:

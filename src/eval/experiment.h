@@ -63,6 +63,7 @@ struct CaseResult {
   sim::Tick cc_time = 0;
   bool cc_completed = false;
   std::uint64_t sim_events = 0;
+  std::uint64_t packets_delivered = 0;  ///< frames handed to the link layer
   core::Diagnosis diagnosis;
 };
 

@@ -6,8 +6,24 @@
 
 namespace vedr::net {
 
+namespace {
+
+void on_dcqcn_alpha(const sim::EventPayload& p) {
+  static_cast<DcqcnFlow*>(p.obj)->on_alpha_timer(p.a);
+}
+
+void on_dcqcn_increase(const sim::EventPayload& p) {
+  static_cast<DcqcnFlow*>(p.obj)->on_increase_timer(p.a);
+}
+
+}  // namespace
+
 DcqcnFlow::DcqcnFlow(sim::Simulator& sim, const DcqcnParams& params)
     : sim_(&sim), p_(params), rate_(params.line_rate_gbps), target_(params.line_rate_gbps) {
+  // Registered here, not in the Network constructor: tests build DcqcnFlow
+  // against a bare Simulator with no fabric. Idempotent across flows.
+  sim.set_handler(sim::EventKind::kDcqcnAlpha, &on_dcqcn_alpha);
+  sim.set_handler(sim::EventKind::kDcqcnIncrease, &on_dcqcn_increase);
   VEDR_CHECK_GT(p_.min_rate_gbps, 0.0, "DCQCN min rate must be positive");
   VEDR_CHECK_LE(p_.min_rate_gbps, p_.line_rate_gbps,
                 "DCQCN min rate above line rate: the flow could never be valid");
@@ -58,9 +74,10 @@ void DcqcnFlow::schedule_timers() {
   if (timers_running_ || at_line_rate() || !active_) return;
   timers_running_ = true;
   const std::uint64_t gen = generation_;
-  alpha_ev_ = sim_->schedule_in(p_.alpha_timer, [this, gen] { on_alpha_timer(gen); });
+  alpha_ev_ = sim_->schedule_event_in(p_.alpha_timer, sim::EventKind::kDcqcnAlpha, {this, gen, 0});
   alpha_pending_ = true;
-  incr_ev_ = sim_->schedule_in(p_.increase_timer, [this, gen] { on_increase_timer(gen); });
+  incr_ev_ =
+      sim_->schedule_event_in(p_.increase_timer, sim::EventKind::kDcqcnIncrease, {this, gen, 0});
   incr_pending_ = true;
 }
 
@@ -81,7 +98,8 @@ void DcqcnFlow::on_alpha_timer(std::uint64_t gen) {
   alpha_ *= (1.0 - p_.g);
   check_bounds();
   if (!at_line_rate()) {
-    alpha_ev_ = sim_->schedule_in(p_.alpha_timer, [this, gen] { on_alpha_timer(gen); });
+    alpha_ev_ =
+        sim_->schedule_event_in(p_.alpha_timer, sim::EventKind::kDcqcnAlpha, {this, gen, 0});
     alpha_pending_ = true;
   }
 }
@@ -91,7 +109,8 @@ void DcqcnFlow::on_increase_timer(std::uint64_t gen) {
   if (gen != generation_ || !active_) return;
   increase_round();
   if (!at_line_rate()) {
-    incr_ev_ = sim_->schedule_in(p_.increase_timer, [this, gen] { on_increase_timer(gen); });
+    incr_ev_ =
+        sim_->schedule_event_in(p_.increase_timer, sim::EventKind::kDcqcnIncrease, {this, gen, 0});
     incr_pending_ = true;
   }
 }

@@ -52,6 +52,13 @@ class DcqcnFlow {
     cancel_timers();
   }
 
+  // --- event-dispatch entry points (typed-event trampolines only) ----------
+
+  /// kDcqcnAlpha / kDcqcnIncrease firing; `gen` invalidates epochs restarted
+  /// by a CNP between schedule and fire.
+  void on_alpha_timer(std::uint64_t gen);
+  void on_increase_timer(std::uint64_t gen);
+
  private:
   /// Reaction-point invariants (checked after every state update): the paced
   /// rate must stay within [min_rate, line_rate] and alpha within [0, 1] —
@@ -60,8 +67,6 @@ class DcqcnFlow {
   void check_bounds() const;
   void schedule_timers();
   void cancel_timers();
-  void on_alpha_timer(std::uint64_t gen);
-  void on_increase_timer(std::uint64_t gen);
   void increase_round();
 
   sim::Simulator* sim_;

@@ -1,0 +1,17 @@
+#include "net/device.h"
+
+#include <utility>
+
+#include "net/network.h"
+
+namespace vedr::net {
+
+void Device::handle_rx_ref(PacketRef ref, PortId in_port) {
+  // Free the slot before handle_rx runs: the handler may acquire new slots
+  // (ACKs, CNPs) and must see this one available for reuse.
+  Packet pkt = std::move(net_.pool().at(ref));
+  net_.pool().release(ref);
+  handle_rx(std::move(pkt), in_port);
+}
+
+}  // namespace vedr::net

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/types.h"
 
 namespace vedr::net {
@@ -19,6 +20,13 @@ class Device {
 
   /// A packet has fully arrived on `in_port`.
   virtual void handle_rx(Packet pkt, PortId in_port) = 0;
+
+  /// Pooled-delivery variant: the packet lives in the Network's pool and the
+  /// callee owns slot `ref` (it must release it, possibly by forwarding).
+  /// The default implementation moves the packet out, frees the slot, and
+  /// calls handle_rx() — correct for any device; switches override it to
+  /// keep forwarded packets in their slots.
+  virtual void handle_rx_ref(PacketRef ref, PortId in_port);
 
   NodeId id() const { return id_; }
   bool is_host() const { return is_host_; }

@@ -47,7 +47,7 @@ void Host::send_control(Packet pkt) {
   if (pkt.size <= 0) pkt.size = net_.config().control_pkt_bytes;
   pkt.ttl = net_.config().initial_ttl;
   pkt.sent_time = net_.sim().now();
-  control_q_.push_back(std::move(pkt));
+  control_q_.push_back(net_.pool().acquire(std::move(pkt)));
   kick();
 }
 
@@ -75,9 +75,7 @@ void Host::kick() {
 
   // Control class first; never paused by PFC.
   if (!control_q_.empty()) {
-    Packet pkt = std::move(control_q_.front());
-    control_q_.pop_front();
-    transmit(std::move(pkt));
+    transmit(control_q_.pop_front());
     return;
   }
 
@@ -104,7 +102,7 @@ void Host::kick() {
       const Tick gap = sim::transmission_delay(pkt.size, f.cc->rate_gbps());
       f.pacing_clock = std::max(f.pacing_clock, now) + gap;
       f.cc->on_bytes_sent(payload);
-      transmit(std::move(pkt));
+      transmit(net_.pool().acquire(std::move(pkt)));
       return;
     }
     if (earliest == sim::kNever || f.pacing_clock < earliest) earliest = f.pacing_clock;
@@ -114,26 +112,26 @@ void Host::kick() {
   if (earliest != sim::kNever) {
     if (has_pending_wakeup_) net_.sim().cancel(pending_wakeup_);
     has_pending_wakeup_ = true;
-    pending_wakeup_ = net_.sim().schedule_at(earliest, [this] {
-      has_pending_wakeup_ = false;
-      kick();
-    });
+    pending_wakeup_ =
+        net_.sim().schedule_event_at(earliest, sim::EventKind::kHostWakeup, {this, 0, 0});
   }
 }
 
-void Host::transmit(Packet pkt) {
+void Host::transmit(PacketRef ref) {
   busy_ = true;
   const auto& link = net_.port_info(id_, kUplink);
-  const Tick tx = sim::transmission_delay(pkt.size, link.gbps);
-  net_.sim().schedule_in(tx, [this, pkt = std::move(pkt)]() mutable { on_tx_done(std::move(pkt)); });
+  const Tick tx = sim::transmission_delay(net_.pool().at(ref).size, link.gbps);
+  net_.sim().schedule_event_in(tx, sim::EventKind::kHostTxDone, {this, ref, 0});
 }
 
-void Host::on_tx_done(Packet pkt) {
+void Host::on_tx_done_ref(PacketRef ref) {
   busy_ = false;
-  if (auto* t = net_.tracer())
+  if (auto* t = net_.tracer()) {
+    const Packet& pkt = net_.pool().at(ref);
     t->record(TraceEvent{TraceEvent::Kind::kHostTx, net_.sim().now(), id_, kUplink, pkt.type,
                          pkt.flow, pkt.seq, pkt.size});
-  net_.deliver(id_, kUplink, std::move(pkt));
+  }
+  net_.deliver_ref(id_, kUplink, ref);
   kick();
 }
 
@@ -186,7 +184,7 @@ void Host::handle_data(const Packet& pkt) {
   ack.ttl = net_.config().initial_ttl;
   ack.sent_time = now;
   ack.meta = AckInfo{pkt.seq, pkt.sent_time, pkt.ecn_ce};
-  control_q_.push_back(std::move(ack));
+  control_q_.push_back(net_.pool().acquire(std::move(ack)));
 
   // DCQCN notification point: at most one CNP per flow per cnp_interval.
   if (pkt.ecn_ce) {
@@ -200,7 +198,7 @@ void Host::handle_data(const Packet& pkt) {
       cnp.prio = Priority::kControl;
       cnp.ttl = net_.config().initial_ttl;
       cnp.sent_time = now;
-      control_q_.push_back(std::move(cnp));
+      control_q_.push_back(net_.pool().acquire(std::move(cnp)));
     }
   }
 

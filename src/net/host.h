@@ -1,12 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/ring.h"
 #include "net/congestion_control.h"
 #include "net/device.h"
 #include "net/packet.h"
@@ -64,6 +64,17 @@ class Host : public Device {
 
   void handle_rx(Packet pkt, PortId in_port) override;
 
+  // --- event-dispatch entry points (net/events.cpp trampolines only) -------
+
+  /// kHostTxDone: the NIC finished serializing slot `ref`; hand it to the
+  /// link and pull the next packet.
+  void on_tx_done_ref(PacketRef ref);
+  /// kHostWakeup: a pacing clock matured.
+  void on_wakeup() {
+    has_pending_wakeup_ = false;
+    kick();
+  }
+
  private:
   struct SendFlow {
     FlowKey key;
@@ -86,15 +97,14 @@ class Host : public Device {
   };
 
   void kick();
-  void transmit(Packet pkt);
-  void on_tx_done(Packet pkt);
+  void transmit(PacketRef ref);
   std::int64_t payload_of(const SendFlow& f, std::uint32_t seq) const;
   void handle_data(const Packet& pkt);
   void handle_ack(const Packet& pkt);
 
   bool busy_ = false;
   bool data_paused_ = false;
-  std::deque<Packet> control_q_;
+  common::Ring<PacketRef> control_q_;  ///< pooled ACK/CNP/notification slots
   std::unordered_map<FlowKey, SendFlow, FlowKeyHash> send_flows_;
   std::unordered_map<FlowKey, RecvFlow, FlowKeyHash> recv_flows_;
   std::vector<FlowKey> rr_order_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "net/events.h"
 #include "net/host.h"
 #include "net/switch.h"
 
@@ -15,6 +16,7 @@ Network::Network(sim::Simulator& sim, const Topology& topo, NetConfig cfg, Dcqcn
       routing_(RoutingTable::shortest_paths(topo)) {
   dcqcn_.line_rate_gbps = cfg_.link_gbps;
   swift_.line_rate_gbps = cfg_.link_gbps;
+  register_net_event_handlers(sim_);
   devices_.reserve(topo_.size());
   for (std::size_t i = 0; i < topo_.size(); ++i) {
     const NodeId id = static_cast<NodeId>(i);
@@ -44,11 +46,16 @@ void Network::set_telemetry_tap(telemetry::TelemetryTap* tap) {
 }
 
 void Network::deliver(NodeId from, PortId out_port, Packet pkt) {
+  deliver_ref(from, out_port, pool_.acquire(std::move(pkt)));
+}
+
+void Network::deliver_ref(NodeId from, PortId out_port, PacketRef ref) {
   const PortRef peer = topo_.peer(from, out_port);
   const Tick delay = topo_.port(from, out_port).delay;
-  sim_.schedule_in(delay, [this, peer, pkt = std::move(pkt)]() mutable {
-    devices_.at(static_cast<std::size_t>(peer.node))->handle_rx(std::move(pkt), peer.port);
-  });
+  ++packets_delivered_;
+  Device* dev = devices_.at(static_cast<std::size_t>(peer.node)).get();
+  sim_.schedule_event_in(delay, sim::EventKind::kPacketDelivery,
+                         {dev, ref, static_cast<std::uint64_t>(peer.port)});
 }
 
 void Network::deliver_pfc(NodeId from, PortId out_port, Priority prio, bool pause) {

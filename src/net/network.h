@@ -6,14 +6,15 @@
 #include "net/congestion_control.h"
 #include "net/device.h"
 #include "net/dcqcn.h"
+#include "net/packet_pool.h"
 #include "net/routing.h"
 #include "net/topology.h"
 #include "net/trace.h"
 #include "net/types.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
+#include "common/tap.h"
 #include "telemetry/records.h"
-#include "telemetry/trace_tap.h"
 
 namespace vedr::net {
 
@@ -65,6 +66,18 @@ class Network {
   /// is the sender's business and must already have elapsed.
   void deliver(NodeId from, PortId out_port, Packet pkt);
 
+  /// Pooled delivery: same contract, but the packet already lives in this
+  /// network's pool and travels as a slot index — the steady-state path,
+  /// with no Packet copy and no allocation.
+  void deliver_ref(NodeId from, PortId out_port, PacketRef ref);
+
+  /// In-flight packet storage. See PacketPool's aliasing rule: `at()`
+  /// references die at the next `acquire()`.
+  PacketPool& pool() { return pool_; }
+
+  /// Frames handed to the link layer since construction (all types).
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+
   /// Out-of-band PFC frame on the reverse wire (never queued).
   void deliver_pfc(NodeId from, PortId out_port, Priority prio, bool pause);
 
@@ -89,9 +102,11 @@ class Network {
   Topology topo_;
   RoutingTable routing_;
   sim::StatsRegistry stats_;
+  PacketPool pool_;
   std::vector<std::unique_ptr<Device>> devices_;
   telemetry::ReportSink* sink_ = nullptr;
   PacketTracer* tracer_ = nullptr;
+  std::uint64_t packets_delivered_ = 0;
 };
 
 }  // namespace vedr::net

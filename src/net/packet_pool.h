@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "net/packet.h"
+
+namespace vedr::net {
+
+/// Index of a pooled Packet slot. Refs travel through typed-event payloads
+/// and switch queues so a frame occupies exactly one slot from host tx
+/// through links and switch queues to final rx — no Packet copies on the
+/// forwarding path.
+using PacketRef = std::uint32_t;
+
+/// Slab of reusable Packet slots with a free list. Steady state performs
+/// zero heap allocations: slots are recycled, and a recycled Packet keeps
+/// its PacketMeta variant storage.
+///
+/// Aliasing rule: `at()` references are invalidated by the next `acquire()`
+/// (the slab is a vector and may grow). Never hold a Packet& across an
+/// acquire — take a local copy first (cold paths) or finish all reads before
+/// acquiring (hot paths).
+class PacketPool {
+ public:
+  PacketRef acquire(Packet pkt) {
+    if (!free_.empty()) {
+      const PacketRef ref = free_.back();
+      free_.pop_back();
+      slots_[ref] = std::move(pkt);
+      return ref;
+    }
+    slots_.push_back(std::move(pkt));
+    return static_cast<PacketRef>(slots_.size() - 1);
+  }
+
+  Packet& at(PacketRef ref) {
+    VEDR_ASSERT(ref < slots_.size(), "packet ref out of range");
+    return slots_[ref];
+  }
+  const Packet& at(PacketRef ref) const {
+    VEDR_ASSERT(ref < slots_.size(), "packet ref out of range");
+    return slots_[ref];
+  }
+
+  void release(PacketRef ref) {
+    VEDR_ASSERT(ref < slots_.size(), "packet ref out of range");
+    free_.push_back(ref);
+  }
+
+  /// Slots ever created (pool high-water mark).
+  std::size_t capacity() const { return slots_.size(); }
+  /// Slots currently holding an in-flight packet.
+  std::size_t in_use() const { return slots_.size() - free_.size(); }
+
+ private:
+  std::vector<Packet> slots_;
+  std::vector<PacketRef> free_;
+};
+
+}  // namespace vedr::net

@@ -18,6 +18,10 @@ Switch::Switch(Network& net, NodeId id, int num_ports)
       ecn_rng_(sim::Rng::mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)),
                              0xEC11ULL)) {
   const auto& cfg = net.config();
+  drops_cell_ = net.stats().counter_cell("switch.drops");
+  ttl_drops_cell_ = net.stats().counter_cell("switch.ttl_drops");
+  pause_frames_cell_ = net.stats().counter_cell("pfc.pause_frames");
+  resume_frames_cell_ = net.stats().counter_cell("pfc.resume_frames");
   VEDR_CHECK_GT(num_ports, 0, "switch needs at least one port");
   VEDR_CHECK_GT(cfg.pfc_xoff_bytes, 0, "PFC XOFF threshold must be positive");
   VEDR_CHECK_LE(cfg.pfc_xon_bytes, cfg.pfc_xoff_bytes,
@@ -32,42 +36,61 @@ Switch::Switch(Network& net, NodeId id, int num_ports)
 }
 
 void Switch::handle_rx(Packet pkt, PortId in_port) {
-  switch (pkt.type) {
-    case PacketType::kPfcPause:
+  handle_rx_ref(net_.pool().acquire(std::move(pkt)), in_port);
+}
+
+void Switch::handle_rx_ref(PacketRef ref, PortId in_port) {
+  switch (net_.pool().at(ref).type) {
+    case PacketType::kPfcPause: {
+      const Packet pkt = std::move(net_.pool().at(ref));
+      net_.pool().release(ref);
       handle_pfc(pkt, in_port);
       return;
-    case PacketType::kPoll:
+    }
+    case PacketType::kPoll: {
+      // Cold path: polls fan out into reports and chase frames, which
+      // acquire pool slots — copy out rather than reason about aliasing.
+      Packet pkt = std::move(net_.pool().at(ref));
+      net_.pool().release(ref);
       handle_poll(std::move(pkt), in_port);
       return;
+    }
     default:
-      forward(std::move(pkt), in_port);
+      forward_ref(ref, in_port);
       return;
   }
 }
 
-void Switch::forward(Packet pkt, PortId in_port) {
+void Switch::forward_ref(PacketRef ref, PortId in_port) {
+  Packet& pkt = net_.pool().at(ref);
   const PortId out = net_.routing().select(id_, pkt.flow);
   if (pkt.ttl == 0) {
     ++ttl_drops_;
-    net_.stats().add_counter("switch.ttl_drops");
+    *ttl_drops_cell_ += 1;
     // Any expiring packet with a flow identity is loop evidence — data may
     // never reach TTL death when the loop's links PFC-deadlock first, but
     // the (same-keyed) polls still spin and expire.
     if (pkt.flow.valid()) telem_.record_ttl_drop(pkt.flow, out, net_.sim().now());
+    net_.pool().release(ref);
     return;
   }
   pkt.ttl -= 1;
-  enqueue(out, std::move(pkt), in_port);
+  enqueue_ref(out, ref, in_port);
 }
 
-void Switch::enqueue(PortId out, Packet pkt, PortId in_port) {
+void Switch::enqueue_ref(PortId out, PacketRef ref, PortId in_port) {
   Egress& eg = egress_.at(static_cast<std::size_t>(out));
+  // Mutation (ECN marking) happens through this reference first; the cached
+  // fields below survive update_pause_signal(), whose PFC frame acquires a
+  // pool slot and may invalidate `pkt`.
+  Packet& pkt = net_.pool().at(ref);
   const int pi = index_of(pkt.prio);
   VEDR_ASSERT(pkt.size > 0, "zero/negative-size packet enqueued at switch ", id_);
 
   if (eg.bytes[pi] + pkt.size > net_.config().queue_cap_bytes) {
     ++drops_;
-    net_.stats().add_counter("switch.drops");
+    *drops_cell_ += 1;
+    net_.pool().release(ref);
     return;
   }
 
@@ -85,24 +108,31 @@ void Switch::enqueue(PortId out, Packet pkt, PortId in_port) {
         if (d(ecn_rng_) < p) pkt.ecn_ce = true;
       }
     }
+  }
+  const std::int32_t size = pkt.size;
+  const Priority prio = pkt.prio;
+  const PacketType type = pkt.type;
+  const FlowKey flow = pkt.flow;
+  const std::uint32_t seq = pkt.seq;
 
-    telem_.port(out).on_enqueue(pkt.flow, pkt.size, net_.sim().now());
+  if (prio == Priority::kData) {
+    telem_.port(out).on_enqueue(flow, size, net_.sim().now());
     if (in_port != kInvalidPort) {
-      telem_.on_forward(in_port, out, pkt.size);
-      queued_from_[static_cast<std::size_t>(out)][static_cast<std::size_t>(in_port)] += pkt.size;
+      telem_.on_forward(in_port, out, size);
+      queued_from_[static_cast<std::size_t>(out)][static_cast<std::size_t>(in_port)] += size;
       PauseSignal& sig = pause_sig_.at(static_cast<std::size_t>(in_port));
-      sig.ingress_bytes += pkt.size;
+      sig.ingress_bytes += size;
       update_pause_signal(in_port);
     }
   }
 
   if (auto* t = net_.tracer())
     t->record(net::TraceEvent{net::TraceEvent::Kind::kSwitchEnqueue, net_.sim().now(), id_, out,
-                              pkt.type, pkt.flow, pkt.seq, pkt.size});
-  eg.bytes[pi] += pkt.size;
+                              type, flow, seq, size});
+  eg.bytes[pi] += size;
   VEDR_CHECK_LE(eg.bytes[pi], net_.config().queue_cap_bytes,
                 "egress queue exceeded its capacity at switch ", id_, " port ", out);
-  eg.q[pi].push_back(Queued{std::move(pkt), in_port});
+  eg.q[pi].push_back(Queued{ref, in_port});
   VEDR_AUDIT(audit_invariants());
   kick(out);
 }
@@ -119,22 +149,28 @@ void Switch::kick(PortId out) {
   }
   if (pi < 0) return;
 
-  Queued item = std::move(eg.q[pi].front());
-  eg.q[pi].pop_front();
-  eg.bytes[pi] -= item.pkt.size;
+  const Queued item = eg.q[pi].pop_front();
+  // Cached before update_pause_signal(): a PFC resume frame acquires a pool
+  // slot, invalidating references into the pool.
+  const std::int32_t size = net_.pool().at(item.ref).size;
+  const Priority prio = net_.pool().at(item.ref).prio;
+  const PacketType type = net_.pool().at(item.ref).type;
+  const FlowKey flow = net_.pool().at(item.ref).flow;
+  const std::uint32_t seq = net_.pool().at(item.ref).seq;
+  eg.bytes[pi] -= size;
   VEDR_CHECK_GE(eg.bytes[pi], 0, "egress byte accounting went negative at switch ", id_,
                 " port ", out);
 
-  if (item.pkt.prio == Priority::kData) {
-    telem_.port(out).on_dequeue(item.pkt.flow, item.pkt.size);
+  if (prio == Priority::kData) {
+    telem_.port(out).on_dequeue(flow, size);
     if (item.in_port != kInvalidPort) {
       std::int64_t& from =
           queued_from_[static_cast<std::size_t>(out)][static_cast<std::size_t>(item.in_port)];
-      from -= item.pkt.size;
+      from -= size;
       VEDR_CHECK_GE(from, 0, "per-ingress attribution went negative at switch ", id_,
                     " egress ", out, " ingress ", item.in_port);
       PauseSignal& sig = pause_sig_.at(static_cast<std::size_t>(item.in_port));
-      sig.ingress_bytes -= item.pkt.size;
+      sig.ingress_bytes -= size;
       VEDR_CHECK_GE(sig.ingress_bytes, 0,
                     "PFC ingress byte accounting went negative at switch ", id_, " ingress ",
                     item.in_port);
@@ -144,14 +180,17 @@ void Switch::kick(PortId out) {
 
   if (auto* t = net_.tracer())
     t->record(net::TraceEvent{net::TraceEvent::Kind::kSwitchDequeue, net_.sim().now(), id_, out,
-                              item.pkt.type, item.pkt.flow, item.pkt.seq, item.pkt.size});
+                              type, flow, seq, size});
   eg.busy = true;
   const auto& link = net_.port_info(id_, out);
-  const Tick tx = sim::transmission_delay(item.pkt.size, link.gbps);
-  net_.sim().schedule_in(tx, [this, out, pkt = std::move(item.pkt)]() mutable {
-    net_.deliver(id_, out, std::move(pkt));
-    finish_tx(out);
-  });
+  const Tick tx = sim::transmission_delay(size, link.gbps);
+  net_.sim().schedule_event_in(tx, sim::EventKind::kSwitchTxDone,
+                               {this, item.ref, static_cast<std::uint64_t>(out)});
+}
+
+void Switch::on_tx_done_ref(PacketRef ref, PortId out) {
+  net_.deliver_ref(id_, out, ref);
+  finish_tx(out);
 }
 
 void Switch::audit_invariants() const {
@@ -160,11 +199,13 @@ void Switch::audit_invariants() const {
     const Egress& eg = egress_[out];
     for (int pi = 0; pi < kNumPriorities; ++pi) {
       std::int64_t queued = 0;
-      for (const Queued& item : eg.q[pi]) {
-        VEDR_CHECK_GT(item.pkt.size, 0, "queued packet with non-positive size at switch ", id_);
-        queued += item.pkt.size;
-        if (item.pkt.prio == Priority::kData && item.in_port != kInvalidPort)
-          ingress_totals.at(static_cast<std::size_t>(item.in_port)) += item.pkt.size;
+      for (std::size_t qi = 0; qi < eg.q[pi].size(); ++qi) {
+        const Queued& item = eg.q[pi][qi];
+        const Packet& pkt = net_.pool().at(item.ref);
+        VEDR_CHECK_GT(pkt.size, 0, "queued packet with non-positive size at switch ", id_);
+        queued += pkt.size;
+        if (pkt.prio == Priority::kData && item.in_port != kInvalidPort)
+          ingress_totals.at(static_cast<std::size_t>(item.in_port)) += pkt.size;
       }
       VEDR_CHECK_EQ(eg.bytes[pi], queued, "egress byte counter diverged from queued packets",
                     " at switch ", id_, " port ", out, " prio ", pi);
@@ -221,7 +262,7 @@ void Switch::update_pause_signal(PortId in_port) {
   const bool desired = sig.congestion || sig.forced;
   if (desired == sig.sent_pause) return;
   sig.sent_pause = desired;
-  net_.stats().add_counter(desired ? "pfc.pause_frames" : "pfc.resume_frames");
+  *(desired ? pause_frames_cell_ : resume_frames_cell_) += 1;
   net_.deliver_pfc(id_, in_port, Priority::kData, desired);
 
   if (desired) {
@@ -252,10 +293,13 @@ void Switch::force_pause(PortId port, Tick duration) {
     cause.injected = true;
     telem_.record_pause_cause(std::move(cause));
   }
-  net_.sim().schedule_in(duration, [this, port] {
-    pause_sig_.at(static_cast<std::size_t>(port)).forced = false;
-    update_pause_signal(port);
-  });
+  net_.sim().schedule_event_in(duration, sim::EventKind::kPfcResume,
+                               {this, 0, static_cast<std::uint64_t>(port)});
+}
+
+void Switch::on_forced_pause_expired(PortId port) {
+  pause_sig_.at(static_cast<std::size_t>(port)).forced = false;
+  update_pause_signal(port);
 }
 
 void Switch::handle_pfc(const Packet& pkt, PortId in_port) {
@@ -301,7 +345,7 @@ void Switch::handle_poll(Packet pkt, PortId in_port) {
       maybe_chase(out, info);
       emit_report(std::move(report));
     }
-    forward(std::move(pkt), in_port);
+    forward_ref(net_.pool().acquire(std::move(pkt)), in_port);
     return;
   }
 

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <random>
 #include <unordered_set>
 #include <vector>
 
+#include "common/ring.h"
 #include "net/device.h"
 #include "net/packet.h"
 #include "net/types.h"
@@ -26,6 +26,14 @@ class Switch : public Device {
   Switch(Network& net, NodeId id, int num_ports);
 
   void handle_rx(Packet pkt, PortId in_port) override;
+  void handle_rx_ref(PacketRef ref, PortId in_port) override;
+
+  // --- event-dispatch entry points (net/events.cpp trampolines only) -------
+
+  /// kSwitchTxDone: egress `out` finished serializing slot `ref`.
+  void on_tx_done_ref(PacketRef ref, PortId out);
+  /// kPfcResume: an injected pause on `port` expired.
+  void on_forced_pause_expired(PortId port);
 
   // --- anomaly injection ---------------------------------------------------
 
@@ -60,12 +68,14 @@ class Switch : public Device {
   int num_ports() const { return static_cast<int>(egress_.size()); }
 
  private:
+  /// One queued frame: the packet stays in the Network's pool; the queue
+  /// holds only its slot plus the ingress it is attributed to for PFC.
   struct Queued {
-    Packet pkt;
+    PacketRef ref = 0;
     PortId in_port = kInvalidPort;
   };
   struct Egress {
-    std::deque<Queued> q[kNumPriorities];
+    common::Ring<Queued> q[kNumPriorities];
     std::int64_t bytes[kNumPriorities] = {0, 0};
     bool paused_data = false;  ///< peer paused our data class
     bool busy = false;
@@ -79,8 +89,8 @@ class Switch : public Device {
     bool sent_pause = false;
   };
 
-  void forward(Packet pkt, PortId in_port);
-  void enqueue(PortId out, Packet pkt, PortId in_port);
+  void forward_ref(PacketRef ref, PortId in_port);
+  void enqueue_ref(PortId out, PacketRef ref, PortId in_port);
   void kick(PortId out);
   void finish_tx(PortId out);
   void update_pause_signal(PortId in_port);
@@ -99,6 +109,12 @@ class Switch : public Device {
   std::mt19937_64 ecn_rng_;
   std::int64_t drops_ = 0;
   std::int64_t ttl_drops_ = 0;
+  // Interned stats cells: these counters are bumped per packet event, where
+  // add_counter's string lookup (and SSO-overflowing key) is measurable.
+  std::int64_t* drops_cell_ = nullptr;
+  std::int64_t* ttl_drops_cell_ = nullptr;
+  std::int64_t* pause_frames_cell_ = nullptr;
+  std::int64_t* resume_frames_cell_ = nullptr;
 
   friend struct SwitchTestPeer;  ///< test-only corruption hook (invariant tests)
 };

@@ -4,7 +4,8 @@
 #include <cstdio>
 #include <string>
 
-#include "core/trace_tap.h"
+#include "collective/runner.h"
+#include "common/tap.h"
 #include "replay/trace_format.h"
 
 namespace vedr::replay {

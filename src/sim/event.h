@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vedr::sim {
+
+/// Handle for a scheduled event, used to cancel it. Encodes the pool slot
+/// plus a generation counter so a handle left over from a fired/cancelled
+/// event can never cancel an unrelated reuse of its slot.
+using EventId = std::uint64_t;
+
+/// The fixed taxonomy of engine events. The simulation data plane schedules
+/// only typed events (a compact POD payload dispatched through a registered
+/// handler — zero heap allocations in steady state); `kCallback` is the
+/// cold-path escape hatch (tests, one-shot injector glue, report delivery)
+/// that stores an arbitrary closure in the pooled slot.
+enum class EventKind : std::uint8_t {
+  kCallback = 0,     ///< pooled std::function — cold-path escape hatch
+  kPacketDelivery,   ///< frame finished propagation; arrives at (device, port)
+  kHostTxDone,       ///< host NIC finished serializing; its wire is free
+  kSwitchTxDone,     ///< switch egress finished serializing; its wire is free
+  kHostWakeup,       ///< host pacing-clock wakeup
+  kPfcResume,        ///< an injected PAUSE expires at a switch ingress
+  kDcqcnAlpha,       ///< DCQCN alpha-decay timer
+  kDcqcnIncrease,    ///< DCQCN rate-increase timer
+  kStepPoll,         ///< host monitor watchdog poll check
+  kPollSweep,        ///< full-polling baseline sweep tick
+  kCollectiveStart,  ///< collective runner kickoff
+  kInjectorTrigger,  ///< anomaly injector firing (e.g. PFC storm start)
+};
+
+inline constexpr std::size_t kNumEventKinds = 12;
+
+inline constexpr std::size_t index_of(EventKind k) {
+  return static_cast<std::size_t>(k);
+}
+
+const char* to_string(EventKind k);
+
+/// Kind-specific arguments of a typed event. Interpretation is owned by the
+/// kind's handler: `obj` is the target object (Device, DcqcnFlow, Monitor,
+/// ...), `a`/`b` carry small scalars (packet-pool slot, port, generation).
+/// Deliberately POD so scheduling never touches the heap.
+struct EventPayload {
+  void* obj = nullptr;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Per-kind dispatch hook. Handlers are plain function pointers (registered
+/// once per kind, typically a static trampoline that casts `payload.obj`)
+/// so dispatch is one indirect call — no type erasure, no allocation.
+using EventHandler = void (*)(const EventPayload& payload);
+
+}  // namespace vedr::sim

@@ -1,68 +1,104 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event.h"
 #include "sim/time.h"
 
 namespace vedr::sim {
 
-/// Handle used to cancel a scheduled event. Cancellation is lazy: the event
-/// stays in the heap but its callback is dropped when popped.
-using EventId = std::uint64_t;
-
-/// A stable-order event queue: events at the same tick fire in the order
-/// they were scheduled, which keeps simulations deterministic regardless of
-/// heap internals.
+/// The engine's scheduling core: a pool of event slots addressed by an
+/// indexed 4-ary heap.
+///
+/// Determinism contract (everything the models rely on):
+///   - events pop in non-decreasing time order;
+///   - events at the same tick fire in the order they were scheduled
+///     (a monotonic sequence number breaks ties — never addresses, never
+///     hash order);
+///   - cancel() truly removes the event: `size()`/`empty()` count live
+///     events only, and the slot (including any stored closure) is
+///     reclaimed immediately, not when a tombstone would have surfaced.
+///
+/// Two scheduling paths share the pool:
+///   - schedule_event(): a typed event — EventKind plus a POD payload,
+///     dispatched through the kind's registered handler. The steady-state
+///     data plane uses only this path and performs zero heap allocations
+///     once the pool and heap have grown to the workload's high-water mark.
+///   - schedule_callback(): the cold-path escape hatch storing an arbitrary
+///     std::function in the slot (tests, injector glue, report delivery).
 class EventQueue {
  public:
   EventQueue() = default;
 
-  EventId schedule(Tick at, std::function<void()> fn);
+  EventId schedule_event(Tick at, EventKind kind, const EventPayload& payload);
+  EventId schedule_callback(Tick at, std::function<void()> fn);
 
-  /// Drops the callback for `id` if the event has not fired yet.
-  /// Returns true when an event was actually cancelled.
+  /// Removes the event if it has not fired yet; reclaims its slot (and any
+  /// closure) immediately. Returns true when an event was actually cancelled.
   bool cancel(EventId id);
 
-  bool empty() const { return live_ == 0; }
-  std::size_t size() const { return live_; }
+  /// Registers the dispatch handler for a typed kind. Idempotent for the
+  /// same function; a conflicting re-registration is a wiring bug and fails
+  /// a check. kCallback needs no handler.
+  void set_handler(EventKind kind, EventHandler fn);
+  EventHandler handler(EventKind kind) const { return handlers_[index_of(kind)]; }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest live event; kNever when empty.
-  Tick next_time() const;
+  Tick next_time() const { return heap_.empty() ? kNever : heap_.front().at; }
 
   /// Pops and runs the earliest event. Returns its time.
   /// Precondition: !empty().
   Tick run_next();
 
-  std::uint64_t total_scheduled() const { return next_id_; }
+  std::uint64_t total_scheduled() const { return next_seq_; }
+
+  /// Pool high-water mark (slots ever created). Test/bench introspection:
+  /// steady state means this stops growing.
+  std::size_t pool_capacity() const { return slots_.size(); }
 
  private:
-  struct Entry {
+  struct HeapItem {
     Tick at = 0;
-    EventId id = 0;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
-    }
+    std::uint64_t seq = 0;    ///< monotonic schedule order; same-tick tie-break
+    std::uint32_t slot = 0;
   };
 
-  void skip_cancelled() const;
+  struct Slot {
+    EventPayload payload;
+    std::function<void()> fn;  ///< kCallback only; cleared on reclaim
+    std::uint32_t heap_pos = 0;
+    std::uint32_t gen = 0;     ///< bumped on reclaim; validates EventIds
+    EventKind kind = EventKind::kCallback;
+    bool live = false;
+  };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
-  std::unordered_set<EventId> pending_;
-  std::uint64_t next_id_ = 0;
-  std::size_t live_ = 0;
-  // Invariant-audit state: the last popped (time, id), to machine-check the
+  static bool earlier(const HeapItem& x, const HeapItem& y) {
+    if (x.at != y.at) return x.at < y.at;
+    return x.seq < y.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void reclaim_slot(std::uint32_t slot);
+  EventId push(Tick at, std::uint32_t slot);
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heap_remove(std::size_t pos);
+
+  std::vector<HeapItem> heap_;        ///< 4-ary min-heap on (at, seq)
+  std::vector<Slot> slots_;           ///< pooled event storage
+  std::vector<std::uint32_t> free_;   ///< reclaimed slot indices
+  std::array<EventHandler, kNumEventKinds> handlers_{};
+  std::uint64_t next_seq_ = 0;
+  // Invariant-audit state: the last popped (time, seq), to machine-check the
   // monotonic-time + stable-tie-break guarantee documented above.
   Tick last_pop_time_ = 0;
-  EventId last_pop_id_ = 0;
+  std::uint64_t last_pop_seq_ = 0;
   bool has_popped_ = false;
 };
 

@@ -23,14 +23,32 @@ class Simulator {
 
   Tick now() const { return now_; }
 
-  /// Schedules `fn` to run `delay` ns from now (delay may be 0).
-  EventId schedule_in(Tick delay, std::function<void()> fn) {
-    return queue_.schedule(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  /// Schedules a typed event `delay` ns from now (delay may be 0). This is
+  /// the steady-state data-plane path: no heap allocation once the engine's
+  /// pool has warmed up.
+  EventId schedule_event_in(Tick delay, EventKind kind, const EventPayload& payload) {
+    return queue_.schedule_event(now_ + (delay < 0 ? 0 : delay), kind, payload);
   }
 
-  /// Schedules `fn` at absolute time `at` (clamped to now()).
+  /// Schedules a typed event at absolute time `at` (clamped to now()).
+  EventId schedule_event_at(Tick at, EventKind kind, const EventPayload& payload) {
+    return queue_.schedule_event(at < now_ ? now_ : at, kind, payload);
+  }
+
+  /// Registers the dispatch handler for a typed kind (idempotent for the
+  /// same function; a conflicting registration fails a check).
+  void set_handler(EventKind kind, EventHandler fn) { queue_.set_handler(kind, fn); }
+
+  /// Schedules `fn` to run `delay` ns from now (delay may be 0).
+  /// Cold-path escape hatch — allocates for the closure; keep it off the
+  /// per-packet path.
+  EventId schedule_in(Tick delay, std::function<void()> fn) {
+    return queue_.schedule_callback(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now()). Cold path.
   EventId schedule_at(Tick at, std::function<void()> fn) {
-    return queue_.schedule(at < now_ ? now_ : at, std::move(fn));
+    return queue_.schedule_callback(at < now_ ? now_ : at, std::move(fn));
   }
 
   bool cancel(EventId id) { return queue_.cancel(id); }

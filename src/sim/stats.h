@@ -45,6 +45,12 @@ class StatsRegistry {
   void add_counter(const std::string& name, std::int64_t delta = 1) {
     counters_[name] += delta;
   }
+
+  /// Stable pointer to a counter's storage cell (the map is node-based, so
+  /// later insertions never move it). Hot paths intern the cell once at
+  /// construction and bump through the pointer — add_counter's string key
+  /// would allocate on every event for names beyond the SSO limit.
+  std::int64_t* counter_cell(const std::string& name) { return &counters_[name]; }
   std::int64_t counter(const std::string& name) const {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;

@@ -29,10 +29,10 @@ void PortTelemetry::on_enqueue(const FlowKey& flow, std::int64_t bytes, Tick now
 
 void PortTelemetry::on_dequeue(const FlowKey& flow, std::int64_t bytes) {
   auto it = in_queue_.find(flow);
-  if (it != in_queue_.end() && it->second > 0) {
-    it->second -= 1;
-    if (it->second == 0) in_queue_.erase(it);
-  }
+  // Drained flows keep their (zero) entry: erasing would free the hash node
+  // just to reallocate it on the flow's next packet, and the queue-ahead
+  // loop in on_enqueue already skips cnt == 0.
+  if (it != in_queue_.end() && it->second > 0) it->second -= 1;
   qdepth_pkts_ = std::max<std::int64_t>(0, qdepth_pkts_ - 1);
   qdepth_bytes_ = std::max<std::int64_t>(0, qdepth_bytes_ - bytes);
 }

@@ -4,9 +4,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/tap.h"
 #include "net/types.h"
 #include "telemetry/records.h"
-#include "telemetry/trace_tap.h"
 
 namespace vedr::telemetry {
 

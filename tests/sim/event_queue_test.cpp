@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
@@ -12,9 +13,9 @@ namespace {
 TEST(EventQueue, RunsInTimeOrder) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule(30, [&] { order.push_back(3); });
-  q.schedule(10, [&] { order.push_back(1); });
-  q.schedule(20, [&] { order.push_back(2); });
+  q.schedule_callback(30, [&] { order.push_back(3); });
+  q.schedule_callback(10, [&] { order.push_back(1); });
+  q.schedule_callback(20, [&] { order.push_back(2); });
   while (!q.empty()) q.run_next();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -22,7 +23,7 @@ TEST(EventQueue, RunsInTimeOrder) {
 TEST(EventQueue, SameTickRunsInScheduleOrder) {
   EventQueue q;
   std::vector<int> order;
-  for (int i = 0; i < 16; ++i) q.schedule(42, [&order, i] { order.push_back(i); });
+  for (int i = 0; i < 16; ++i) q.schedule_callback(42, [&order, i] { order.push_back(i); });
   while (!q.empty()) q.run_next();
   ASSERT_EQ(order.size(), 16u);
   for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
@@ -31,21 +32,21 @@ TEST(EventQueue, SameTickRunsInScheduleOrder) {
 TEST(EventQueue, NextTimeReportsEarliest) {
   EventQueue q;
   EXPECT_EQ(q.next_time(), kNever);
-  q.schedule(100, [] {});
-  q.schedule(50, [] {});
+  q.schedule_callback(100, [] {});
+  q.schedule_callback(50, [] {});
   EXPECT_EQ(q.next_time(), 50);
 }
 
 TEST(EventQueue, RunNextReturnsEventTime) {
   EventQueue q;
-  q.schedule(77, [] {});
+  q.schedule_callback(77, [] {});
   EXPECT_EQ(q.run_next(), 77);
 }
 
 TEST(EventQueue, CancelPreventsExecution) {
   EventQueue q;
   bool ran = false;
-  const EventId id = q.schedule(10, [&] { ran = true; });
+  const EventId id = q.schedule_callback(10, [&] { ran = true; });
   EXPECT_TRUE(q.cancel(id));
   EXPECT_TRUE(q.empty());
   EXPECT_FALSE(ran);
@@ -53,14 +54,14 @@ TEST(EventQueue, CancelPreventsExecution) {
 
 TEST(EventQueue, CancelIsIdempotent) {
   EventQueue q;
-  const EventId id = q.schedule(10, [] {});
+  const EventId id = q.schedule_callback(10, [] {});
   EXPECT_TRUE(q.cancel(id));
   EXPECT_FALSE(q.cancel(id));
 }
 
 TEST(EventQueue, CancelAfterRunReturnsFalse) {
   EventQueue q;
-  const EventId id = q.schedule(10, [] {});
+  const EventId id = q.schedule_callback(10, [] {});
   q.run_next();
   EXPECT_FALSE(q.cancel(id));
 }
@@ -68,9 +69,9 @@ TEST(EventQueue, CancelAfterRunReturnsFalse) {
 TEST(EventQueue, CancelMiddleKeepsOthers) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule(10, [&] { order.push_back(1); });
-  const EventId id = q.schedule(20, [&] { order.push_back(2); });
-  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule_callback(10, [&] { order.push_back(1); });
+  const EventId id = q.schedule_callback(20, [&] { order.push_back(2); });
+  q.schedule_callback(30, [&] { order.push_back(3); });
   q.cancel(id);
   EXPECT_EQ(q.size(), 2u);
   while (!q.empty()) q.run_next();
@@ -79,8 +80,8 @@ TEST(EventQueue, CancelMiddleKeepsOthers) {
 
 TEST(EventQueue, SizeTracksLiveEvents) {
   EventQueue q;
-  const EventId a = q.schedule(1, [] {});
-  q.schedule(2, [] {});
+  const EventId a = q.schedule_callback(1, [] {});
+  q.schedule_callback(2, [] {});
   EXPECT_EQ(q.size(), 2u);
   q.cancel(a);
   EXPECT_EQ(q.size(), 1u);
@@ -92,9 +93,9 @@ TEST(EventQueue, SizeTracksLiveEvents) {
 TEST(EventQueue, EventsScheduledDuringExecutionRun) {
   EventQueue q;
   int count = 0;
-  q.schedule(10, [&] {
+  q.schedule_callback(10, [&] {
     ++count;
-    q.schedule(20, [&] { ++count; });
+    q.schedule_callback(20, [&] { ++count; });
   });
   while (!q.empty()) q.run_next();
   EXPECT_EQ(count, 2);
@@ -112,13 +113,13 @@ TEST(EventQueue, SameTickTieBreakSurvivesInterleavedScheduling) {
   // the property that keeps whole-simulation runs bit-reproducible.
   EventQueue q;
   std::vector<int> order;
-  q.schedule(5, [&] {
+  q.schedule_callback(5, [&] {
     order.push_back(0);
-    q.schedule(5, [&] { order.push_back(3); });
-    q.schedule(5, [&] { order.push_back(4); });
+    q.schedule_callback(5, [&] { order.push_back(3); });
+    q.schedule_callback(5, [&] { order.push_back(4); });
   });
-  q.schedule(5, [&] { order.push_back(1); });
-  q.schedule(5, [&] { order.push_back(2); });
+  q.schedule_callback(5, [&] { order.push_back(1); });
+  q.schedule_callback(5, [&] { order.push_back(2); });
   while (!q.empty()) q.run_next();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
@@ -127,11 +128,135 @@ TEST(EventQueue, IdenticalSchedulesReplayIdentically) {
   auto run_once = [] {
     EventQueue q;
     std::vector<int> order;
-    for (int i = 0; i < 64; ++i) q.schedule((i * 13) % 8, [&order, i] { order.push_back(i); });
+    for (int i = 0; i < 64; ++i) q.schedule_callback((i * 13) % 8, [&order, i] { order.push_back(i); });
     while (!q.empty()) q.run_next();
     return order;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EventQueue, CancelReclaimsClosureImmediately) {
+  // Regression: the old queue tombstoned cancelled entries, so a cancelled
+  // closure (and everything it captured) stayed alive until its time came up
+  // in the heap. Cancel must free the capture on the spot.
+  EventQueue q;
+  auto token = std::make_shared<int>(42);
+  const EventId id = q.schedule_callback(1'000'000'000, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(token.use_count(), 1) << "cancelled closure must be destroyed immediately";
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, SizeAndEmptyCountLiveEventsOnly) {
+  // Regression companion: with true removal there are no tombstones, so
+  // size()/empty() always reflect live events — even after heavy churn.
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(q.schedule_callback(i, [] {}));
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+  EXPECT_EQ(q.size(), 50u);
+  std::size_t ran = 0;
+  while (!q.empty()) {
+    q.run_next();
+    ++ran;
+  }
+  EXPECT_EQ(ran, 50u);
+}
+
+TEST(EventQueue, SlotPoolStopsGrowingUnderChurn) {
+  // Steady state must reuse slots: with at most 2 events outstanding, the
+  // pool never needs more than 2 slots no matter how many events flow.
+  EventQueue q;
+  q.schedule_callback(0, [] {});
+  q.run_next();
+  const std::size_t warm = q.pool_capacity();
+  for (int i = 1; i <= 10000; ++i) {
+    q.schedule_callback(i, [] {});
+    q.run_next();
+  }
+  EXPECT_EQ(q.pool_capacity(), warm);
+}
+
+int g_typed_fired = 0;
+std::vector<std::uint64_t> g_typed_payloads;
+
+void typed_test_handler(const EventPayload& p) {
+  ++g_typed_fired;
+  g_typed_payloads.push_back(p.a);
+}
+
+TEST(EventQueue, TypedEventsDispatchThroughHandler) {
+  EventQueue q;
+  g_typed_fired = 0;
+  g_typed_payloads.clear();
+  q.set_handler(EventKind::kStepPoll, &typed_test_handler);
+  q.schedule_event(10, EventKind::kStepPoll, {nullptr, 7, 0});
+  q.schedule_event(20, EventKind::kStepPoll, {nullptr, 9, 0});
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(g_typed_fired, 2);
+  EXPECT_EQ(g_typed_payloads, (std::vector<std::uint64_t>{7, 9}));
+}
+
+TEST(EventQueue, SameTickOrderSpansTypedAndCallbackPaths) {
+  // Both scheduling paths share one sequence counter, so same-tick events
+  // interleave in global schedule order regardless of which path each used.
+  EventQueue q;
+  static std::vector<int>* order_sink = nullptr;
+  std::vector<int> order;
+  order_sink = &order;
+  q.set_handler(EventKind::kPollSweep,
+                [](const EventPayload& p) { order_sink->push_back(static_cast<int>(p.a)); });
+  q.schedule_event(5, EventKind::kPollSweep, {nullptr, 0, 0});
+  q.schedule_callback(5, [&] { order.push_back(1); });
+  q.schedule_event(5, EventKind::kPollSweep, {nullptr, 2, 0});
+  q.schedule_callback(5, [&] { order.push_back(3); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, CancelTypedEvent) {
+  EventQueue q;
+  g_typed_fired = 0;
+  g_typed_payloads.clear();
+  q.set_handler(EventKind::kStepPoll, &typed_test_handler);
+  const EventId id = q.schedule_event(10, EventKind::kStepPoll, {nullptr, 1, 0});
+  q.schedule_event(20, EventKind::kStepPoll, {nullptr, 2, 0});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(g_typed_payloads, (std::vector<std::uint64_t>{2}));
+}
+
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
+  // After a slot is reclaimed and reused, an old EventId for it must not
+  // cancel the new occupant (generation validation).
+  EventQueue q;
+  const EventId stale = q.schedule_callback(1, [] {});
+  q.run_next();  // slot reclaimed
+  bool ran = false;
+  q.schedule_callback(2, [&] { ran = true; });  // reuses the slot
+  EXPECT_FALSE(q.cancel(stale));
+  while (!q.empty()) q.run_next();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, ConflictingHandlerRegistrationFiresCheck) {
+  EventQueue q;
+  q.set_handler(EventKind::kCollectiveStart, &typed_test_handler);
+  q.set_handler(EventKind::kCollectiveStart, &typed_test_handler);  // idempotent: OK
+  common::ScopedThrowOnCheckFailure guard;
+  EXPECT_THROW(q.set_handler(EventKind::kCollectiveStart,
+                             [](const EventPayload&) {}),
+               common::CheckFailure);
+}
+
+TEST(EventQueue, UnregisteredTypedKindFiresCheck) {
+  EventQueue q;
+  q.schedule_event(1, EventKind::kHostWakeup, {nullptr, 0, 0});
+  common::ScopedThrowOnCheckFailure guard;
+  EXPECT_THROW(q.run_next(), common::CheckFailure);
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {
@@ -140,7 +265,7 @@ TEST(EventQueue, ManyEventsStressOrdering) {
   bool ordered = true;
   for (int i = 0; i < 10000; ++i) {
     const Tick t = (i * 7919) % 1000;  // pseudo-shuffled times
-    q.schedule(t, [&, t] {
+    q.schedule_callback(t, [&, t] {
       if (t < last) ordered = false;
       last = t;
     });
