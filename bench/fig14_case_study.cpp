@@ -97,11 +97,11 @@ int main() {
 
   // Contributor ratings: per-flow and collective-level (Eq. 3).
   std::printf("\ncontribution to each critical flow R(bf, cf_i):\n");
-  for (const auto& [step, graph] : vedr.analyzer().step_graphs()) {
+  for (const int step : vedr.analyzer().step_graph_steps()) {
     const int cf = wg.critical_flow_of_step(step);
     if (cf < 0) continue;
     const net::FlowKey cf_key = runner.plan().key_for(cf, step);
-    auto& g = const_cast<core::ProvenanceGraph&>(graph);
+    auto& g = *vedr.analyzer().step_graph(step);
     g.finalize();
     const double r1 = g.contribution_to_flow(bf1, cf_key);
     const double r2 = g.contribution_to_flow(bf2, cf_key);

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vedr::common {
+
+/// Open-addressing u64 -> u64 hash map for the diagnosis-plane hot paths:
+/// poll-id registries and per-port merge staging, where libstdc++'s
+/// node-based unordered_map would allocate on every insert. Linear probing
+/// over a power-of-two table, no erase (the diagnosis core only ever merges
+/// and clears). clear() keeps the table storage, so once a workload has
+/// grown the map to its high-water mark, re-ingesting a same-shaped stream
+/// performs zero heap allocations.
+class DenseMap64 {
+ public:
+  DenseMap64() = default;
+
+  /// Ensures capacity for at least `n` keys without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t want = 16;
+    while (want * 7 / 8 < n) want <<= 1;
+    if (want > slots_.size()) rehash(want);
+  }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  const std::uint64_t* find(std::uint64_t key) const {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = mix(key) & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots_[i];
+      if (!s.used) return nullptr;
+      if (s.key == key) return &s.val;
+    }
+  }
+  std::uint64_t* find(std::uint64_t key) {
+    return const_cast<std::uint64_t*>(static_cast<const DenseMap64*>(this)->find(key));
+  }
+
+  /// Returns the value slot for `key`, inserting `init` first when absent.
+  /// The reference is invalidated by the next insert (growth may rehash).
+  std::uint64_t& insert_or_get(std::uint64_t key, std::uint64_t init) {
+    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = mix(key) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (!s.used) {
+        s.used = 1;
+        s.key = key;
+        s.val = init;
+        ++size_;
+        return s.val;
+      }
+      if (s.key == key) return s.val;
+    }
+  }
+
+  /// Drops all entries but keeps the probe table, so re-populating with a
+  /// same-shaped key set never allocates.
+  void clear() {
+    for (Slot& s : slots_) s.used = 0;
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint64_t val = 0;
+    std::uint8_t used = 0;
+  };
+
+  /// splitmix64 finalizer: integer keys here are often sequential (poll ids,
+  /// packed id pairs), which raw masking would cluster into long probe runs.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    size_ = 0;
+    for (const Slot& s : old)
+      if (s.used) insert_or_get(s.key, s.val);
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+/// Packs two signed 32-bit values into one DenseMap64 key/value.
+inline std::uint64_t pack_u32_pair(std::uint32_t hi, std::uint32_t lo) {
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+inline std::uint32_t unpack_hi(std::uint64_t v) { return static_cast<std::uint32_t>(v >> 32); }
+inline std::uint32_t unpack_lo(std::uint64_t v) {
+  return static_cast<std::uint32_t>(v & 0xffffffffULL);
+}
+
+}  // namespace vedr::common

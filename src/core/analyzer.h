@@ -1,13 +1,14 @@
 #pragma once
 
-#include <map>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "collective/plan.h"
 #include "collective/runner.h"
+#include "common/dense_map.h"
 #include "core/diagnosis.h"
+#include "core/intern.h"
 #include "core/provenance_graph.h"
 #include "common/tap.h"
 #include "core/signatures.h"
@@ -24,9 +25,23 @@ namespace vedr::core {
 ///
 /// Baselines reuse the same analyzer without a plan: their reports all land
 /// in the step-agnostic global graph and no waiting graph is built.
+///
+/// The analyzer owns the shared InternTables: every per-step provenance
+/// graph and the global graph resolve FlowKey/PortRef through the same
+/// dense-id space, so a composite key is hashed once at ingestion and all
+/// cross-graph work (classification, contributor rating) runs on u32 ids.
+/// Per-step graphs are pooled and cleared-not-freed across reset(), so a
+/// warmed analyzer re-ingests a same-shaped case without heap allocation.
 class Analyzer : public telemetry::ReportSink {
  public:
   Analyzer(const net::Topology* topo, const collective::CollectivePlan* plan);
+
+  // The per-step graphs and the waiting graph point into this analyzer's
+  // intern tables and buffers; moving it would dangle them.
+  Analyzer(const Analyzer&) = delete;
+  Analyzer& operator=(const Analyzer&) = delete;
+  Analyzer(Analyzer&&) = delete;
+  Analyzer& operator=(Analyzer&&) = delete;
 
   // --- ingestion -------------------------------------------------------------
 
@@ -35,6 +50,10 @@ class Analyzer : public telemetry::ReportSink {
   /// land in the right per-step provenance graph.
   void register_poll(std::uint64_t poll_id, int flow, int step);
   void on_switch_report(const telemetry::SwitchReport& report) override;
+
+  /// Drops all ingested state (records, polls, graphs) but keeps the intern
+  /// tables and every warmed buffer, ready for the next case.
+  void reset();
 
   /// Sets the monitored flow set explicitly (used by baselines which have
   /// no plan but know which flows they watch).
@@ -53,17 +72,31 @@ class Analyzer : public telemetry::ReportSink {
 
   const WaitingGraph& waiting_graph() const { return waiting_graph_; }
   ProvenanceGraph& global_graph() { return global_; }
-  const std::map<int, ProvenanceGraph>& step_graphs() const { return per_step_; }
+  /// Number of per-step provenance graphs populated by registered polls.
+  std::size_t step_graph_count() const { return n_step_graphs_; }
+  /// The populated steps in ascending order.
+  std::vector<int> step_graph_steps() const;
+  /// Per-step graph lookup; nullptr when no reports landed for `step`.
+  const ProvenanceGraph* step_graph(int step) const;
+  ProvenanceGraph* step_graph(int step);
   std::size_t step_records() const { return records_.size(); }
   std::size_t reports_received() const { return reports_received_; }
+  const InternTables& tables() const { return tables_; }
 
  private:
   const net::Topology* topo_;
   const collective::CollectivePlan* plan_;
-  std::unordered_map<std::uint64_t, std::pair<int, int>> poll_index_;
-  std::map<int, ProvenanceGraph> per_step_;
+  InternTables tables_;
+  common::DenseMap64 poll_index_;  ///< poll id -> pack(flow, step)
+  /// Pooled per-step graphs: [0, n_step_graphs_) in use, claimed in report
+  /// arrival order; step_slot_ maps step -> pool index.
+  std::vector<ProvenanceGraph> step_pool_;
+  std::vector<int> step_of_;  ///< pool index -> step
+  common::DenseMap64 step_slot_;
+  std::size_t n_step_graphs_ = 0;
   ProvenanceGraph global_;
   std::vector<collective::StepRecord> records_;
+  int max_step_ = -1;  ///< max step over records_, maintained at ingestion
   std::unordered_set<FlowKey, FlowKeyHash> cc_flows_;
   WaitingGraph waiting_graph_;
   SignatureClassifier classifier_;

@@ -23,30 +23,30 @@ void sort_unique(std::vector<PortRef>& v) {
 }  // namespace
 
 SignatureClassifier::ChaseResult SignatureClassifier::chase(const ProvenanceGraph& g,
-                                                            const PortRef& start) const {
+                                                            std::uint32_t start) const {
   ChaseResult result;
-  std::unordered_set<PortRef, PortRefHash> visited;
-  PortRef cur = start;
+  std::vector<std::uint8_t> visited(g.tables().ports.size(), 0);
+  std::uint32_t cur = start;
   result.chain.push_back(cur);
-  visited.insert(cur);
+  visited[cur] = 1;
   while (true) {
-    const auto downs = g.pfc_downstream(cur);
-    if (downs.empty()) break;
+    const auto& edges = g.pfc_edges_of(cur);
+    if (edges.empty()) break;
     // Follow the dominant contributor when the pause fans out: the
     // downstream queue holding the most of this port's halted bytes.
-    PortRef next = downs.front();
+    std::uint32_t next = edges.front().down;
     std::int64_t best = -1;
-    for (const PortRef& d : downs) {
-      const std::int64_t c = g.port_port_contribution(cur, d);
-      if (c > best) {
-        best = c;
-        next = d;
+    for (const ProvenanceGraph::PfcEdge& e : edges) {
+      if (e.contrib > best) {
+        best = e.contrib;
+        next = e.down;
       }
     }
-    if (!visited.insert(next).second) {
+    if (visited[next] != 0) {
       result.cycle = true;
       break;
     }
+    visited[next] = 1;
     result.chain.push_back(next);
     cur = next;
   }
@@ -57,7 +57,23 @@ SignatureClassifier::ChaseResult SignatureClassifier::chase(const ProvenanceGrap
 std::vector<AnomalyFinding> SignatureClassifier::classify(
     const ProvenanceGraph& g, const std::unordered_set<FlowKey, FlowKeyHash>& cc_flows,
     int step) const {
+  FlowIdSet cc;
+  cc.build(g.tables().flows, cc_flows);
+  return classify(g, cc, step);
+}
+
+std::vector<AnomalyFinding> SignatureClassifier::classify(const ProvenanceGraph& g,
+                                                          const FlowIdSet& cc_flows,
+                                                          int step) const {
   std::vector<AnomalyFinding> findings;
+  const auto& flow_tab = g.tables().flows;
+  const auto& port_tab = g.tables().ports;
+  const std::size_t n_ports = g.port_count();
+
+  // gid -> canonical cell position, for resolving chase terminals to rows.
+  std::vector<std::int32_t> cell_pos(port_tab.size(), -1);
+  for (std::size_t i = 0; i < n_ports; ++i)
+    cell_pos[g.port_gid(i)] = static_cast<std::int32_t>(i);
 
   // --- Flow contention / incast -------------------------------------------
   // exists p: e(f_i, p) and e(cf, p), f_i != cf (§III-D2 signature 1); we use
@@ -70,18 +86,19 @@ std::vector<AnomalyFinding> SignatureClassifier::classify(
   incast.type = AnomalyType::kIncast;
   incast.step = step;
 
-  for (const PortRef& p : g.ports()) {
+  for (std::size_t i = 0; i < n_ports; ++i) {
     std::vector<FlowKey> contenders;
-    for (const FlowKey& cf : g.waiters_at(p)) {
-      if (cc_flows.count(cf) == 0) continue;
-      for (const FlowKey& other : g.flows_at(p)) {
-        if (cc_flows.count(other) > 0) continue;
-        if (g.pair_weight(p, cf, other) >= min_pair_weight_) contenders.push_back(other);
+    for (const std::uint32_t cf : g.waiter_ids(i)) {
+      if (!cc_flows.contains(cf)) continue;
+      for (const std::uint32_t other : g.flow_ids_at(i)) {
+        if (cc_flows.contains(other)) continue;
+        if (g.pair_weight_ids(i, cf, other) >= min_pair_weight_)
+          contenders.push_back(flow_tab.key_of(other));
       }
     }
     if (contenders.empty()) continue;
-    AnomalyFinding& target = g.host_facing(p) ? incast : contention;
-    target.congested_ports.push_back(p);
+    AnomalyFinding& target = g.host_facing_port(i) ? incast : contention;
+    target.congested_ports.push_back(g.port_at(i));
     target.contending_flows.insert(target.contending_flows.end(), contenders.begin(),
                                    contenders.end());
   }
@@ -102,17 +119,17 @@ std::vector<AnomalyFinding> SignatureClassifier::classify(
     AnomalyFinding imbalance;
     imbalance.type = AnomalyType::kLoadImbalance;
     imbalance.step = step;
-    for (const PortRef& p : g.ports()) {
-      if (g.host_facing(p)) continue;
+    for (std::size_t i = 0; i < n_ports; ++i) {
+      if (g.host_facing_port(i)) continue;
       bool cc_vs_cc = false;
-      for (const FlowKey& a : g.waiters_at(p)) {
-        if (cc_flows.count(a) == 0) continue;
-        for (const FlowKey& b : g.flows_at(p)) {
-          if (a == b || cc_flows.count(b) == 0) continue;
-          if (g.pair_weight(p, a, b) >= min_pair_weight_ * 16) cc_vs_cc = true;
+      for (const std::uint32_t a : g.waiter_ids(i)) {
+        if (!cc_flows.contains(a)) continue;
+        for (const std::uint32_t b : g.flow_ids_at(i)) {
+          if (a == b || !cc_flows.contains(b)) continue;
+          if (g.pair_weight_ids(i, a, b) >= min_pair_weight_ * 16) cc_vs_cc = true;
         }
       }
-      if (cc_vs_cc) imbalance.congested_ports.push_back(p);
+      if (cc_vs_cc) imbalance.congested_ports.push_back(g.port_at(i));
     }
     if (!imbalance.congested_ports.empty()) {
       sort_unique(imbalance.congested_ports);
@@ -125,29 +142,32 @@ std::vector<AnomalyFinding> SignatureClassifier::classify(
   // exists p: e(cf, p) and e(p, p_j): the collective flow stalls at a port
   // that is itself halted by downstream PAUSE frames; trace the spreading
   // path to its root (§III-D2 signature 2).
-  std::unordered_set<PortRef, PortRefHash> chased;
-  for (const PortRef& p : g.ports()) {
-    if (g.pfc_downstream(p).empty()) continue;
+  std::vector<std::uint8_t> chased(port_tab.size(), 0);
+  for (std::size_t i = 0; i < n_ports; ++i) {
+    const std::uint32_t gid = g.port_gid(i);
+    if (g.pfc_edges_of(gid).empty()) continue;
     bool cc_affected = false;
-    for (const FlowKey& f : g.flows_at(p)) {
-      if (cc_flows.count(f) > 0 &&
-          (g.flow_port_weight(f, p) > 0 || g.port_paused_recently(p))) {
+    for (const std::uint32_t f : g.flow_ids_at(i)) {
+      if (cc_flows.contains(f) &&
+          (g.flow_port_weight_ids(i, f) > 0 || g.paused_recently_port(i))) {
         cc_affected = true;
         break;
       }
     }
     if (!cc_affected) continue;
-    if (!chased.insert(p).second) continue;
+    if (chased[gid] != 0) continue;
+    chased[gid] = 1;
 
-    const ChaseResult cr = chase(g, p);
+    const ChaseResult cr = chase(g, gid);
     AnomalyFinding f;
     f.step = step;
-    f.pfc_chain = cr.chain;
-    f.congested_ports = cr.chain;
+    f.pfc_chain.reserve(cr.chain.size());
+    for (const std::uint32_t c : cr.chain) f.pfc_chain.push_back(port_tab.key_of(c));
+    f.congested_ports = f.pfc_chain;
 
     if (cr.cycle) {
       f.type = AnomalyType::kPfcDeadlock;
-      f.root_port = cr.terminal;
+      f.root_port = port_tab.key_of(cr.terminal);
     } else {
       // A storm source along the chain means the PAUSE frames that halted a
       // chain port were injected (no buffer pressure behind them); otherwise
@@ -155,7 +175,7 @@ std::vector<AnomalyFinding> SignatureClassifier::classify(
       // injector port is the link peer of the port it halted.
       PortRef storm{};
       bool is_storm = false;
-      for (const PortRef& c : cr.chain) {
+      for (const PortRef& c : f.pfc_chain) {
         const PortRef pauser = g.peer_of(c);
         for (const PortRef& src : g.storm_sources()) {
           if (src == pauser) {
@@ -171,10 +191,13 @@ std::vector<AnomalyFinding> SignatureClassifier::classify(
         f.root_port = storm;
       } else {
         f.type = AnomalyType::kPfcBackpressure;
-        f.root_port = cr.terminal;
+        f.root_port = port_tab.key_of(cr.terminal);
         // The flows feeding the terminal port are the culprits.
-        for (const FlowKey& fk : g.flows_at(cr.terminal))
-          if (cc_flows.count(fk) == 0) f.contending_flows.push_back(fk);
+        const std::int32_t tpos = cell_pos[cr.terminal];
+        if (tpos >= 0) {
+          for (const std::uint32_t fk : g.flow_ids_at(static_cast<std::size_t>(tpos)))
+            if (!cc_flows.contains(fk)) f.contending_flows.push_back(flow_tab.key_of(fk));
+        }
         sort_unique(f.contending_flows);
       }
     }
@@ -191,8 +214,10 @@ std::vector<AnomalyFinding> SignatureClassifier::classify(
     loop.step = step;
     for (const auto& d : g.drops()) {
       // Forward direction, or the collective's returning ACK stream — both
-      // only expire when the fabric loops.
-      if (cc_flows.count(d.flow) == 0 && cc_flows.count(net::reverse(d.flow)) == 0) continue;
+      // only expire when the fabric loops. Drop keys are matched through the
+      // raw cc set: a reversed ACK key never reaches the intern tables.
+      if (!cc_flows.contains_key(d.flow) && !cc_flows.contains_key(net::reverse(d.flow)))
+        continue;
       loop.congested_ports.push_back(d.port);
     }
     if (!loop.congested_ports.empty()) {
@@ -209,10 +234,10 @@ std::vector<AnomalyFinding> SignatureClassifier::classify(
         return f.type == AnomalyType::kPfcStorm;
       })) {
     bool cc_pfc = false;
-    for (const PortRef& p : g.ports()) {
-      if (!g.port_paused_recently(p)) continue;
-      for (const FlowKey& fk : g.flows_at(p))
-        if (cc_flows.count(fk) > 0) cc_pfc = true;
+    for (std::size_t i = 0; i < n_ports; ++i) {
+      if (!g.paused_recently_port(i)) continue;
+      for (const std::uint32_t fk : g.flow_ids_at(i))
+        if (cc_flows.contains(fk)) cc_pfc = true;
     }
     if (cc_pfc) {
       AnomalyFinding f;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/diagnosis.h"
+#include "core/intern.h"
 #include "core/provenance_graph.h"
 
 namespace vedr::core {
@@ -12,6 +13,10 @@ namespace vedr::core {
 /// provenance graph against the set of collective-communication flows and
 /// emits typed findings. New anomaly types are added by extending this
 /// classifier (the paper calls out this extensibility in §V).
+///
+/// The classifier walks the graph's dense-id rows — port cells in canonical
+/// order, per-port waiter/flow id rows — so no composite key is hashed while
+/// matching; keys are only materialized into the findings it emits.
 class SignatureClassifier {
  public:
   /// `min_pair_weight`: queue-ahead packets below this are noise, not
@@ -20,6 +25,12 @@ class SignatureClassifier {
   explicit SignatureClassifier(double min_pair_weight = 8.0)
       : min_pair_weight_(min_pair_weight) {}
 
+  /// Primary entry: cc membership pre-resolved to interned flow ids.
+  /// Requires g.finalize() to have run (the id rows are finalize products).
+  std::vector<AnomalyFinding> classify(const ProvenanceGraph& g, const FlowIdSet& cc_flows,
+                                       int step = -1) const;
+
+  /// Convenience overload for tests/tools holding a raw key set.
   std::vector<AnomalyFinding> classify(
       const ProvenanceGraph& g,
       const std::unordered_set<FlowKey, FlowKeyHash>& cc_flows, int step = -1) const;
@@ -28,11 +39,11 @@ class SignatureClassifier {
   /// Walks the PFC spreading path from `start` to its terminal port,
   /// recording the chain. Cycles are reported as deadlocks.
   struct ChaseResult {
-    std::vector<PortRef> chain;
-    PortRef terminal;
+    std::vector<std::uint32_t> chain;  ///< port ids
+    std::uint32_t terminal = 0;
     bool cycle = false;
   };
-  ChaseResult chase(const ProvenanceGraph& g, const PortRef& start) const;
+  ChaseResult chase(const ProvenanceGraph& g, std::uint32_t start) const;
 
   double min_pair_weight_;
 };

@@ -1,26 +1,34 @@
 #include "core/waiting_graph.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/check.h"
 
 namespace vedr::core {
 
-WaitingGraph WaitingGraph::build(std::vector<StepRecord> records) {
+WaitingGraph WaitingGraph::build(const std::vector<StepRecord>& records) {
   WaitingGraph g;
+  g.rebuild(records);
+  return g;
+}
+
+void WaitingGraph::rebuild(const std::vector<StepRecord>& records) {
   // The analyzer queues collected entries in completion-time order and
   // constructs the graph sequentially (§III-D1).
-  std::sort(records.begin(), records.end(), [](const StepRecord& a, const StepRecord& b) {
+  records_.assign(records.begin(), records.end());
+  std::sort(records_.begin(), records_.end(), [](const StepRecord& a, const StepRecord& b) {
     if (a.end_time != b.end_time) return a.end_time < b.end_time;
     if (a.flow_index != b.flow_index) return a.flow_index < b.flow_index;
     return a.step < b.step;
   });
-  g.records_ = std::move(records);
-  for (std::size_t i = 0; i < g.records_.size(); ++i)
-    g.index_[key(g.records_[i].flow_index, g.records_[i].step)] = i;
+  index_.clear();
+  edges_.clear();
+  for (std::size_t i = 0; i < records_.size(); ++i)
+    index_.insert_or_get(key(records_[i].flow_index, records_[i].step), 0) = i;
 
-  for (const StepRecord& r : g.records_) {
+  for (const StepRecord& r : records_) {
     // Host monitors can only report well-formed step identities; a negative
     // index or a self-dependency would wedge graph construction silently.
     VEDR_CHECK(r.flow_index >= 0 && r.step >= 0,
@@ -35,17 +43,16 @@ WaitingGraph WaitingGraph::build(std::vector<StepRecord> records) {
                               : 0;
     VEDR_CHECK_GE(duration, 0, "waiting-graph step F", r.flow_index, "S", r.step,
                   " ended before it started");
-    g.edges_.push_back(WgEdge{end, start, WgEdgeType::kExecution, duration});
-    if (r.step > 0 && g.index_.count(key(r.flow_index, r.step - 1)) > 0)
-      g.edges_.push_back(
+    edges_.push_back(WgEdge{end, start, WgEdgeType::kExecution, duration});
+    if (r.step > 0 && index_.find(key(r.flow_index, r.step - 1)) != nullptr)
+      edges_.push_back(
           WgEdge{start, WgVertex{r.flow_index, r.step - 1, true}, WgEdgeType::kPrevStep, 0});
-    if (r.dep_flow >= 0 && g.index_.count(key(r.dep_flow, r.dep_step)) > 0)
-      g.edges_.push_back(
+    if (r.dep_flow >= 0 && index_.find(key(r.dep_flow, r.dep_step)) != nullptr)
+      edges_.push_back(
           WgEdge{start, WgVertex{r.dep_flow, r.dep_step, true}, WgEdgeType::kDataDep, 0});
   }
-  VEDR_AUDIT(g.audit());
-  g.compute_critical_path();
-  return g;
+  VEDR_AUDIT(audit());
+  compute_critical_path();
 }
 
 void WaitingGraph::audit() const {
@@ -53,17 +60,17 @@ void WaitingGraph::audit() const {
     VEDR_CHECK(!(e.from == e.to), "waiting-graph self-loop at ", e.from.str());
     // Every edge endpoint must name a recorded step — dangling endpoints
     // mean the index and edge list diverged.
-    VEDR_CHECK_GT(index_.count(key(e.from.flow, e.from.step)), 0U,
-                  "waiting-graph edge from unknown vertex ", e.from.str());
-    VEDR_CHECK_GT(index_.count(key(e.to.flow, e.to.step)), 0U,
-                  "waiting-graph edge to unknown vertex ", e.to.str());
+    VEDR_CHECK(index_.find(key(e.from.flow, e.from.step)) != nullptr,
+               "waiting-graph edge from unknown vertex ", e.from.str());
+    VEDR_CHECK(index_.find(key(e.to.flow, e.to.step)) != nullptr,
+               "waiting-graph edge to unknown vertex ", e.to.str());
     VEDR_CHECK_GE(e.weight, 0, "negative waiting-graph edge weight at ", e.from.str());
   }
 }
 
 const StepRecord* WaitingGraph::record_of(int flow, int step) const {
-  auto it = index_.find(key(flow, step));
-  return it == index_.end() ? nullptr : &records_[it->second];
+  const std::uint64_t* idx = index_.find(key(flow, step));
+  return idx == nullptr ? nullptr : &records_[*idx];
 }
 
 void WaitingGraph::compute_critical_path() {
@@ -79,9 +86,11 @@ void WaitingGraph::compute_critical_path() {
   // the dependency (previous own step vs. data dependency) that actually
   // delayed the send, i.e. the one satisfied last.
   std::vector<std::pair<int, int>> rev;
-  std::unordered_set<std::uint64_t> visited;
+  visited_.clear();
   while (cur != nullptr) {
-    if (!visited.insert(key(cur->flow_index, cur->step)).second) break;  // cycle guard
+    std::uint64_t& seen = visited_.insert_or_get(key(cur->flow_index, cur->step), 0);
+    if (seen != 0) break;  // cycle guard
+    seen = 1;
     rev.emplace_back(cur->flow_index, cur->step);
     const StepRecord* prev = cur->step > 0 ? record_of(cur->flow_index, cur->step - 1) : nullptr;
     const StepRecord* dep = cur->dep_flow >= 0 ? record_of(cur->dep_flow, cur->dep_step) : nullptr;

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "collective/runner.h"
+#include "common/dense_map.h"
 #include "net/types.h"
 
 namespace vedr::core {
@@ -55,7 +55,12 @@ class WaitingGraph {
  public:
   /// Builds from completed step records (any order; sorted internally by
   /// completion time as the analyzer's queue would deliver them).
-  static WaitingGraph build(std::vector<StepRecord> records);
+  static WaitingGraph build(const std::vector<StepRecord>& records);
+
+  /// Rebuilds in place from a borrowed record vector, reusing the graph's
+  /// internal buffers (record storage, edge list, vertex index) so repeated
+  /// diagnoses of a warmed analyzer never copy-allocate the records.
+  void rebuild(const std::vector<StepRecord>& records);
 
   const std::vector<WgEdge>& edges() const { return edges_; }
   std::size_t num_vertices() const { return 2 * records_.size(); }
@@ -89,9 +94,10 @@ class WaitingGraph {
 
  private:
   std::vector<StepRecord> records_;
-  std::unordered_map<std::uint64_t, std::size_t> index_;  // (flow,step) -> records_ idx
+  common::DenseMap64 index_;  // (flow,step) -> records_ idx
   std::vector<WgEdge> edges_;
   std::vector<std::pair<int, int>> critical_path_;
+  common::DenseMap64 visited_;  // critical-path cycle guard, cleared per walk
 
   static std::uint64_t key(int flow, int step) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(flow)) << 32) |

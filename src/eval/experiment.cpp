@@ -1,7 +1,7 @@
 #include "eval/experiment.h"
 
+#include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "baselines/full_polling.h"
@@ -314,16 +314,13 @@ std::vector<CaseResult> run_scenario_suite(ScenarioType type, int n_cases, Syste
   if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
   if (threads < 1) threads = 1;
 
-  std::mutex mu;
-  std::size_t next = 0;
+  // Lock-free work claim: each worker grabs the next case index with a
+  // fetch_add, so claiming never serializes the pool behind a mutex.
+  std::atomic<std::size_t> next{0};
   auto worker = [&] {
     while (true) {
-      std::size_t idx;
-      {
-        std::lock_guard<std::mutex> lk(mu);
-        if (next >= specs.size()) return;
-        idx = next++;
-      }
+      const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= specs.size()) return;
       results[idx] = run_case(specs[idx], system, cfg);
     }
   };

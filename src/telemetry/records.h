@@ -72,6 +72,10 @@ struct PortReport {
   std::vector<MeterEntry> meters;
   std::vector<PauseEvent> pauses;
 
+  /// Whether this snapshot carries any PFC pause evidence: the diagnosis
+  /// plane latches this per port, so a later quiet snapshot cannot erase it.
+  bool paused_evidence() const { return currently_paused || !pauses.empty(); }
+
   std::int64_t wire_size() const {
     return WireCosts::kPortHeader +
            static_cast<std::int64_t>(flows.size()) * WireCosts::kFlowEntry +

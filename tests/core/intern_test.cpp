@@ -1,0 +1,137 @@
+#include "core/intern.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/dense_map.h"
+#include "net/types.h"
+
+namespace vedr {
+namespace {
+
+using core::FlowIdSet;
+using core::FlowInterner;
+using core::Interner;
+using core::PortInterner;
+using net::FlowKey;
+using net::PortRef;
+
+FlowKey make_flow(int i) {
+  FlowKey k;
+  k.src = 10 + i;
+  k.dst = 200 + i;
+  k.sport = static_cast<std::uint16_t>(7000 + i);
+  k.dport = 4791;
+  return k;
+}
+
+TEST(Interner, IdsAreDenseAndFirstSeenOrdered) {
+  FlowInterner in;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(in.intern(make_flow(i)), static_cast<uint32_t>(i));
+  EXPECT_EQ(in.size(), 100u);
+}
+
+TEST(Interner, ReInterningIsStable) {
+  FlowInterner in;
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 64; ++i) first.push_back(in.intern(make_flow(i)));
+  // Growth/rehash between the two passes must not change assigned ids.
+  for (int i = 63; i >= 0; --i) EXPECT_EQ(in.intern(make_flow(i)), first[static_cast<size_t>(i)]);
+  EXPECT_EQ(in.size(), 64u);
+}
+
+TEST(Interner, KeyOfRoundTrips) {
+  PortInterner in;
+  std::vector<PortRef> ports;
+  for (int n = 0; n < 8; ++n)
+    for (int p = 0; p < 6; ++p) ports.push_back(PortRef{n, p});
+  for (const PortRef& p : ports) {
+    const std::uint32_t id = in.intern(p);
+    EXPECT_EQ(in.key_of(id), p);
+    EXPECT_EQ(in.find(p), id);
+  }
+}
+
+TEST(Interner, FindNeverInserts) {
+  FlowInterner in;
+  EXPECT_EQ(in.find(make_flow(1)), FlowInterner::kNone);
+  EXPECT_TRUE(in.empty());
+  in.intern(make_flow(1));
+  EXPECT_EQ(in.find(make_flow(1)), 0u);
+  EXPECT_EQ(in.find(make_flow(2)), FlowInterner::kNone);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+// Every key hashes to the same bucket: the table must still resolve each key
+// to its own id by full-key comparison, only with longer probe runs.
+struct CollidingHash {
+  std::size_t operator()(const PortRef&) const { return 42; }
+};
+
+TEST(Interner, SurvivesTotalHashCollision) {
+  Interner<PortRef, CollidingHash> in;
+  std::vector<PortRef> ports;
+  for (int n = 0; n < 16; ++n)
+    for (int p = 0; p < 4; ++p) ports.push_back(PortRef{n, p});
+  for (std::size_t i = 0; i < ports.size(); ++i)
+    EXPECT_EQ(in.intern(ports[i]), static_cast<std::uint32_t>(i));
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    EXPECT_EQ(in.find(ports[i]), static_cast<std::uint32_t>(i));
+    EXPECT_EQ(in.key_of(static_cast<std::uint32_t>(i)), ports[i]);
+  }
+}
+
+TEST(Interner, ReserveDoesNotDisturbExistingIds) {
+  FlowInterner in;
+  in.intern(make_flow(0));
+  in.intern(make_flow(1));
+  in.reserve(4096);
+  EXPECT_EQ(in.find(make_flow(0)), 0u);
+  EXPECT_EQ(in.find(make_flow(1)), 1u);
+  EXPECT_EQ(in.intern(make_flow(2)), 2u);
+}
+
+TEST(FlowIdSet, ResolvesInternedAndFallsBackForUnseenKeys) {
+  FlowInterner in;
+  const FlowKey a = make_flow(0), b = make_flow(1), c = make_flow(2);
+  in.intern(a);
+  in.intern(b);
+  std::unordered_set<FlowKey, net::FlowKeyHash> cc{a, c};  // c never interned
+  FlowIdSet set;
+  set.build(in, cc);
+  EXPECT_TRUE(set.contains(in.find(a)));
+  EXPECT_FALSE(set.contains(in.find(b)));
+  EXPECT_TRUE(set.contains_key(c));
+  EXPECT_FALSE(set.contains_key(b));
+}
+
+TEST(DenseMap64, InsertFindClearKeepsCapacity) {
+  common::DenseMap64 m;
+  for (std::uint64_t k = 0; k < 1000; ++k) m.insert_or_get(k, k * 3) = k * 3;
+  EXPECT_EQ(m.size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const std::uint64_t* v = m.find(k);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k * 3);
+  }
+  EXPECT_EQ(m.find(5000), nullptr);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), nullptr);
+  // Fresh-insert detection idiom used throughout the diagnosis core.
+  std::uint64_t& slot = m.insert_or_get(7, 99);
+  EXPECT_EQ(slot, 99u);
+}
+
+TEST(DenseMap64, PackUnpackRoundTrips) {
+  const std::uint64_t v = common::pack_u32_pair(0xdeadbeefu, 0x12345678u);
+  EXPECT_EQ(common::unpack_hi(v), 0xdeadbeefu);
+  EXPECT_EQ(common::unpack_lo(v), 0x12345678u);
+}
+
+}  // namespace
+}  // namespace vedr

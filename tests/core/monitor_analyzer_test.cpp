@@ -132,10 +132,11 @@ TEST(Analyzer, ReportsGroupedByStepViaPollRegistry) {
   f.sim.run();
   ASSERT_GT(vedr.total_polls(), 0);
   vedr.diagnose();
-  EXPECT_FALSE(vedr.analyzer().step_graphs().empty());
-  for (const auto& [step, graph] : vedr.analyzer().step_graphs()) {
+  EXPECT_GT(vedr.analyzer().step_graph_count(), 0u);
+  for (const int step : vedr.analyzer().step_graph_steps()) {
     EXPECT_GE(step, 0);
     EXPECT_LT(step, 3);
+    EXPECT_NE(vedr.analyzer().step_graph(step), nullptr);
   }
 }
 
@@ -179,7 +180,7 @@ TEST(Analyzer, ReportsWithoutRegisteredPollLandInGlobalGraph) {
   report.poll_id = 0xABC;  // never registered
   analyzer.on_switch_report(report);
   EXPECT_EQ(analyzer.reports_received(), 1u);
-  EXPECT_TRUE(analyzer.step_graphs().empty());
+  EXPECT_EQ(analyzer.step_graph_count(), 0u);
   EXPECT_EQ(analyzer.global_graph().report_count(), 1u);
 }
 
@@ -190,8 +191,10 @@ TEST(Analyzer, RegisteredPollGroupsByStep) {
   telemetry::SwitchReport report;
   report.poll_id = 7;
   analyzer.on_switch_report(report);
-  ASSERT_EQ(analyzer.step_graphs().size(), 1u);
-  EXPECT_EQ(analyzer.step_graphs().begin()->first, 4);
+  ASSERT_EQ(analyzer.step_graph_count(), 1u);
+  ASSERT_EQ(analyzer.step_graph_steps().size(), 1u);
+  EXPECT_EQ(analyzer.step_graph_steps().front(), 4);
+  EXPECT_NE(analyzer.step_graph(4), nullptr);
 }
 
 TEST(Vedrfolnir, MonitorOfUnknownHostThrows) {
