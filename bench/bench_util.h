@@ -2,17 +2,62 @@
 
 // Shared helpers for the figure-regeneration harnesses: environment-driven
 // case counts (so CI can run small and a full paper-scale run is one env var
-// away), table printing, and the standard scenario/system lists.
+// away), table printing, the standard scenario/system lists, and the shared
+// machine-readable result emitter (BenchReport) every bench writes its
+// --json output through.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/env.h"
 #include "eval/experiment.h"
+#include "obs/cli.h"
+#include "obs/json.h"
 
 namespace vedr::bench {
+
+/// One machine-readable bench record, built on obs::JsonWriter — the same
+/// emitter the trace exporter and metrics snapshots use, so every JSON file
+/// this repo writes shares one escaping/comma/number implementation instead
+/// of per-bench fprintf blobs. Fields appear in insertion order; call take()
+/// or write() exactly once, after the last field.
+class BenchReport {
+ public:
+  explicit BenchReport(const char* bench_name) : w_(&body_) {
+    w_.begin_object();
+    w_.kv("bench", bench_name);
+  }
+
+  template <typename T>
+  BenchReport& field(std::string_view key, T v) {
+    w_.kv(key, v);
+    return *this;
+  }
+
+  /// Fixed-decimal double, for rate/seconds fields where %.17g noise hurts.
+  BenchReport& field_fixed(std::string_view key, double v, int decimals) {
+    w_.key(key);
+    w_.value_fixed(v, decimals);
+    return *this;
+  }
+
+  /// Finishes the record; the report must not be used afterwards.
+  std::string take() {
+    w_.end_object();
+    body_ += '\n';
+    return std::move(body_);
+  }
+
+  /// take() to `path`; returns false (and logs) on I/O failure.
+  bool write(const std::string& path) { return obs::write_text_file(path, take()); }
+
+ private:
+  std::string body_;
+  obs::JsonWriter w_;
+};
 
 /// Cases per scenario: VEDR_CASES=paper reproduces the paper's 60/60/40/60;
 /// VEDR_CASES=<n> forces n; default is a CI-friendly subset. A value that is

@@ -16,10 +16,14 @@
 //
 //   diag_throughput [--steps N] [--polls-per-step N] [--runs N]
 //                   [--smoke] [--json PATH]
+//                   [--obs-trace FILE.json] [--obs-metrics FILE]
 //
 // Prints reports/sec, ingest and diagnose wall time per lane, and the
 // speedup; --json also emits a machine-readable record (CI writes it as
-// BENCH_diag.json). --smoke shrinks the stream to a CI smoke budget.
+// BENCH_diag.json). --smoke shrinks the stream to a CI smoke budget. The obs
+// flags trace/sample the new lane's diagnose passes (the diag.latency_ns
+// histogram comes from the analyzer's own instrumentation); the allocation
+// audit below runs regardless and must stay clean with obs compiled in.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -35,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_util.h"
 #include "collective/plan.h"
 #include "collective/runner.h"
 #include "common/env.h"
@@ -42,6 +47,7 @@
 #include "core/diagnosis.h"
 #include "core/waiting_graph.h"
 #include "net/topology.h"
+#include "sim/stats.h"
 #include "telemetry/records.h"
 #include "reference_provenance.h"
 
@@ -96,7 +102,8 @@ using net::PortRef;
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--steps N] [--polls-per-step N] [--runs N] [--smoke] [--json PATH]\n",
+               "usage: %s [--steps N] [--polls-per-step N] [--runs N] [--smoke] [--json PATH]\n"
+               "          [--obs-trace FILE.json] [--obs-metrics FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -403,6 +410,7 @@ int main(int argc, char** argv) {
   int runs = 3;
   bool smoke = false;
   std::string json_path;
+  obs::ObsCli obs_cli;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -423,6 +431,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--json") {
       json_path = next();
+    } else if (obs_cli.parse(arg, next)) {
+      // handled
     } else {
       usage(argv[0]);
     }
@@ -432,6 +442,7 @@ int main(int argc, char** argv) {
     polls_per_step = std::min(polls_per_step, 16);
     runs = 1;
   }
+  obs_cli.enable();
 
   const Workload w = synthesize(steps, polls_per_step);
   std::printf("workload: %zu step records, %zu polls, %zu reports (%zu port entries)\n",
@@ -458,7 +469,9 @@ int main(int argc, char** argv) {
   // deployed shape — run 0 grows the pools, later runs ride warm buffers.
   LaneTiming flat;
   core::Diagnosis flat_diag;
+  sim::StatsRegistry bench_stats;
   core::Analyzer analyzer(&w.topo, &w.plan);
+  analyzer.set_stats(&bench_stats);  // diag.latency_ns samples while --obs-metrics is on
   for (int r = 0; r < runs; ++r) {
     analyzer.reset();
     const auto t0 = std::chrono::steady_clock::now();
@@ -509,36 +522,29 @@ int main(int argc, char** argv) {
   std::printf("speedup: %.2fx\n", speedup);
 
   if (!json_path.empty()) {
-    std::FILE* f = std::fopen(json_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: cannot open %s for writing\n", json_path.c_str());
-      return 2;
-    }
-    std::fprintf(f,
-                 "{\n"
-                 "  \"bench\": \"diag_throughput\",\n"
-                 "  \"topo\": \"fat_tree_4\",\n"
-                 "  \"steps\": %d,\n"
-                 "  \"polls_per_step\": %d,\n"
-                 "  \"runs\": %d,\n"
-                 "  \"reports\": %zu,\n"
-                 "  \"port_reports\": %zu,\n"
-                 "  \"ref_ingest_seconds\": %.6f,\n"
-                 "  \"ref_diagnose_seconds\": %.6f,\n"
-                 "  \"new_ingest_seconds\": %.6f,\n"
-                 "  \"new_diagnose_seconds\": %.6f,\n"
-                 "  \"reports_per_sec\": %.0f,\n"
-                 "  \"diagnose_latency_seconds\": %.6f,\n"
-                 "  \"speedup\": %.3f,\n"
-                 "  \"ingest_allocs\": %" PRIu64 ",\n"
-                 "  \"alloc_audit\": \"%s\",\n"
-                 "  \"lanes_agree\": true\n"
-                 "}\n",
-                 steps, polls_per_step, runs, w.reports.size(), w.port_reports, ref.ingest,
-                 ref.diagnose, flat.ingest, flat.diagnose, reports_per_sec, flat.diagnose,
-                 speedup, ingest_allocs, audit);
-    std::fclose(f);
+    bench::BenchReport report("diag_throughput");
+    report.field("topo", "fat_tree_4")
+        .field("steps", steps)
+        .field("polls_per_step", polls_per_step)
+        .field("runs", runs)
+        .field("reports", static_cast<std::uint64_t>(w.reports.size()))
+        .field("port_reports", static_cast<std::uint64_t>(w.port_reports))
+        .field_fixed("ref_ingest_seconds", ref.ingest, 6)
+        .field_fixed("ref_diagnose_seconds", ref.diagnose, 6)
+        .field_fixed("new_ingest_seconds", flat.ingest, 6)
+        .field_fixed("new_diagnose_seconds", flat.diagnose, 6)
+        .field_fixed("reports_per_sec", reports_per_sec, 0)
+        .field_fixed("diagnose_latency_seconds", flat.diagnose, 6)
+        .field_fixed("speedup", speedup, 3)
+        .field("ingest_allocs", ingest_allocs)
+        .field("alloc_audit", audit)
+        .field("lanes_agree", true);
+    if (!report.write(json_path)) return 2;
     std::printf("wrote %s\n", json_path.c_str());
   }
+
+  obs::MetricsSnapshot snap;
+  if (obs_cli.want_metrics()) snap = obs::snapshot(bench_stats);
+  if (!obs_cli.finish(&snap, {{"bench", "diag_throughput"}})) return 2;
   return 0;
 }

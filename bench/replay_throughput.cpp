@@ -4,6 +4,7 @@
 //
 //   replay_throughput [--scenario contention|incast|storm|backpressure]
 //                     [--case N] [--scale F] [--iters N] [--out FILE.vtrc]
+//                     [--obs-trace FILE.json] [--obs-metrics FILE]
 //
 // VEDR_SCALE applies when --scale is absent. The trace file defaults to a
 // path under the build directory's CWD and is left on disk for inspection.
@@ -25,7 +26,8 @@ using namespace vedr;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scenario contention|incast|storm|backpressure] [--case N]\n"
-               "          [--scale F] [--iters N] [--out FILE.vtrc]\n",
+               "          [--scale F] [--iters N] [--out FILE.vtrc]\n"
+               "          [--obs-trace FILE.json] [--obs-metrics FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   int iters = 20;
   double scale = bench::scale_from_env();
   std::string out_path = "replay_throughput.vtrc";
+  obs::ObsCli obs_cli;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,10 +68,13 @@ int main(int argc, char** argv) {
       if (iters < 1) usage(argv[0]);
     } else if (arg == "--out") {
       out_path = next();
+    } else if (obs_cli.parse(arg, next)) {
+      // handled
     } else {
       usage(argv[0]);
     }
   }
+  obs_cli.enable();
 
   eval::RunConfig cfg;
   eval::ScenarioParams params;
@@ -86,6 +92,7 @@ int main(int argc, char** argv) {
 
   std::uint64_t frames = 0;
   std::uint64_t bytes = 0;
+  obs::MetricsSnapshot snap;
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < iters; ++i) {
     replay::TraceReader reader(out_path);
@@ -98,18 +105,25 @@ int main(int argc, char** argv) {
     }
     frames = result.stats.frames;
     bytes = result.stats.bytes;
+    if (obs_cli.want_metrics() && i + 1 == iters) snap = obs::snapshot(collector.stats());
   }
   const auto stop = std::chrono::steady_clock::now();
   const double seconds = std::chrono::duration<double>(stop - start).count();
   const double total_frames = static_cast<double>(frames) * iters;
   const double total_bytes = static_cast<double>(bytes) * iters;
 
-  std::printf("{\"scenario\":\"%s\",\"case\":%d,\"scale\":%g,\"iters\":%d,"
-              "\"trace_frames\":%llu,\"trace_bytes\":%llu,\"seconds\":%.6f,"
-              "\"records_per_sec\":%.1f,\"mb_per_sec\":%.2f}\n",
-              eval::to_string(scenario), case_id, scale, iters,
-              static_cast<unsigned long long>(frames), static_cast<unsigned long long>(bytes),
-              seconds, seconds > 0 ? total_frames / seconds : 0.0,
-              seconds > 0 ? total_bytes / 1e6 / seconds : 0.0);
+  bench::BenchReport report("replay_throughput");
+  report.field("scenario", eval::to_string(scenario))
+      .field("case_id", case_id)
+      .field("scale", scale)
+      .field("iters", iters)
+      .field("trace_frames", frames)
+      .field("trace_bytes", bytes)
+      .field_fixed("seconds", seconds, 6)
+      .field_fixed("records_per_sec", seconds > 0 ? total_frames / seconds : 0.0, 1)
+      .field_fixed("mb_per_sec", seconds > 0 ? total_bytes / 1e6 / seconds : 0.0, 2);
+  std::fputs(report.take().c_str(), stdout);
+
+  if (!obs_cli.finish(&snap, {{"bench", "replay_throughput"}})) return 2;
   return 0;
 }

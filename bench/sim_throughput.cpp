@@ -6,23 +6,29 @@
 //   sim_throughput [--scenario contention|incast|storm|backpressure]
 //                  [--case N] [--system vedrfolnir|hawkeye-max|hawkeye-min|full]
 //                  [--scale F] [--runs N] [--smoke] [--json PATH]
+//                  [--obs-trace FILE.json] [--obs-metrics FILE]
 //
 // Prints events/sec, packets/sec, wall time, and peak RSS; --json also emits
 // a machine-readable record (CI writes it as BENCH_sim.json). --smoke shrinks
-// the case so the whole run fits in a CI smoke-test budget.
+// the case so the whole run fits in a CI smoke-test budget. The obs flags
+// turn on the observability taps during the timed runs — that is the point:
+// comparing events/sec with and without them measures the enabled-tracing
+// overhead (EXPERIMENTS.md records the budget: <5%).
 #include <sys/resource.h>
 
 #include <algorithm>
 #include <chrono>
-#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/env.h"
 #include "eval/experiment.h"
 #include "net/routing.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -32,7 +38,8 @@ using namespace vedr;
   std::fprintf(stderr,
                "usage: %s [--scenario contention|incast|storm|backpressure] [--case N]\n"
                "          [--system vedrfolnir|hawkeye-max|hawkeye-min|full] [--scale F]\n"
-               "          [--runs N] [--smoke] [--json PATH]\n",
+               "          [--runs N] [--smoke] [--json PATH]\n"
+               "          [--obs-trace FILE.json] [--obs-metrics FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -79,6 +86,7 @@ int main(int argc, char** argv) {
   double scale = 1.0 / 64.0;
   bool smoke = false;
   std::string json_path;
+  obs::ObsCli obs_cli;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,6 +110,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--json") {
       json_path = next();
+    } else if (obs_cli.parse(arg, next)) {
+      // handled
     } else {
       usage(argv[0]);
     }
@@ -112,6 +122,8 @@ int main(int argc, char** argv) {
   }
 
   eval::RunConfig cfg;
+  obs_cli.enable();
+  cfg.capture_metrics = obs_cli.want_metrics();
   eval::ScenarioParams params;
   params.scale = scale;
   const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
@@ -125,6 +137,7 @@ int main(int argc, char** argv) {
   // measure the machine, not the scheduler.
   double best_wall = 0.0;
   std::uint64_t events = 0, packets = 0;
+  std::shared_ptr<const obs::MetricsSnapshot> metrics;
   for (int r = 0; r < runs; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
     const eval::CaseResult result = eval::run_case(spec, system, cfg);
@@ -133,6 +146,7 @@ int main(int argc, char** argv) {
     if (r == 0 || wall < best_wall) best_wall = wall;
     events = result.sim_events;
     packets = result.packets_delivered;
+    metrics = result.metrics;
     std::printf("run %d: %.3fs  (%.3fM events, %.3fM packets)\n", r, wall,
                 static_cast<double>(events) / 1e6, static_cast<double>(packets) / 1e6);
   }
@@ -146,30 +160,26 @@ int main(int argc, char** argv) {
   std::printf("peak RSS:    %ld KiB\n", rss_kb);
 
   if (!json_path.empty()) {
-    std::FILE* f = std::fopen(json_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: cannot open %s for writing\n", json_path.c_str());
-      return 2;
-    }
-    std::fprintf(f,
-                 "{\n"
-                 "  \"bench\": \"sim_throughput\",\n"
-                 "  \"scenario\": \"%s\",\n"
-                 "  \"system\": \"%s\",\n"
-                 "  \"case_id\": %d,\n"
-                 "  \"scale\": %g,\n"
-                 "  \"runs\": %d,\n"
-                 "  \"events\": %" PRIu64 ",\n"
-                 "  \"packets\": %" PRIu64 ",\n"
-                 "  \"wall_seconds\": %.6f,\n"
-                 "  \"events_per_sec\": %.0f,\n"
-                 "  \"packets_per_sec\": %.0f,\n"
-                 "  \"peak_rss_kb\": %ld\n"
-                 "}\n",
-                 scenario_slug(scenario), eval::to_string(system), case_id, scale, runs, events,
-                 packets, best_wall, events_per_sec, packets_per_sec, rss_kb);
-    std::fclose(f);
+    bench::BenchReport report("sim_throughput");
+    report.field("scenario", scenario_slug(scenario))
+        .field("system", eval::to_string(system))
+        .field("case_id", case_id)
+        .field("scale", scale)
+        .field("runs", runs)
+        .field("events", events)
+        .field("packets", packets)
+        .field_fixed("wall_seconds", best_wall, 6)
+        .field_fixed("events_per_sec", events_per_sec, 0)
+        .field_fixed("packets_per_sec", packets_per_sec, 0)
+        .field("peak_rss_kb", static_cast<std::int64_t>(rss_kb));
+    if (!report.write(json_path)) return 2;
     std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!obs_cli.finish(metrics.get(), {{"bench", "sim_throughput"},
+                                      {"scenario", scenario_slug(scenario)},
+                                      {"system", eval::to_string(system)}})) {
+    return 2;
   }
   return 0;
 }

@@ -4,11 +4,14 @@
 
 #include "net/host.h"
 #include "net/switch.h"
+#include "obs/log.h"
 
 namespace vedr::anomaly {
 
 void inject_flow(net::Network& net, const InjectedFlow& flow,
                  std::function<void(Tick)> on_complete) {
+  VEDR_LOG_DEBUG("anomaly", "inject flow %s: %lld bytes at t=%lld", flow.key.str().c_str(),
+                 static_cast<long long>(flow.bytes), static_cast<long long>(flow.start));
   net.host(flow.key.dst).expect_flow(flow.key, flow.bytes);
   net.sim().schedule_at(flow.start, [&net, flow, cb = std::move(on_complete)] {
     net.host(flow.key.src).start_flow(
@@ -27,6 +30,8 @@ net::PortId port_towards(const net::Topology& topo, NodeId from, NodeId to) {
 }
 
 void inject_routing_loop(net::Network& net, NodeId dst, NodeId a, NodeId b, Tick at) {
+  VEDR_LOG_DEBUG("anomaly", "inject routing loop %d<->%d for dst %d at t=%lld", a, b, dst,
+                 static_cast<long long>(at));
   const net::PortId a_to_b = port_towards(net.topology(), a, b);
   const net::PortId b_to_a = port_towards(net.topology(), b, a);
   net.sim().schedule_at(at, [&net, dst, a, b, a_to_b, b_to_a] {
@@ -53,6 +58,9 @@ void inject_storm(net::Network& net, const StormSpec& storm) {
   // table is fixed at Network construction, so the pointer stays valid and
   // the trigger can ride a typed event (flow/routing injectors above keep
   // the schedule_at closure escape hatch — they capture completion callbacks).
+  VEDR_LOG_DEBUG("anomaly", "inject PFC storm at %s: start=%lld duration=%lld",
+                 storm.port.str().c_str(), static_cast<long long>(storm.start),
+                 static_cast<long long>(storm.duration));
   net::Switch& sw = net.switch_at(storm.port.node);
   net.sim().schedule_event_at(storm.start, sim::EventKind::kInjectorTrigger,
                               {&sw, static_cast<std::uint64_t>(storm.duration),

@@ -20,6 +20,7 @@ FullPolling::FullPolling(net::Network& net, const collective::CollectivePlan& pl
   for (int f = 0; f < plan.num_flows(); ++f)
     for (const auto& s : plan.steps_of_flow(f)) cc.insert(plan.key_for(f, s.step));
   analyzer_.set_cc_flows(std::move(cc));
+  analyzer_.set_stats(&net_.stats());
 }
 
 void FullPolling::start(sim::Tick until) {

@@ -29,6 +29,7 @@ Hawkeye::Hawkeye(net::Network& net, const collective::CollectivePlan& plan, Hawk
     }
   }
   analyzer_.set_cc_flows(std::move(cc));
+  analyzer_.set_stats(&net_.stats());
   threshold_ = static_cast<Tick>(static_cast<double>(cfg_.use_max_rtt ? max_rtt : min_rtt) *
                                  cfg_.rtt_multiplier);
 

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "net/host.h"
+#include "obs/trace.h"
 
 namespace vedr::collective {
 
@@ -9,6 +10,13 @@ namespace {
 
 void on_collective_start(const sim::EventPayload& p) {
   static_cast<CollectiveRunner*>(p.obj)->on_start();
+}
+
+/// Async-span correlation id for a (rank, step) pair — stable across the
+/// begin/end pair and unique within a collective.
+std::uint64_t step_span_id(int flow, int step) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(flow)) << 32) |
+         static_cast<std::uint32_t>(step);
 }
 
 }  // namespace
@@ -87,6 +95,10 @@ void CollectiveRunner::try_start_send(int flow, int step) {
 
   send_started_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step)] = true;
   r.start_time = net_.sim().now();
+  if (obs::trace_enabled()) {
+    obs::async_begin("collective", "step", step_span_id(flow, step), r.start_time,
+                     static_cast<std::uint64_t>(s.bytes));
+  }
   if (on_step_start_) on_step_start_(r);
   net_.host(s.src).start_flow(r.key, s.bytes, [this, flow, step](const net::FlowKey&, Tick t) {
     on_send_done(flow, step, t);
@@ -105,6 +117,7 @@ void CollectiveRunner::on_send_done(int flow, int step, Tick t) {
         sim::kNever, "rank ", flow, " completed step ", step, " before step ", step - 1);
   }
   r.end_time = t;
+  if (obs::trace_enabled()) obs::async_end("collective", "step", step_span_id(flow, step), t);
   queues_[static_cast<std::size_t>(flow)].on_send_complete(step);
   if (step + 1 < static_cast<int>(plan_.steps_of_flow(flow).size())) {
     records_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step + 1)].prev_done_time =

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+#include "sim/stats.h"
 
 namespace vedr::core {
 
@@ -12,6 +15,10 @@ Analyzer::Analyzer(const net::Topology* topo, const collective::CollectivePlan* 
     for (int f = 0; f < plan_->num_flows(); ++f)
       for (const auto& s : plan_->steps_of_flow(f)) cc_flows_.insert(plan_->key_for(f, s.step));
   }
+}
+
+void Analyzer::set_stats(sim::StatsRegistry* stats) {
+  diag_hist_ = stats != nullptr ? stats->hist_cell("diag.latency_ns") : nullptr;
 }
 
 void Analyzer::add_step_record(const collective::StepRecord& r) {
@@ -80,17 +87,23 @@ ProvenanceGraph* Analyzer::step_graph(int step) {
 }
 
 Diagnosis Analyzer::diagnose() {
+  VEDR_SPAN("diag", "diagnose");
+  const bool timed = diag_hist_ != nullptr && obs::metrics_enabled();
+  const std::uint64_t t0 = timed ? obs::wall_now_ns() : 0;
   Diagnosis d;
 
   // 1. Waiting graph: bottleneck analysis and the per-step critical flows.
   //    rebuild() borrows records_ and reuses the graph's buffers; max_step_
   //    was maintained at ingestion, so the records are read exactly once
   //    (by the rebuild's sort).
-  waiting_graph_.rebuild(records_);
-  d.critical_path = waiting_graph_.critical_path();
-  d.collective_time = waiting_graph_.total_time();
-  for (int s = 0; s <= max_step_; ++s)
-    d.critical_flow_per_step.push_back(waiting_graph_.critical_flow_of_step(s));
+  {
+    VEDR_SPAN("diag", "waiting_graph");
+    waiting_graph_.rebuild(records_);
+    d.critical_path = waiting_graph_.critical_path();
+    d.collective_time = waiting_graph_.total_time();
+    for (int s = 0; s <= max_step_; ++s)
+      d.critical_flow_per_step.push_back(waiting_graph_.critical_flow_of_step(s));
+  }
 
   // 2. Per-step excess execution time over the expected idle-fabric time,
   //    weighting the contributor rating (Eq. 3). Resolved before the graph
@@ -131,8 +144,15 @@ Diagnosis Analyzer::diagnose() {
 
   for (const int step : step_graph_steps()) {
     ProvenanceGraph& graph = *step_graph(step);
-    graph.finalize();
-    auto findings = classifier_.classify(graph, cc, step);
+    {
+      VEDR_SPAN("diag", "finalize");
+      graph.finalize();
+    }
+    std::vector<AnomalyFinding> findings;
+    {
+      VEDR_SPAN("diag", "classify");
+      findings = classifier_.classify(graph, cc, step);
+    }
     d.findings.insert(d.findings.end(), findings.begin(), findings.end());
 
     if (!rating_active || step < 0 || step > max_step_) continue;
@@ -161,6 +181,7 @@ Diagnosis Analyzer::diagnose() {
   d.findings = coalesce_findings(std::move(d.findings));
 
   if (rating_active) {
+    VEDR_SPAN("diag", "rate");
     d.contributions.reserve(score_ids.size());
     for (std::size_t i = 0; i < score_ids.size(); ++i)
       d.contributions.emplace_back(tables_.flows.key_of(score_ids[i]), score_vals[i]);
@@ -174,6 +195,7 @@ Diagnosis Analyzer::diagnose() {
               });
   }
 
+  if (timed) diag_hist_->add(static_cast<std::int64_t>(obs::wall_now_ns() - t0));
   return d;
 }
 

@@ -16,6 +16,14 @@
 #include "net/topology.h"
 #include "telemetry/records.h"
 
+namespace vedr::obs {
+class Histogram;
+}  // namespace vedr::obs
+
+namespace vedr::sim {
+class StatsRegistry;
+}  // namespace vedr::sim
+
 namespace vedr::core {
 
 /// The centralized analyzer (§III-A right side): receives host step records
@@ -66,6 +74,11 @@ class Analyzer : public telemetry::ReportSink {
   /// mirrored calls into a fresh Analyzer reproduces diagnose() exactly.
   void set_trace_tap(TraceTap* tap) { tap_ = tap; }
 
+  /// Attaches a stats registry for self-observation: diagnose() wall latency
+  /// lands in the `diag.latency_ns` histogram while obs::metrics_enabled().
+  /// The registry must outlive the analyzer.
+  void set_stats(sim::StatsRegistry* stats);
+
   // --- diagnosis ---------------------------------------------------------------
 
   Diagnosis diagnose();
@@ -102,6 +115,7 @@ class Analyzer : public telemetry::ReportSink {
   SignatureClassifier classifier_;
   std::size_t reports_received_ = 0;
   TraceTap* tap_ = nullptr;
+  obs::Histogram* diag_hist_ = nullptr;  ///< interned diagnose-latency cell
 };
 
 }  // namespace vedr::core

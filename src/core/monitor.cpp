@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "net/host.h"
+#include "obs/trace.h"
 #include "sim/rng.h"
 
 namespace vedr::core {
@@ -21,6 +22,7 @@ Monitor::Monitor(net::Network& net, const collective::CollectivePlan& plan, Anal
     : net_(net), plan_(plan), analyzer_(analyzer), host_(host), cfg_(cfg) {
   net_.sim().set_handler(sim::EventKind::kStepPoll, &on_step_poll);
   flow_index_ = plan_.flow_of_host(host);
+  rtt_hist_ = net_.stats().hist_cell("monitor.rtt_ns");
 }
 
 void Monitor::on_step_start(const collective::StepRecord& r) {
@@ -68,6 +70,8 @@ void Monitor::watchdog_check(std::uint64_t generation) {
     ++watchdog_polls_this_step_;
     ++watchdog_polls_;
     net_.stats().add_counter("monitor.watchdog_polls");
+    VEDR_INSTANT("diag", "watchdog_fired", net_.sim().now(),
+                 static_cast<std::uint64_t>(current_step_));
     trigger_poll(current_key_);
   }
   // Stop re-arming once the per-step cap is reached so a permanently
@@ -128,6 +132,7 @@ void Monitor::send_notification(const collective::StepRecord& r) {
 void Monitor::on_rtt_sample(const net::FlowKey& flow, Tick rtt, std::uint32_t seq) {
   (void)seq;
   net_.stats().add_counter("monitor.rtt_samples");
+  if (obs::metrics_enabled()) rtt_hist_->add(rtt);
   if (current_step_ < 0 || !(flow == current_key_)) return;
   last_activity_ = net_.sim().now();
   if (trigger_.offer(rtt, net_.sim().now())) trigger_poll(flow);
@@ -136,6 +141,7 @@ void Monitor::on_rtt_sample(const net::FlowKey& flow, Tick rtt, std::uint32_t se
 void Monitor::trigger_poll(const net::FlowKey& key) {
   const std::uint64_t poll_id = sim::Rng::mix(
       static_cast<std::uint64_t>(static_cast<std::uint32_t>(host_)) << 20, ++poll_seq_);
+  VEDR_INSTANT("diag", "poll_trigger", net_.sim().now(), poll_id);
   if (tap_ != nullptr)
     tap_->on_poll_trigger(net_.sim().now(), host_, key, poll_id, current_step_);
   analyzer_.register_poll(poll_id, flow_index_, current_step_);

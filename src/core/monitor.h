@@ -73,6 +73,9 @@ class Monitor {
   std::uint64_t watchdog_generation_ = 0;
   int watchdog_polls_this_step_ = 0;
   int watchdog_polls_ = 0;
+
+  // Per-ACK RTT distribution (interned cell, fed while obs::metrics_enabled()).
+  obs::Histogram* rtt_hist_ = nullptr;
 };
 
 }  // namespace vedr::core

@@ -9,6 +9,7 @@ Vedrfolnir::Vedrfolnir(net::Network& net, collective::CollectiveRunner& runner,
     : net_(net), runner_(runner), analyzer_(&net.topology(), &runner.plan()) {
   net_.set_report_sink(&analyzer_);
   analyzer_.set_trace_tap(cfg.trace);
+  analyzer_.set_stats(&net_.stats());
 
   for (net::NodeId host : runner_.plan().participants()) {
     auto mon = std::make_unique<Monitor>(net_, runner_.plan(), analyzer_, host, cfg.detection);

@@ -13,6 +13,9 @@
 #include "net/network.h"
 #include "net/switch.h"
 #include "net/trace.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "replay/collector.h"
 #include "replay/trace_writer.h"
 #include "sim/simulator.h"
@@ -123,6 +126,7 @@ const char* to_string(SystemKind s) {
 }
 
 CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig& cfg) {
+  VEDR_SPAN("eval", "run_case");
   CaseResult result;
   result.scenario = spec.type;
   result.system = system;
@@ -201,6 +205,8 @@ CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig
   result.poll_bytes = stats.counter("overhead.poll_bytes");
   result.notify_bytes = stats.counter("overhead.notify_bytes");
   result.report_count = stats.counter("overhead.report_count");
+  if (cfg.capture_metrics)
+    result.metrics = std::make_shared<const obs::MetricsSnapshot>(obs::snapshot(stats));
   return result;
 }
 
@@ -313,6 +319,8 @@ std::vector<CaseResult> run_scenario_suite(ScenarioType type, int n_cases, Syste
   std::vector<CaseResult> results(specs.size());
   if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
   if (threads < 1) threads = 1;
+  VEDR_LOG_DEBUG("eval", "suite %s x%d under %s on %d threads", to_string(type), n_cases,
+                 to_string(system), threads);
 
   // Lock-free work claim: each worker grabs the next case index with a
   // fetch_add, so claiming never serializes the pool behind a mutex.

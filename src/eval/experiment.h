@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,10 @@ class PacketTracer;
 
 namespace vedr::core {
 class TraceTap;
+}
+
+namespace vedr::obs {
+struct MetricsSnapshot;
 }
 
 namespace vedr::eval {
@@ -46,6 +51,11 @@ struct RunConfig {
   /// unrecorded one. Prefer record_case(), which also writes the
   /// envelope/footer frames.
   core::TraceTap* trace_writer = nullptr;
+  /// Copies the case's complete StatsRegistry (counters, summaries,
+  /// histograms) into CaseResult::metrics when the run finishes. Each case
+  /// owns a fresh Network — and therefore a fresh registry — so per-case
+  /// snapshots never bleed across the suite. Observation only.
+  bool capture_metrics = false;
 };
 
 /// One case's complete result: verdict, overheads, and timing.
@@ -65,6 +75,9 @@ struct CaseResult {
   std::uint64_t sim_events = 0;
   std::uint64_t packets_delivered = 0;  ///< frames handed to the link layer
   core::Diagnosis diagnosis;
+  /// Set iff RunConfig::capture_metrics: the case's full metric snapshot
+  /// (shared so CaseResult stays cheap to copy through the suite plumbing).
+  std::shared_ptr<const obs::MetricsSnapshot> metrics;
 };
 
 /// Builds the paper's fabric, runs one case under one system, diagnoses,

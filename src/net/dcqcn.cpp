@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace vedr::net {
 
@@ -54,6 +55,8 @@ void DcqcnFlow::on_cnp() {
   rounds_since_cut_ = 0;
   bytes_since_round_ = 0;
   check_bounds();
+  VEDR_INSTANT("cc", "dcqcn_cut", sim_->now(),
+               static_cast<std::uint64_t>(rate_ * 1000.0));  // arg: rate in Mbps
   // Restart the timer epoch so recovery waits a full period after the cut.
   ++generation_;
   cancel_timers();
@@ -125,6 +128,8 @@ void DcqcnFlow::increase_round() {
     timers_running_ = false;
   }
   check_bounds();
+  VEDR_INSTANT("cc", "dcqcn_increase", sim_->now(),
+               static_cast<std::uint64_t>(rate_ * 1000.0));  // arg: rate in Mbps
 }
 
 }  // namespace vedr::net

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "net/network.h"
+#include "obs/trace.h"
 
 namespace vedr::net {
 
@@ -32,6 +33,10 @@ void Host::start_flow(const FlowKey& flow, std::int64_t bytes, FlowDoneFn on_com
   f.pacing_clock = net_.sim().now();
   f.on_complete = std::move(on_complete);
   rr_order_.push_back(flow);
+  if (obs::trace_enabled()) {
+    obs::async_begin("net", "flow", flow.hash(), f.start_time,
+                     static_cast<std::uint64_t>(bytes));
+  }
   kick();
 }
 
@@ -225,6 +230,7 @@ void Host::handle_ack(const Packet& pkt) {
   f.acked_bytes += payload_of(f, info.acked_seq);
   if (f.acked_bytes >= f.total_bytes) {
     f.cc->deactivate();
+    if (obs::trace_enabled()) obs::async_end("net", "flow", f.key.hash(), now);
     auto fn = std::move(f.on_complete);
     const FlowKey key = f.key;
     send_flows_.erase(it);

@@ -17,6 +17,7 @@ Network::Network(sim::Simulator& sim, const Topology& topo, NetConfig cfg, Dcqcn
   dcqcn_.line_rate_gbps = cfg_.link_gbps;
   swift_.line_rate_gbps = cfg_.link_gbps;
   register_net_event_handlers(sim_);
+  sim_.set_stats(&stats_);  // kernel self-observation (sim.dispatch_ns)
   devices_.reserve(topo_.size());
   for (std::size_t i = 0; i < topo_.size(); ++i) {
     const NodeId id = static_cast<NodeId>(i);
@@ -29,7 +30,9 @@ Network::Network(sim::Simulator& sim, const Topology& topo, NetConfig cfg, Dcqcn
   }
 }
 
-Network::~Network() = default;
+Network::~Network() {
+  sim_.set_stats(nullptr);  // stats_ dies with us; drop the kernel's interned cell
+}
 
 Host& Network::host(NodeId id) {
   if (!topo_.is_host(id)) throw std::invalid_argument("node is not a host");

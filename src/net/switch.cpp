@@ -4,9 +4,20 @@
 
 #include "common/check.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "sim/rng.h"
 
 namespace vedr::net {
+
+namespace {
+
+/// Async-span id for a PFC pause episode on (switch, egress port).
+std::uint64_t pfc_span_id(NodeId sw, PortId port) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sw)) << 32) |
+         static_cast<std::uint32_t>(port);
+}
+
+}  // namespace
 
 Switch::Switch(Network& net, NodeId id, int num_ports)
     : Device(net, id, false),
@@ -22,6 +33,7 @@ Switch::Switch(Network& net, NodeId id, int num_ports)
   ttl_drops_cell_ = net.stats().counter_cell("switch.ttl_drops");
   pause_frames_cell_ = net.stats().counter_cell("pfc.pause_frames");
   resume_frames_cell_ = net.stats().counter_cell("pfc.resume_frames");
+  queue_depth_hist_ = net.stats().hist_cell("switch.queue_depth_bytes");
   VEDR_CHECK_GT(num_ports, 0, "switch needs at least one port");
   VEDR_CHECK_GT(cfg.pfc_xoff_bytes, 0, "PFC XOFF threshold must be positive");
   VEDR_CHECK_LE(cfg.pfc_xon_bytes, cfg.pfc_xoff_bytes,
@@ -130,6 +142,7 @@ void Switch::enqueue_ref(PortId out, PacketRef ref, PortId in_port) {
     t->record(net::TraceEvent{net::TraceEvent::Kind::kSwitchEnqueue, net_.sim().now(), id_, out,
                               type, flow, seq, size});
   eg.bytes[pi] += size;
+  if (prio == Priority::kData && obs::metrics_enabled()) queue_depth_hist_->add(eg.bytes[pi]);
   VEDR_CHECK_LE(eg.bytes[pi], net_.config().queue_cap_bytes,
                 "egress queue exceeded its capacity at switch ", id_, " port ", out);
   eg.q[pi].push_back(Queued{ref, in_port});
@@ -263,6 +276,8 @@ void Switch::update_pause_signal(PortId in_port) {
   if (desired == sig.sent_pause) return;
   sig.sent_pause = desired;
   *(desired ? pause_frames_cell_ : resume_frames_cell_) += 1;
+  VEDR_INSTANT("net", desired ? "pfc_xoff" : "pfc_xon", net_.sim().now(),
+               static_cast<std::uint64_t>(sig.ingress_bytes));
   net_.deliver_pfc(id_, in_port, Priority::kData, desired);
 
   if (desired) {
@@ -308,6 +323,15 @@ void Switch::handle_pfc(const Packet& pkt, PortId in_port) {
   Egress& eg = egress_.at(static_cast<std::size_t>(in_port));
   const bool was = eg.paused_data;
   eg.paused_data = info.pause;
+  if (obs::trace_enabled() && was != info.pause) {
+    // One async span per pause episode of this egress port (receiver side:
+    // the span covers the interval the port is actually forbidden to send).
+    if (info.pause) {
+      obs::async_begin("net", "pfc_pause", pfc_span_id(id_, in_port), net_.sim().now());
+    } else {
+      obs::async_end("net", "pfc_pause", pfc_span_id(id_, in_port), net_.sim().now());
+    }
+  }
   if (info.pause) {
     telem_.port(in_port).on_pause(net_.sim().now());
   } else {

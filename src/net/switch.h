@@ -9,6 +9,7 @@
 #include "net/device.h"
 #include "net/packet.h"
 #include "net/types.h"
+#include "obs/histogram.h"
 #include "telemetry/recorder.h"
 
 namespace vedr::net {
@@ -115,6 +116,9 @@ class Switch : public Device {
   std::int64_t* ttl_drops_cell_ = nullptr;
   std::int64_t* pause_frames_cell_ = nullptr;
   std::int64_t* resume_frames_cell_ = nullptr;
+  // Data-class backlog distribution, sampled per enqueue while
+  // obs::metrics_enabled(); same interned-cell discipline as the counters.
+  obs::Histogram* queue_depth_hist_ = nullptr;
 
   friend struct SwitchTestPeer;  ///< test-only corruption hook (invariant tests)
 };

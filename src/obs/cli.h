@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared --obs-trace / --obs-metrics plumbing for the command-line tools and
+// benches. Parse the flags inside the binary's existing argv loop, call
+// enable() before the run, and finish() after it:
+//
+//   --obs-trace FILE    enable span tracing; write Chrome trace_event JSON
+//                       (load FILE in Perfetto or chrome://tracing)
+//   --obs-metrics FILE  enable hot-path metric sampling; write a snapshot as
+//                       Prometheus text, or as JSON when FILE ends in .json
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vedr::obs {
+
+struct ObsCli {
+  std::string trace_path;
+  std::string metrics_path;
+
+  /// Consumes `arg` if it is one of the obs flags (value pulled via `next`,
+  /// the binary's usual argv-advancing lambda). Returns false otherwise.
+  template <typename Next>
+  bool parse(const std::string& arg, Next&& next) {
+    if (arg == "--obs-trace") {
+      trace_path = next();
+      return true;
+    }
+    if (arg == "--obs-metrics") {
+      metrics_path = next();
+      return true;
+    }
+    return false;
+  }
+
+  bool want_trace() const { return !trace_path.empty(); }
+  bool want_metrics() const { return !metrics_path.empty(); }
+
+  /// Turns on the requested taps. Call before the run so every span/sample
+  /// from the first event lands in the buffers.
+  void enable() const {
+    if (want_trace()) trace_enable();
+    if (want_metrics()) metrics_enable();
+  }
+
+  /// Writes whatever was requested. `snap` may be null (e.g. the run never
+  /// produced a registry); an empty snapshot is still a valid exposition.
+  /// Returns false if any write failed (details already logged).
+  bool finish(const MetricsSnapshot* snap,
+              const std::map<std::string, std::string>& labels = {}) const {
+    bool ok = true;
+    if (want_trace()) ok = write_chrome_trace(trace_path) && ok;
+    if (want_metrics()) {
+      static const MetricsSnapshot kEmpty;
+      const MetricsSnapshot& s = snap != nullptr ? *snap : kEmpty;
+      const bool as_json = metrics_path.size() >= 5 &&
+                           metrics_path.compare(metrics_path.size() - 5, 5, ".json") == 0;
+      const std::string body = as_json ? to_json(s) : to_prometheus(s, labels);
+      ok = write_text_file(metrics_path, body) && ok;
+    }
+    return ok;
+  }
+};
+
+}  // namespace vedr::obs

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace vedr::obs {
+
+/// Log2-bucketed histogram with fixed storage: add() never allocates, so hot
+/// paths can record through an interned cell pointer (see
+/// sim::StatsRegistry::hist_cell) without violating the steady-state
+/// zero-allocation contract.
+///
+/// Bucket layout over signed integer values:
+///   bucket 0        : v <= 0                  (underflow)
+///   bucket i, 1..62 : 2^(i-1) <= v < 2^i
+///   bucket 63       : v >= 2^62               (overflow)
+///
+/// The inclusive upper edge of bucket i (i < 63) is 2^i - 1: since values are
+/// integral, `v < 2^i` and `v <= 2^i - 1` count the same population, which is
+/// what the Prometheus `le` label wants.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+  static constexpr int kOverflowBucket = kNumBuckets - 1;
+
+  static constexpr int bucket_of(std::int64_t v) {
+    if (v <= 0) return 0;
+    const int w = std::bit_width(static_cast<std::uint64_t>(v));  // v in [2^(w-1), 2^w)
+    return w < kOverflowBucket ? w : kOverflowBucket;
+  }
+
+  /// Inclusive upper edge of bucket i; the overflow bucket has no finite edge
+  /// and returns INT64_MAX.
+  static constexpr std::int64_t upper_edge(int bucket) {
+    if (bucket >= kOverflowBucket) return INT64_MAX;
+    return (static_cast<std::int64_t>(1) << bucket) - 1;
+  }
+
+  void add(std::int64_t v) {
+    ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+    ++count_;
+    sum_ += v;
+  }
+
+  void merge(const Histogram& other) {
+    for (int i = 0; i < kNumBuckets; ++i) buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void reset() {
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::uint64_t bucket(int i) const { return buckets_[static_cast<std::size_t>(i)]; }
+
+  /// Smallest bucket upper edge below which at least `q * count()` samples
+  /// fall (q in [0, 1]). Returns 0 for an empty histogram. The answer is an
+  /// upper bound on the true quantile, tight to the bucket resolution.
+  std::int64_t value_at_quantile(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      cum += buckets_[static_cast<std::size_t>(i)];
+      if (static_cast<double>(cum) >= target) return upper_edge(i);
+    }
+    return upper_edge(kOverflowBucket);
+  }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+}  // namespace vedr::obs

@@ -1,0 +1,99 @@
+#include "obs/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.h"  // wall_now_ns
+
+namespace vedr::obs {
+
+namespace {
+
+constexpr int kUninitialized = -1;
+std::atomic<int> g_threshold{kUninitialized};
+
+LogLevel parse_level(const char* s) {
+  if (s == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(s, "off") == 0) return LogLevel::kOff;
+  std::fprintf(stderr, "level=warn comp=obs msg=\"unknown VEDR_LOG level '%s', using info\"\n", s);
+  return LogLevel::kInfo;
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+const char* to_string(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel log_threshold() {
+  int t = g_threshold.load(std::memory_order_relaxed);
+  if (t == kUninitialized) {
+    t = static_cast<int>(parse_level(std::getenv("VEDR_LOG")));
+    g_threshold.store(t, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(t);
+}
+
+void set_log_threshold(LogLevel lvl) {
+  g_threshold.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void log_write(LogSite& site, LogLevel lvl, const char* comp, const char* file, int line,
+               const char* fmt, ...) {
+  if (static_cast<int>(lvl) < static_cast<int>(log_threshold())) return;
+
+  // Token window: at most kMaxPerSecond lines per second per call site.
+  const std::uint64_t now = wall_now_ns();
+  std::uint64_t start = site.window_start_ns.load(std::memory_order_relaxed);
+  if (now - start >= 1'000'000'000ULL) {
+    // A racing thread may also reset; both land on ~the same window, which is
+    // fine — the limit is approximate by design.
+    site.window_start_ns.store(now, std::memory_order_relaxed);
+    site.window_count.store(0, std::memory_order_relaxed);
+  }
+  if (site.window_count.fetch_add(1, std::memory_order_relaxed) >= kMaxPerSecond) {
+    site.suppressed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t suppressed = site.suppressed.exchange(0, std::memory_order_relaxed);
+
+  char msg[1024];
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof msg, fmt, ap);
+  va_end(ap);
+
+  // Quotes inside the message would break logfmt parsing; soften them.
+  for (char* p = msg; *p != '\0'; ++p) {
+    if (*p == '"') *p = '\'';
+  }
+
+  if (suppressed > 0) {
+    std::fprintf(stderr, "level=%s comp=%s src=%s:%d msg=\"%s\" (%llu suppressed)\n",
+                 to_string(lvl), comp, basename_of(file), line, msg,
+                 static_cast<unsigned long long>(suppressed));
+  } else {
+    std::fprintf(stderr, "level=%s comp=%s src=%s:%d msg=\"%s\"\n", to_string(lvl), comp,
+                 basename_of(file), line, msg);
+  }
+}
+
+}  // namespace vedr::obs

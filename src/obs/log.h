@@ -1,0 +1,61 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace vedr::obs {
+
+/// Leveled, per-component, rate-limited structured logging. One line per
+/// event on stderr in logfmt style:
+///
+///   level=warn comp=eval src=experiment.cpp:88 msg="case 3 timed out" (12 suppressed)
+///
+/// Level threshold comes from the VEDR_LOG environment variable
+/// (debug|info|warn|error|off; default info) or set_log_threshold(). Each
+/// call site carries its own static LogSite, giving it an independent
+/// token-bucket rate limit (kMaxPerSecond lines/s) with a suppressed-line
+/// count surfaced on the next emitted line — a misbehaving per-packet log
+/// cannot drown the terminal or distort a benchmark.
+///
+/// Cold-path only: model hot loops must use spans/metrics, not logs.
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* to_string(LogLevel lvl);
+
+/// Current threshold (lazily initialized from VEDR_LOG on first query).
+LogLevel log_threshold();
+void set_log_threshold(LogLevel lvl);
+
+inline constexpr std::uint32_t kMaxPerSecond = 32;  ///< per call site
+
+/// Per-call-site rate-limit state; instantiated as a function-local static by
+/// the VEDR_LOG_* macros.
+struct LogSite {
+  std::atomic<std::uint64_t> window_start_ns{0};
+  std::atomic<std::uint32_t> window_count{0};
+  std::atomic<std::uint64_t> suppressed{0};
+};
+
+#if defined(__GNUC__) || defined(__clang__)
+#define VEDR_OBS_PRINTF(fmt_idx, va_idx) __attribute__((format(printf, fmt_idx, va_idx)))
+#else
+#define VEDR_OBS_PRINTF(fmt_idx, va_idx)
+#endif
+
+/// Formats and emits one log line (level permitting and rate allowing).
+void log_write(LogSite& site, LogLevel lvl, const char* comp, const char* file, int line,
+               const char* fmt, ...) VEDR_OBS_PRINTF(6, 7);
+
+}  // namespace vedr::obs
+
+#define VEDR_LOG_AT(lvl, comp, ...)                                                  \
+  do {                                                                               \
+    static ::vedr::obs::LogSite vedr_log_site;                                       \
+    ::vedr::obs::log_write(vedr_log_site, lvl, comp, __FILE__, __LINE__, __VA_ARGS__); \
+  } while (0)
+
+#define VEDR_LOG_DEBUG(comp, ...) VEDR_LOG_AT(::vedr::obs::LogLevel::kDebug, comp, __VA_ARGS__)
+#define VEDR_LOG_INFO(comp, ...) VEDR_LOG_AT(::vedr::obs::LogLevel::kInfo, comp, __VA_ARGS__)
+#define VEDR_LOG_WARN(comp, ...) VEDR_LOG_AT(::vedr::obs::LogLevel::kWarn, comp, __VA_ARGS__)
+#define VEDR_LOG_ERROR(comp, ...) VEDR_LOG_AT(::vedr::obs::LogLevel::kError, comp, __VA_ARGS__)

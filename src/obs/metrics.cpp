@@ -1,0 +1,171 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/log.h"
+
+namespace vedr::obs {
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Registry names use
+/// dotted paths ("overhead.poll_bytes"); map everything else to '_'.
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) out.insert(0, "_");
+  return out;
+}
+
+std::string label_block(const std::map<std::string, std::string>& labels,
+                        const std::string& extra_key = {}, const std::string& extra_val = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += sanitize(k) + "=\"" + v + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_val + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void append_line(std::string& out, const std::string& name, const std::string& labels,
+                 double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += name;
+  out += labels;
+  out += ' ';
+  out += buf;
+  out += '\n';
+}
+
+}  // namespace
+
+MetricsSnapshot snapshot(const sim::StatsRegistry& stats) {
+  MetricsSnapshot snap;
+  snap.counters = stats.counters();
+  snap.summaries = stats.summaries();
+  snap.hists = stats.hists();
+  return snap;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap,
+                          const std::map<std::string, std::string>& labels) {
+  std::string out;
+  const std::string lb = label_block(labels);
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string m = "vedr_" + sanitize(name);
+    out += "# TYPE " + m + " counter\n";
+    append_line(out, m, lb, static_cast<double>(value));
+  }
+
+  for (const auto& [name, s] : snap.summaries) {
+    const std::string m = "vedr_" + sanitize(name);
+    out += "# TYPE " + m + " gauge\n";
+    append_line(out, m + "_count", lb, static_cast<double>(s.count()));
+    append_line(out, m + "_mean", lb, s.mean());
+    append_line(out, m + "_min", lb, s.min());
+    append_line(out, m + "_max", lb, s.max());
+  }
+
+  for (const auto& [name, h] : snap.hists) {
+    const std::string m = "vedr_" + sanitize(name);
+    out += "# TYPE " + m + " histogram\n";
+    std::uint64_t cum = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const std::uint64_t in_bucket = h.bucket(i);
+      cum += in_bucket;
+      if (in_bucket == 0) continue;  // elide dead log2 buckets, cumulative stays exact
+      if (i == Histogram::kOverflowBucket) break;  // folded into the +Inf line below
+      char le[32];
+      std::snprintf(le, sizeof le, "%lld",
+                    static_cast<long long>(Histogram::upper_edge(i)));
+      append_line(out, m + "_bucket", label_block(labels, "le", le),
+                  static_cast<double>(cum));
+    }
+    append_line(out, m + "_bucket", label_block(labels, "le", "+Inf"),
+                static_cast<double>(h.count()));
+    append_line(out, m + "_sum", lb, static_cast<double>(h.sum()));
+    append_line(out, m + "_count", lb, static_cast<double>(h.count()));
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::string out;
+  JsonWriter w(&out);
+  w.begin_object();
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : snap.counters) w.kv(name, value);
+  w.end_object();
+
+  w.key("summaries");
+  w.begin_object();
+  for (const auto& [name, s] : snap.summaries) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", static_cast<std::uint64_t>(s.count()));
+    w.kv("mean", s.mean());
+    w.kv("min", s.min());
+    w.kv("max", s.max());
+    w.kv("stddev", s.stddev());
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("hists");
+  w.begin_object();
+  for (const auto& [name, h] : snap.hists) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", h.count());
+    w.kv("sum", h.sum());
+    w.kv("p50", h.value_at_quantile(0.5));
+    w.kv("p99", h.value_at_quantile(0.99));
+    w.key("buckets");
+    w.begin_array();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h.bucket(i) == 0) continue;
+      w.begin_array();
+      w.value(Histogram::upper_edge(i));
+      w.value(h.bucket(i));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    VEDR_LOG_ERROR("obs", "cannot open metrics output '%s'", path.c_str());
+    return false;
+  }
+  const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = n == text.size() && std::fclose(f) == 0;
+  if (!ok) VEDR_LOG_ERROR("obs", "short write to metrics output '%s'", path.c_str());
+  return ok;
+}
+
+}  // namespace vedr::obs

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/histogram.h"
+#include "sim/stats.h"
+
+namespace vedr::obs {
+
+/// Point-in-time copy of a StatsRegistry: counters, sample summaries, and
+/// log-bucketed histograms. Cheap to hold per eval case (the maps are small)
+/// and safe to read after the originating Network has been destroyed.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, sim::Summary> summaries;
+  std::map<std::string, Histogram> hists;
+
+  bool empty() const { return counters.empty() && summaries.empty() && hists.empty(); }
+};
+
+MetricsSnapshot snapshot(const sim::StatsRegistry& stats);
+
+/// Prometheus text exposition (version 0.0.4). Metric names are sanitized
+/// (dots and other invalid characters become '_'); `labels` are attached to
+/// every series. Counters export as `counter`, summaries as `gauge`
+/// sub-series (_count/_mean/_min/_max), histograms as native `histogram`
+/// with cumulative `le` buckets, `_sum`, and `_count`. Empty histogram
+/// buckets are elided (log2 buckets span 63 decades of dynamic range; the
+/// cumulative counts stay correct without the dead lines).
+std::string to_prometheus(const MetricsSnapshot& snap,
+                          const std::map<std::string, std::string>& labels = {});
+
+/// JSON rendering of the same snapshot (object with "counters", "summaries",
+/// "hists"); histogram buckets appear as [upper_edge, count] pairs.
+std::string to_json(const MetricsSnapshot& snap);
+
+/// Writes `text` to `path`; returns false (and logs) on I/O failure.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace vedr::obs

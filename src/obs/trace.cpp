@@ -1,0 +1,274 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/log.h"
+
+namespace vedr::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Fixed-capacity power-of-two ring. Overwrites the oldest slot on wrap;
+/// `written_` only ever grows, so drops fall out of the arithmetic instead of
+/// needing a second counter.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity) : mask_(capacity - 1), slots_(capacity) {}
+
+  void record(const TraceEvent& ev) {
+    slots_[static_cast<std::size_t>(written_) & mask_] = ev;
+    ++written_;
+  }
+
+  void clear() { written_ = 0; }
+
+  std::uint64_t written() const { return written_; }
+  std::uint64_t dropped() const {
+    return written_ > slots_.size() ? written_ - slots_.size() : 0;
+  }
+  std::uint64_t retained() const {
+    return written_ < slots_.size() ? written_ : slots_.size();
+  }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Visits retained events oldest-first.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::uint64_t n = retained();
+    for (std::uint64_t i = written_ - n; i != written_; ++i) {
+      fn(slots_[static_cast<std::size_t>(i) & mask_]);
+    }
+  }
+
+ private:
+  std::uint64_t written_ = 0;
+  std::size_t mask_;
+  std::vector<TraceEvent> slots_;
+};
+
+/// Global buffer registry. Lifecycle operations (enable / disable / reset /
+/// export / capacity change) must be serialized against recording threads:
+/// the harness only calls them before a run starts or after worker threads
+/// have quiesced, which keeps the per-buffer fields free of atomics on the
+/// recording path.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;  // never shrinks while live
+  std::size_t capacity = std::size_t{1} << 16;
+  std::atomic<std::uint64_t> generation{1};  // bumped when buffers are replaced
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: threads may outlive static dtors
+  return *r;
+}
+
+thread_local TraceBuffer* t_buf = nullptr;
+thread_local std::uint64_t t_gen = 0;
+
+std::size_t round_up_pow2(std::size_t v) {
+  if (v < 2) return 2;
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+TraceBuffer& buffer_for_thread() {
+  Registry& r = registry();
+  const std::uint64_t gen = r.generation.load(std::memory_order_acquire);
+  if (t_buf != nullptr && t_gen == gen) return *t_buf;
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.buffers.push_back(std::make_unique<TraceBuffer>(r.capacity));
+  t_buf = r.buffers.back().get();
+  t_gen = gen;
+  return *t_buf;
+}
+
+void record(char phase, const char* cat, const char* name, std::uint64_t id,
+            std::int64_t sim_ns, std::uint64_t arg) {
+  if (!trace_enabled()) return;
+  buffer_for_thread().record(TraceEvent{wall_now_ns(), sim_ns, cat, name, id, arg, phase});
+}
+
+}  // namespace
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+void trace_enable(std::size_t events_per_thread) {
+  Registry& r = registry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    const std::size_t cap = round_up_pow2(events_per_thread);
+    if (cap != r.capacity) {
+      r.capacity = cap;
+      r.buffers.clear();  // stale thread_local pointers invalidated via generation
+      r.generation.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  detail::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void trace_disable() { detail::g_trace_enabled.store(false, std::memory_order_release); }
+
+void metrics_enable() { detail::g_metrics_enabled.store(true, std::memory_order_release); }
+void metrics_disable() { detail::g_metrics_enabled.store(false, std::memory_order_release); }
+
+void trace_reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& b : r.buffers) b->clear();
+}
+
+void span_begin(const char* cat, const char* name, std::int64_t sim_ns, std::uint64_t arg) {
+  record('B', cat, name, 0, sim_ns, arg);
+}
+
+void span_end(const char* cat, const char* name, std::int64_t sim_ns) {
+  record('E', cat, name, 0, sim_ns, 0);
+}
+
+void async_begin(const char* cat, const char* name, std::uint64_t id, std::int64_t sim_ns,
+                 std::uint64_t arg) {
+  record('b', cat, name, id, sim_ns, arg);
+}
+
+void async_end(const char* cat, const char* name, std::uint64_t id, std::int64_t sim_ns,
+               std::uint64_t arg) {
+  record('e', cat, name, id, sim_ns, arg);
+}
+
+void instant(const char* cat, const char* name, std::int64_t sim_ns, std::uint64_t arg) {
+  record('i', cat, name, 0, sim_ns, arg);
+}
+
+TraceStats trace_stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  TraceStats s;
+  s.threads = r.buffers.size();
+  for (const auto& b : r.buffers) {
+    s.written += b->written();
+    s.dropped += b->dropped();
+    s.retained += b->retained();
+  }
+  return s;
+}
+
+namespace {
+
+void emit_event(JsonWriter& w, const TraceEvent& ev, int pid, int tid, double ts_us) {
+  w.begin_object();
+  {
+    const char phase[2] = {ev.phase, '\0'};
+    w.kv("ph", phase);
+  }
+  w.kv("pid", pid);
+  w.kv("tid", tid);
+  w.key("ts");
+  w.value_fixed(ts_us, 3);
+  w.kv("cat", ev.cat);
+  w.kv("name", ev.name);
+  if (ev.phase == 'b' || ev.phase == 'e') {
+    char idbuf[24];
+    std::snprintf(idbuf, sizeof idbuf, "0x%llx", static_cast<unsigned long long>(ev.id));
+    w.kv("id", idbuf);
+  }
+  if (ev.phase == 'i') w.kv("s", "t");  // thread-scoped instant
+  w.key("args");
+  w.begin_object();
+  w.kv("v", ev.arg);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+
+  // Rebase wall timestamps so the earliest retained event is t=0.
+  std::uint64_t wall_min = UINT64_MAX;
+  for (const auto& b : r.buffers) {
+    b->for_each([&](const TraceEvent& ev) {
+      if (ev.wall_ns < wall_min) wall_min = ev.wall_ns;
+    });
+  }
+  if (wall_min == UINT64_MAX) wall_min = 0;
+
+  std::string out;
+  JsonWriter w(&out);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Process-name metadata: pid 1 = wall-clock track, pid 2 = sim-clock track.
+  for (int pid = 1; pid <= 2; ++pid) {
+    w.begin_object();
+    w.kv("ph", "M");
+    w.kv("pid", pid);
+    w.kv("tid", 0);
+    w.kv("name", "process_name");
+    w.key("args");
+    w.begin_object();
+    w.kv("name", pid == 1 ? "wall" : "sim");
+    w.end_object();
+    w.end_object();
+  }
+
+  int tid = 0;
+  std::uint64_t total_dropped = 0, total_written = 0;
+  for (const auto& b : r.buffers) {
+    b->for_each([&](const TraceEvent& ev) {
+      emit_event(w, ev, /*pid=*/1, tid, static_cast<double>(ev.wall_ns - wall_min) / 1000.0);
+      // Scoped spans ('B'/'E') measure wall-clock work and may lack a sim
+      // timestamp at close; the sim track carries only the phases that are
+      // well-formed on the simulated clock.
+      if (ev.sim_ns >= 0 && (ev.phase == 'b' || ev.phase == 'e' || ev.phase == 'i')) {
+        emit_event(w, ev, /*pid=*/2, tid, static_cast<double>(ev.sim_ns) / 1000.0);
+      }
+    });
+    total_dropped += b->dropped();
+    total_written += b->written();
+    ++tid;
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ns");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("written", total_written);
+  w.kv("dropped", total_dropped);
+  w.kv("threads", static_cast<std::int64_t>(r.buffers.size()));
+  w.end_object();
+  w.end_object();
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    VEDR_LOG_ERROR("obs", "cannot open trace output '%s'", path.c_str());
+    return false;
+  }
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = n == json.size() && std::fclose(f) == 0;
+  if (!ok) VEDR_LOG_ERROR("obs", "short write to trace output '%s'", path.c_str());
+  return ok;
+}
+
+}  // namespace vedr::obs

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace vedr::obs {
+
+/// Timeline tracing: a `VEDR_SPAN` / `VEDR_INSTANT` API backed by per-thread
+/// binary ring buffers, exported as Chrome `trace_event` JSON (load the file
+/// in Perfetto or chrome://tracing).
+///
+/// Contract — "a tap, never a participant":
+///  * Disabled (the default), every recording call is an inline relaxed
+///    atomic load plus a branch: no allocation, no locks, no clock reads.
+///  * Enabled, recording writes one fixed-size slot into a pre-sized
+///    per-thread ring (overwrite-oldest on wrap, drops accounted); the only
+///    allocations are one buffer per thread at first use.
+///  * Recording never feeds back into model state, so determinism digests
+///    and replay traces are byte-identical with tracing on or off.
+///
+/// Events carry both a wall-clock and a simulated timestamp; the exporter
+/// emits two process tracks ("wall" and "sim") so either view can be read on
+/// its own timeline. Pass `sim_ns = kNoSimTime` for wall-only events (e.g.
+/// diagnosis phases that run outside the simulated clock).
+
+inline constexpr std::int64_t kNoSimTime = -1;
+
+/// One ring-buffer slot. `cat` / `name` must be string literals (or otherwise
+/// outlive the trace session): the ring stores pointers, never copies.
+struct TraceEvent {
+  std::uint64_t wall_ns;  ///< host monotonic clock, ns
+  std::int64_t sim_ns;    ///< simulated time, ns; kNoSimTime if not applicable
+  const char* cat;
+  const char* name;
+  std::uint64_t id;   ///< async-span correlation id (phases 'b'/'e'), else 0
+  std::uint64_t arg;  ///< one numeric argument, exported as args.v
+  char phase;         ///< 'B','E' scoped; 'b','e' async; 'i' instant
+};
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// True while span/instant recording is active. Inline so disabled-path call
+/// sites compile to a relaxed load + branch.
+inline bool trace_enabled() { return detail::g_trace_enabled.load(std::memory_order_relaxed); }
+
+/// True while hot-path metric sampling (histograms fed from per-packet /
+/// per-event code) is active. Separate from tracing: `--obs-metrics` without
+/// `--obs-trace` must not pay for span recording and vice versa.
+inline bool metrics_enabled() { return detail::g_metrics_enabled.load(std::memory_order_relaxed); }
+
+/// Start recording; each thread's ring holds `events_per_thread` slots
+/// (rounded up to a power of two). Idempotent; re-enabling keeps existing
+/// buffers if the capacity matches, else clears and resizes them.
+void trace_enable(std::size_t events_per_thread = std::size_t{1} << 16);
+void trace_disable();
+
+void metrics_enable();
+void metrics_disable();
+
+/// Clears every registered ring (events + drop counts) without releasing the
+/// buffers. Recording may be live on other threads; their next write lands in
+/// the cleared ring.
+void trace_reset();
+
+/// Host monotonic time in ns. The single wall-clock read point for the whole
+/// tree: model code under the lint wall-clock ban calls this instead of
+/// touching std::chrono.
+std::uint64_t wall_now_ns();
+
+// --- recording (out of line; cheap early-return when disabled) -------------
+
+void span_begin(const char* cat, const char* name, std::int64_t sim_ns, std::uint64_t arg = 0);
+void span_end(const char* cat, const char* name, std::int64_t sim_ns);
+void async_begin(const char* cat, const char* name, std::uint64_t id, std::int64_t sim_ns,
+                 std::uint64_t arg = 0);
+void async_end(const char* cat, const char* name, std::uint64_t id, std::int64_t sim_ns,
+               std::uint64_t arg = 0);
+void instant(const char* cat, const char* name, std::int64_t sim_ns, std::uint64_t arg = 0);
+
+struct TraceStats {
+  std::uint64_t written = 0;  ///< total events recorded (including overwritten)
+  std::uint64_t dropped = 0;  ///< events overwritten by ring wrap
+  std::uint64_t retained = 0; ///< events currently in the rings
+  std::size_t threads = 0;    ///< rings registered
+};
+TraceStats trace_stats();
+
+/// Renders every retained event as Chrome trace_event JSON. Events are
+/// emitted on a "wall" process track, and additionally on a "sim" track when
+/// they carry simulated time. Wall timestamps are rebased so the earliest
+/// retained event is t=0. Safe to call while disabled.
+std::string chrome_trace_json();
+
+/// chrome_trace_json() to a file; returns false (and logs) on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+/// RAII scoped span ('B'/'E' pair on the calling thread). When tracing is
+/// disabled at construction this is a no-op shell; enabling mid-scope does
+/// not emit a dangling 'E'.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* cat, const char* name, std::int64_t sim_ns = kNoSimTime,
+             std::uint64_t arg = 0)
+      : cat_(cat), name_(name), active_(trace_enabled()) {
+    if (active_) span_begin(cat_, name_, sim_ns, arg);
+  }
+  ~ScopedSpan() {
+    if (active_) span_end(cat_, name_, kNoSimTime);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* cat_;
+  const char* name_;
+  bool active_;
+};
+
+}  // namespace vedr::obs
+
+// Macro helpers: the span object needs a unique name per line.
+#define VEDR_OBS_CONCAT2(a, b) a##b
+#define VEDR_OBS_CONCAT(a, b) VEDR_OBS_CONCAT2(a, b)
+
+/// Scoped wall-time span covering the rest of the enclosing block.
+#define VEDR_SPAN(cat, name) \
+  ::vedr::obs::ScopedSpan VEDR_OBS_CONCAT(vedr_span_, __LINE__)(cat, name)
+
+/// Scoped span that also stamps the simulated time at entry.
+#define VEDR_SPAN_AT(cat, name, sim_ns) \
+  ::vedr::obs::ScopedSpan VEDR_OBS_CONCAT(vedr_span_, __LINE__)(cat, name, sim_ns)
+
+/// Point event; check trace_enabled() first on hot paths.
+#define VEDR_INSTANT(cat, name, sim_ns, arg)                           \
+  do {                                                                 \
+    if (::vedr::obs::trace_enabled()) ::vedr::obs::instant(cat, name, sim_ns, arg); \
+  } while (0)

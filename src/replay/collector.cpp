@@ -27,6 +27,7 @@ void StreamingCollector::build_from_envelope(const TraceEnvelope& env) {
     analyzer_ = std::make_unique<core::Analyzer>(topo_.get(), nullptr);
     analyzer_->set_cc_flows(cc_flows_);
   }
+  analyzer_->set_stats(&stats_);
 }
 
 ReplayResult StreamingCollector::replay(TraceReader& reader) {
@@ -38,9 +39,14 @@ ReplayResult StreamingCollector::replay(TraceReader& reader) {
 
   TraceRecord rec;
   TraceStatus status;
+  std::uint64_t frame_offset = reader.bytes_read();
   while ((status = reader.next(rec)) == TraceStatus::kOk) {
     ++result.stats.frames;
-    result.stats.by_type[static_cast<std::size_t>(rec.type)] += 1;
+    const std::size_t slot = static_cast<std::size_t>(rec.type);
+    if (result.stats.by_type[slot] == 0) result.stats.first_offset[slot] = frame_offset;
+    result.stats.last_offset[slot] = frame_offset;
+    result.stats.by_type[slot] += 1;
+    frame_offset = reader.bytes_read();
     switch (rec.type) {
       case RecordType::kEnvelope:
         result.envelope = std::get<TraceEnvelope>(rec.payload);
@@ -69,6 +75,8 @@ ReplayResult StreamingCollector::replay(TraceReader& reader) {
     }
   }
   result.stats.bytes = reader.bytes_read();
+  stats_.add_counter("replay.frames", static_cast<std::int64_t>(result.stats.frames));
+  stats_.add_counter("replay.bytes", static_cast<std::int64_t>(result.stats.bytes));
 
   if (status != TraceStatus::kEof) {
     result.error = reader.error();

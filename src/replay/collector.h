@@ -12,6 +12,7 @@
 #include "core/diagnosis.h"
 #include "net/topology.h"
 #include "replay/trace_reader.h"
+#include "sim/stats.h"
 
 namespace vedr::replay {
 
@@ -26,6 +27,11 @@ struct ReplayStats {
   std::uint64_t frames = 0;
   std::uint64_t bytes = 0;
   std::uint64_t by_type[kNumRecordSlots] = {};
+  /// Byte offset of the first/last frame of each record type, for divergence
+  /// reporting (--verify-digest names the suspect frame range on mismatch).
+  /// Valid only where by_type[t] > 0.
+  std::uint64_t first_offset[kNumRecordSlots] = {};
+  std::uint64_t last_offset[kNumRecordSlots] = {};
 };
 
 struct ReplayResult {
@@ -66,6 +72,11 @@ class StreamingCollector {
     return cc_flows_;
   }
 
+  /// Replay-side metrics: frame/byte counters plus the replayed analyzer's
+  /// diagnose-latency histogram (an offline run has no Network registry to
+  /// borrow, so the collector owns one).
+  sim::StatsRegistry& stats() { return stats_; }
+
  private:
   void build_from_envelope(const TraceEnvelope& env);
 
@@ -73,6 +84,7 @@ class StreamingCollector {
   std::unique_ptr<collective::CollectivePlan> plan_;
   std::unique_ptr<core::Analyzer> analyzer_;
   std::unordered_set<net::FlowKey, net::FlowKeyHash> cc_flows_;
+  sim::StatsRegistry stats_;
 };
 
 }  // namespace vedr::replay

@@ -7,7 +7,13 @@
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
+namespace vedr::obs {
+class Histogram;
+}  // namespace vedr::obs
+
 namespace vedr::sim {
+
+class StatsRegistry;
 
 /// The simulation kernel: a clock plus an event queue.
 ///
@@ -63,10 +69,23 @@ class Simulator {
   bool idle() const { return queue_.empty(); }
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Attaches a stats registry for kernel self-observation (currently a
+  /// sampled event-dispatch latency histogram, `sim.dispatch_ns`). The
+  /// registry must outlive the simulator. Sampling only happens while
+  /// obs::metrics_enabled() is on; otherwise the run loop stays free of
+  /// wall-clock reads.
+  void set_stats(StatsRegistry* stats);
+
  private:
+  /// Every 64th dispatch is timed when metrics are on — frequent enough for a
+  /// stable latency distribution, rare enough that the two clock reads are
+  /// noise at millions of events per second.
+  static constexpr std::uint64_t kDispatchSampleMask = 63;
+
   EventQueue queue_;
   Tick now_ = 0;
   std::uint64_t executed_ = 0;
+  obs::Histogram* dispatch_hist_ = nullptr;  // interned cell; null until set_stats
 };
 
 }  // namespace vedr::sim

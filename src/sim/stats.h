@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace vedr::sim {
 
 /// Streaming summary of a series of samples (count/mean/min/max/stddev).
@@ -63,17 +65,31 @@ class StatsRegistry {
     return it == summaries_.end() ? empty : it->second;
   }
 
+  /// Log2-bucketed distribution (RTTs, queue depths, latencies). Like the
+  /// counters, hist cells live in a node-based map: hot paths intern the
+  /// pointer once and add() through it without touching the string key.
+  void observe(const std::string& name, std::int64_t v) { hists_[name].add(v); }
+  obs::Histogram* hist_cell(const std::string& name) { return &hists_[name]; }
+  const obs::Histogram& hist(const std::string& name) const {
+    static const obs::Histogram empty;
+    auto it = hists_.find(name);
+    return it == hists_.end() ? empty : it->second;
+  }
+
   const std::map<std::string, std::int64_t>& counters() const { return counters_; }
   const std::map<std::string, Summary>& summaries() const { return summaries_; }
+  const std::map<std::string, obs::Histogram>& hists() const { return hists_; }
 
   void reset() {
     counters_.clear();
     summaries_.clear();
+    hists_.clear();
   }
 
  private:
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, Summary> summaries_;
+  std::map<std::string, obs::Histogram> hists_;
 };
 
 }  // namespace vedr::sim

@@ -1,0 +1,111 @@
+#include "obs/histogram.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace vedr::obs {
+namespace {
+
+TEST(Histogram, UnderflowBucketTakesZeroAndNegatives) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(-1), 0);
+  EXPECT_EQ(Histogram::bucket_of(INT64_MIN), 0);
+
+  Histogram h;
+  h.add(0);
+  h.add(-42);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum(), -42);
+}
+
+TEST(Histogram, BucketBoundariesAtPowersOfTwo) {
+  // Bucket i (1 <= i <= 62) holds [2^(i-1), 2^i): the boundary value 2^i
+  // belongs to the NEXT bucket, 2^i - 1 to this one.
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  for (int i = 1; i <= 61; ++i) {
+    const std::int64_t lo = std::int64_t{1} << (i - 1);
+    const std::int64_t hi = (std::int64_t{1} << i) - 1;
+    EXPECT_EQ(Histogram::bucket_of(lo), i) << "lower edge of bucket " << i;
+    EXPECT_EQ(Histogram::bucket_of(hi), i) << "upper edge of bucket " << i;
+    EXPECT_EQ(Histogram::bucket_of(hi + 1), i + 1) << "first value past bucket " << i;
+  }
+}
+
+TEST(Histogram, OverflowBucketCatchesHugeValues) {
+  // 2^62 is the first value the finite buckets cannot represent.
+  EXPECT_EQ(Histogram::bucket_of((std::int64_t{1} << 62) - 1), 62);
+  EXPECT_EQ(Histogram::bucket_of(std::int64_t{1} << 62), Histogram::kOverflowBucket);
+  EXPECT_EQ(Histogram::bucket_of(INT64_MAX), Histogram::kOverflowBucket);
+  EXPECT_EQ(Histogram::upper_edge(Histogram::kOverflowBucket), INT64_MAX);
+}
+
+TEST(Histogram, UpperEdgeIsInclusiveBucketMaximum) {
+  for (int i = 1; i < Histogram::kOverflowBucket; ++i) {
+    const std::int64_t edge = Histogram::upper_edge(i);
+    EXPECT_EQ(Histogram::bucket_of(edge), i);
+    EXPECT_EQ(edge, (std::int64_t{1} << i) - 1);
+  }
+}
+
+TEST(Histogram, AddAccumulatesCountAndSum) {
+  Histogram h;
+  h.add(5);
+  h.add(100);
+  h.add(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1105);
+  EXPECT_EQ(h.bucket(Histogram::bucket_of(5)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_of(100)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_of(1000)), 1u);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a;
+  Histogram b;
+  a.add(1);
+  a.add(7);
+  b.add(7);
+  b.add(1 << 20);
+  b.add(-3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.sum(), 1 + 7 + 7 + (1 << 20) - 3);
+  EXPECT_EQ(a.bucket(0), 1u);                              // the -3
+  EXPECT_EQ(a.bucket(Histogram::bucket_of(7)), 2u);        // one from each side
+  EXPECT_EQ(a.bucket(Histogram::bucket_of(1 << 20)), 1u);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  h.add(9);
+  h.add(-1);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) EXPECT_EQ(h.bucket(i), 0u);
+  EXPECT_EQ(h.value_at_quantile(0.5), 0);
+}
+
+TEST(Histogram, QuantilesReturnBucketUpperBounds) {
+  Histogram h;
+  // 90 small samples in bucket_of(10)=4 (values 8..15), 10 large in
+  // bucket_of(5000)=13 (4096..8191).
+  for (int i = 0; i < 90; ++i) h.add(10);
+  for (int i = 0; i < 10; ++i) h.add(5000);
+  EXPECT_EQ(h.value_at_quantile(0.5), Histogram::upper_edge(4));
+  EXPECT_EQ(h.value_at_quantile(0.9), Histogram::upper_edge(4));
+  EXPECT_EQ(h.value_at_quantile(0.95), Histogram::upper_edge(13));
+  EXPECT_EQ(h.value_at_quantile(1.0), Histogram::upper_edge(13));
+  // Out-of-range q values clamp rather than misbehave. q<=0 clamps to 0,
+  // whose target of zero samples is met by the (empty) underflow bucket.
+  EXPECT_EQ(h.value_at_quantile(-1.0), Histogram::upper_edge(0));
+  EXPECT_EQ(h.value_at_quantile(2.0), Histogram::upper_edge(13));
+}
+
+}  // namespace
+}  // namespace vedr::obs

@@ -1,0 +1,96 @@
+#include "obs/log.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace vedr::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_threshold(LogLevel::kInfo); }
+};
+
+TEST_F(LogTest, LevelNamesRoundTrip) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "info");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(to_string(LogLevel::kError), "error");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "off");
+}
+
+TEST_F(LogTest, ThresholdSetterOverridesEnvironment) {
+  set_log_threshold(LogLevel::kError);
+  EXPECT_EQ(log_threshold(), LogLevel::kError);
+  set_log_threshold(LogLevel::kDebug);
+  EXPECT_EQ(log_threshold(), LogLevel::kDebug);
+}
+
+TEST_F(LogTest, EmitsLogfmtLineWithSourceLocation) {
+  set_log_threshold(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  VEDR_LOG_WARN("unit", "case %d exceeded %s", 7, "budget");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("level=warn comp=unit src=log_test.cpp:"), std::string::npos) << err;
+  EXPECT_NE(err.find("msg=\"case 7 exceeded budget\""), std::string::npos) << err;
+}
+
+TEST_F(LogTest, LinesBelowThresholdAreDropped) {
+  set_log_threshold(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  VEDR_LOG_DEBUG("unit", "invisible");
+  VEDR_LOG_INFO("unit", "invisible");
+  VEDR_LOG_WARN("unit", "invisible");
+  VEDR_LOG_ERROR("unit", "visible");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(count_occurrences(err, "invisible"), 0u) << err;
+  EXPECT_EQ(count_occurrences(err, "visible"), 1u) << err;
+}
+
+TEST_F(LogTest, OffSilencesEvenErrors) {
+  set_log_threshold(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  VEDR_LOG_ERROR("unit", "nothing");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LogTest, QuotesInMessagesAreSoftened) {
+  set_log_threshold(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  VEDR_LOG_INFO("unit", "flow \"a->b\" stalled");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("msg=\"flow 'a->b' stalled\""), std::string::npos) << err;
+}
+
+TEST_F(LogTest, PerSiteRateLimitCapsLinesPerSecond) {
+  set_log_threshold(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  // One call site, many calls inside a single one-second window: the limit
+  // admits kMaxPerSecond lines and counts the rest as suppressed.
+  for (std::uint32_t i = 0; i < kMaxPerSecond * 3; ++i) VEDR_LOG_INFO("unit", "spam");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(count_occurrences(err, "msg=\"spam\""), static_cast<std::size_t>(kMaxPerSecond))
+      << err;
+}
+
+TEST_F(LogTest, DistinctCallSitesRateLimitIndependently) {
+  set_log_threshold(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  for (std::uint32_t i = 0; i < kMaxPerSecond * 2; ++i) VEDR_LOG_INFO("unit", "site_a");
+  for (std::uint32_t i = 0; i < kMaxPerSecond * 2; ++i) VEDR_LOG_INFO("unit", "site_b");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(count_occurrences(err, "site_a"), static_cast<std::size_t>(kMaxPerSecond));
+  EXPECT_EQ(count_occurrences(err, "site_b"), static_cast<std::size_t>(kMaxPerSecond));
+}
+
+}  // namespace
+}  // namespace vedr::obs

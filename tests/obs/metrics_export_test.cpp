@@ -1,0 +1,116 @@
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+
+namespace vedr::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+sim::StatsRegistry make_registry() {
+  sim::StatsRegistry stats;
+  stats.add_counter("overhead.poll_bytes", 1200);
+  stats.add_counter("replay.frames", 56);
+  stats.add_sample("queue.depth", 4.0);
+  stats.add_sample("queue.depth", 8.0);
+  stats.observe("diag.latency_ns", 900);     // bucket 10 (512..1023)
+  stats.observe("diag.latency_ns", 1000);    // bucket 10
+  stats.observe("diag.latency_ns", 70000);   // bucket 17 (65536..131071)
+  return stats;
+}
+
+TEST(MetricsSnapshot, CapturesAllThreeKinds) {
+  const MetricsSnapshot snap = snapshot(make_registry());
+  EXPECT_FALSE(snap.empty());
+  EXPECT_EQ(snap.counters.at("overhead.poll_bytes"), 1200);
+  EXPECT_EQ(snap.counters.at("replay.frames"), 56);
+  EXPECT_EQ(snap.summaries.at("queue.depth").count(), 2u);
+  EXPECT_DOUBLE_EQ(snap.summaries.at("queue.depth").mean(), 6.0);
+  EXPECT_EQ(snap.hists.at("diag.latency_ns").count(), 3u);
+}
+
+TEST(MetricsSnapshot, IsIndependentOfTheRegistryAfterwards) {
+  sim::StatsRegistry stats = make_registry();
+  const MetricsSnapshot snap = snapshot(stats);
+  stats.add_counter("replay.frames", 100);
+  stats.observe("diag.latency_ns", 5);
+  EXPECT_EQ(snap.counters.at("replay.frames"), 56);
+  EXPECT_EQ(snap.hists.at("diag.latency_ns").count(), 3u);
+}
+
+TEST(PrometheusExport, SanitizesNamesAndTypesSeries) {
+  const std::string text = to_prometheus(snapshot(make_registry()));
+  EXPECT_NE(text.find("# TYPE vedr_overhead_poll_bytes counter\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("vedr_overhead_poll_bytes 1200\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vedr_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("vedr_queue_depth_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("vedr_queue_depth_mean 6\n"), std::string::npos);
+  EXPECT_NE(text.find("vedr_queue_depth_min 4\n"), std::string::npos);
+  EXPECT_NE(text.find("vedr_queue_depth_max 8\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vedr_diag_latency_ns histogram\n"), std::string::npos);
+  EXPECT_EQ(text.find('.'), std::string::npos) << "dotted names must not leak: " << text;
+}
+
+TEST(PrometheusExport, HistogramBucketsAreCumulativeAndEndAtInf) {
+  const std::string text = to_prometheus(snapshot(make_registry()));
+  // Two samples land in bucket 10 (le 1023) and one more in bucket 17
+  // (le 131071); empty buckets between them are elided but the counts
+  // stay cumulative. +Inf always equals the total count.
+  EXPECT_NE(text.find("vedr_diag_latency_ns_bucket{le=\"1023\"} 2\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("vedr_diag_latency_ns_bucket{le=\"131071\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("vedr_diag_latency_ns_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("vedr_diag_latency_ns_sum 71900\n"), std::string::npos);
+  EXPECT_NE(text.find("vedr_diag_latency_ns_count 3\n"), std::string::npos);
+  EXPECT_EQ(count_occurrences(text, "vedr_diag_latency_ns_bucket"), 3u);
+}
+
+TEST(PrometheusExport, LabelsAttachToEverySeries) {
+  const std::string text =
+      to_prometheus(snapshot(make_registry()), {{"scenario", "incast"}, {"case_id", "0"}});
+  EXPECT_NE(text.find("vedr_replay_frames{case_id=\"0\",scenario=\"incast\"} 56\n"),
+            std::string::npos)
+      << text;
+  // Histogram bucket lines append le after the shared labels.
+  EXPECT_NE(
+      text.find("vedr_diag_latency_ns_bucket{case_id=\"0\",scenario=\"incast\",le=\"+Inf\"} 3\n"),
+      std::string::npos)
+      << text;
+  // No unlabeled sample lines sneak through (TYPE comments carry no labels).
+  EXPECT_EQ(count_occurrences(text, "\nvedr_replay_frames 56"), 0u);
+}
+
+TEST(PrometheusExport, EmptySnapshotYieldsEmptyText) {
+  EXPECT_EQ(to_prometheus(MetricsSnapshot{}), "");
+}
+
+TEST(JsonExport, RendersCountersSummariesAndHistograms) {
+  const std::string json = to_json(snapshot(make_registry()));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"overhead.poll_bytes\":1200"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"summaries\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"hists\""), std::string::npos);
+  // Histogram buckets render as [upper_edge, count] pairs.
+  EXPECT_NE(json.find("\"buckets\":[[1023,2],[131071,1]]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\":1023"), std::string::npos);
+}
+
+TEST(JsonExport, EmptySnapshotIsStillAnObject) {
+  const std::string json = to_json(MetricsSnapshot{});
+  EXPECT_EQ(json, "{\"counters\":{},\"summaries\":{},\"hists\":{}}");
+}
+
+}  // namespace
+}  // namespace vedr::obs

@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace vedr::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+// Every test leaves the global recorder off and empty: the fixture mirrors
+// how tools use the API (enable → record → export → disable).
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    trace_disable();
+    metrics_disable();
+    trace_reset();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordingIsIgnored) {
+  ASSERT_FALSE(trace_enabled());
+  instant("t", "nothing", 100, 1);
+  span_begin("t", "nothing", 100);
+  span_end("t", "nothing", 100);
+  const TraceStats s = trace_stats();
+  EXPECT_EQ(s.written, 0u);
+  EXPECT_EQ(s.retained, 0u);
+  EXPECT_EQ(s.dropped, 0u);
+}
+
+TEST_F(TraceTest, EnableDisableTogglesTheFlagsIndependently) {
+  EXPECT_FALSE(trace_enabled());
+  EXPECT_FALSE(metrics_enabled());
+  trace_enable();
+  EXPECT_TRUE(trace_enabled());
+  EXPECT_FALSE(metrics_enabled()) << "--obs-trace must not imply metric sampling";
+  metrics_enable();
+  EXPECT_TRUE(metrics_enabled());
+  trace_disable();
+  EXPECT_FALSE(trace_enabled());
+  EXPECT_TRUE(metrics_enabled()) << "disabling tracing must not disable sampling";
+}
+
+TEST_F(TraceTest, RingWrapOverwritesOldestAndCountsDrops) {
+  trace_enable(8);  // 8 slots on this thread's ring
+  for (int i = 0; i < 20; ++i)
+    instant("t", "tick", i, static_cast<std::uint64_t>(i));
+  const TraceStats s = trace_stats();
+  EXPECT_EQ(s.written, 20u);
+  EXPECT_EQ(s.retained, 8u);
+  EXPECT_EQ(s.dropped, 12u);
+  EXPECT_GE(s.threads, 1u);
+
+  // The survivors are the NEWEST 8 events: args 12..19.
+  const std::string json = chrome_trace_json();
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"tick\""), 16u)  // wall + sim track
+      << json;
+  EXPECT_EQ(count_occurrences(json, "{\"v\":11}"), 0u);
+  EXPECT_EQ(count_occurrences(json, "{\"v\":12}"), 2u);
+  EXPECT_EQ(count_occurrences(json, "{\"v\":19}"), 2u);
+}
+
+TEST_F(TraceTest, CapacityRoundsUpToPowerOfTwo) {
+  trace_enable(5);  // rounds to 8
+  for (int i = 0; i < 9; ++i) instant("t", "tick", kNoSimTime);
+  const TraceStats s = trace_stats();
+  EXPECT_EQ(s.written, 9u);
+  EXPECT_EQ(s.retained, 8u);
+  EXPECT_EQ(s.dropped, 1u);
+}
+
+TEST_F(TraceTest, TraceResetClearsEventsAndDropCounts) {
+  trace_enable(8);
+  for (int i = 0; i < 20; ++i) instant("t", "tick", kNoSimTime);
+  trace_reset();
+  const TraceStats s = trace_stats();
+  EXPECT_EQ(s.written, 0u);
+  EXPECT_EQ(s.retained, 0u);
+  EXPECT_EQ(s.dropped, 0u);
+  instant("t", "after", kNoSimTime);
+  EXPECT_EQ(trace_stats().retained, 1u);
+}
+
+TEST_F(TraceTest, ScopedSpanEmitsBalancedBeginEnd) {
+  trace_enable(64);
+  {
+    VEDR_SPAN("cat", "outer");
+    { VEDR_SPAN("cat", "inner"); }
+  }
+  const std::string json = chrome_trace_json();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), 2u) << json;
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"E\""), 2u) << json;
+}
+
+TEST_F(TraceTest, SpanEnabledMidScopeDoesNotEmitDanglingEnd) {
+  ScopedSpan* span = nullptr;
+  {
+    ScopedSpan local("cat", "late");  // tracing off: inactive shell
+    span = &local;
+    trace_enable(64);
+  }  // destructor runs with tracing on, but the span was born inactive
+  (void)span;
+  const TraceStats s = trace_stats();
+  EXPECT_EQ(s.written, 0u);
+}
+
+TEST_F(TraceTest, AsyncSpansCarryIdsAndInstantsMarkThreadScope) {
+  trace_enable(64);
+  async_begin("net", "flow", 0xabcdu, 1000, 77);
+  async_end("net", "flow", 0xabcdu, 2000);
+  instant("net", "pfc_xoff", 1500, 9);
+  const std::string json = chrome_trace_json();
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"0xabcd\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST_F(TraceTest, SimTrackOnlyCarriesEventsWithSimTime) {
+  trace_enable(64);
+  instant("t", "simful", 5000);      // sim + wall tracks
+  instant("t", "simless", kNoSimTime);  // wall track only
+  const std::string json = chrome_trace_json();
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"simful\""), 2u) << json;
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"simless\""), 1u) << json;
+  // Both process tracks are named for the trace viewer.
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"wall\"}"), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"sim\"}"), std::string::npos);
+}
+
+TEST_F(TraceTest, ExportWhileDisabledIsValidAndEmpty) {
+  const std::string json = chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vedr::obs

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validates observability artifacts produced by --obs-trace / --obs-metrics.
+
+Stdlib-only checker used by CI (and handy locally):
+
+  python3 tools/check_obs.py --trace out.trace.json \
+                             --metrics out.metrics.prom \
+                             --metrics-json out.metrics.json
+
+Trace checks (Chrome trace_event JSON):
+  * parses as JSON, has a traceEvents list and otherData accounting;
+  * every event carries pid/tid/ph/ts (metadata events excepted for ts);
+  * scoped 'B'/'E' counts balance per (pid, tid);
+  * both the "wall" and "sim" process tracks are named;
+  * timestamps are non-negative (exporter rebases to t=0).
+
+Metrics checks (Prometheus text exposition):
+  * every series line matches name{labels} value;
+  * every series is preceded by a # TYPE declaration;
+  * histogram series end with a le="+Inf" bucket equal to _count, and
+    cumulative bucket counts never decrease.
+
+Metrics-JSON checks: object with counters/summaries/hists maps.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+_FAILURES = []
+
+
+def fail(msg: str) -> None:
+    _FAILURES.append(msg)
+    print(f"FAIL: {msg}", file=sys.stderr)
+
+
+def check_trace(path: str) -> None:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents missing or not a list")
+        return
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or "written" not in other or "dropped" not in other:
+        fail(f"{path}: otherData must carry written/dropped accounting")
+
+    tracks = set()
+    balance = {}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None or "pid" not in ev or "tid" not in ev:
+            fail(f"{path}: event {i} lacks ph/pid/tid: {ev}")
+            continue
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                tracks.add(ev.get("args", {}).get("name"))
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{path}: event {i} has bad ts {ts!r} (exporter rebases to >= 0)")
+        if ph in ("B", "E"):
+            key = (ev["pid"], ev["tid"])
+            balance[key] = balance.get(key, 0) + (1 if ph == "B" else -1)
+            if balance[key] < 0:
+                fail(f"{path}: 'E' without matching 'B' on track {key} at event {i}")
+        elif ph in ("b", "e"):
+            if "id" not in ev:
+                fail(f"{path}: async event {i} lacks an id")
+        elif ph == "i":
+            if ev.get("s") != "t":
+                fail(f"{path}: instant event {i} should be thread-scoped (s='t')")
+        else:
+            fail(f"{path}: event {i} has unexpected phase {ph!r}")
+    for key, depth in balance.items():
+        if depth != 0:
+            fail(f"{path}: {depth} unclosed 'B' span(s) on track {key}")
+    for want in ("wall", "sim"):
+        if want not in tracks:
+            fail(f"{path}: missing process_name metadata for the '{want}' track")
+    n = len(events)
+    print(f"ok: {path}: {n} events, tracks={sorted(t for t in tracks if t)}")
+
+
+_SERIES_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>[0-9eE+.\-]+|NaN|[+-]Inf)$"
+)
+_TYPE_RE = re.compile(r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<kind>counter|gauge|histogram)$")
+
+
+def check_metrics(path: str) -> None:
+    typed = {}
+    series = 0
+    hist_buckets = {}  # base name -> list of (le, value) in file order
+    hist_counts = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                m = _TYPE_RE.match(line)
+                if m is None:
+                    fail(f"{path}:{lineno}: malformed comment line: {line!r}")
+                else:
+                    typed[m.group("name")] = m.group("kind")
+                continue
+            m = _SERIES_RE.match(line)
+            if m is None:
+                fail(f"{path}:{lineno}: malformed series line: {line!r}")
+                continue
+            series += 1
+            name, labels, value = m.group("name"), m.group("labels") or "", m.group("value")
+            base = re.sub(r"_(bucket|sum|count|mean|min|max)$", "", name)
+            if base not in typed and name not in typed:
+                fail(f"{path}:{lineno}: series {name} has no # TYPE declaration")
+            if name.endswith("_bucket"):
+                le = dict(
+                    kv.split("=", 1) for kv in labels.split(",") if "=" in kv
+                ).get("le", "").strip('"')
+                hist_buckets.setdefault(base, []).append((le, float(value)))
+            elif name.endswith("_count") and typed.get(base) == "histogram":
+                hist_counts[base] = float(value)
+
+    for base, buckets in hist_buckets.items():
+        last = -1.0
+        for le, v in buckets:
+            if v < last:
+                fail(f"{path}: {base}: cumulative bucket counts decrease at le={le}")
+            last = v
+        if not buckets or buckets[-1][0] != "+Inf":
+            fail(f"{path}: {base}: bucket series must end with le=\"+Inf\"")
+        elif base in hist_counts and buckets[-1][1] != hist_counts[base]:
+            fail(f"{path}: {base}: le=\"+Inf\" ({buckets[-1][1]}) != _count ({hist_counts[base]})")
+    print(f"ok: {path}: {series} series, {len(typed)} metrics, {len(hist_buckets)} histograms")
+
+
+def check_metrics_json(path: str) -> None:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    for key in ("counters", "summaries", "hists"):
+        if not isinstance(doc.get(key), dict):
+            fail(f"{path}: top-level '{key}' object missing")
+    for name, h in doc.get("hists", {}).items():
+        if not isinstance(h.get("buckets"), list):
+            fail(f"{path}: hist {name} lacks a buckets list")
+            continue
+        total = sum(count for _, count in h["buckets"])
+        if total != h.get("count"):
+            fail(f"{path}: hist {name}: bucket counts sum to {total}, count says {h.get('count')}")
+    print(f"ok: {path}: {len(doc.get('counters', {}))} counters, {len(doc.get('hists', {}))} hists")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--trace", action="append", default=[], help="Chrome trace JSON file")
+    ap.add_argument("--metrics", action="append", default=[], help="Prometheus text file")
+    ap.add_argument("--metrics-json", action="append", default=[], help="metrics JSON snapshot")
+    args = ap.parse_args()
+    if not (args.trace or args.metrics or args.metrics_json):
+        ap.error("nothing to check: pass --trace / --metrics / --metrics-json")
+    for path in args.trace:
+        check_trace(path)
+    for path in args.metrics:
+        check_metrics(path)
+    for path in args.metrics_json:
+        check_metrics_json(path)
+    return 1 if _FAILURES else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,7 @@
 //
 //   vedr_determinism [--scenario contention|incast|storm|backpressure]
 //                    [--case N] [--system vedrfolnir|hawkeye-max|hawkeye-min|full]
-//                    [--scale F] [--runs N]
+//                    [--scale F] [--runs N] [--obs-trace FILE.json]
 //
 // Each run folds the complete packet-event stream plus every diagnosis-visible
 // output into a 64-bit digest (eval::run_case_digest). All runs of the same
@@ -10,6 +10,12 @@
 // nondeterminism (hash-order leakage, uninitialized reads, wall-clock use)
 // crept into the simulator or diagnosis core. Exits 0 on agreement, 1 on
 // divergence.
+//
+// --obs-trace turns on the FULL observability tap (span tracing and hot-path
+// metric sampling) for every run and writes the combined Chrome trace JSON.
+// Its purpose is adversarial: digests printed with the tap on must equal the
+// digests the same case prints with it off — observability is a tap, never a
+// participant. CI runs this tool both ways and compares.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +25,7 @@
 #include "common/env.h"
 #include "eval/experiment.h"
 #include "net/routing.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -28,7 +35,7 @@ using namespace vedr;
   std::fprintf(stderr,
                "usage: %s [--scenario contention|incast|storm|backpressure] [--case N]\n"
                "          [--system vedrfolnir|hawkeye-max|hawkeye-min|full] [--scale F]\n"
-               "          [--runs N]\n",
+               "          [--runs N] [--obs-trace FILE.json]\n",
                argv0);
   std::exit(2);
 }
@@ -57,6 +64,7 @@ int main(int argc, char** argv) {
   int case_id = 0;
   int runs = 2;
   double scale = 1.0 / 64.0;
+  std::string obs_trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -76,9 +84,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--runs") {
       runs = static_cast<int>(common::parse_i64_or_die("--runs", next()));
       if (runs < 2) usage(argv[0]);
+    } else if (arg == "--obs-trace") {
+      obs_trace_path = next();
     } else {
       usage(argv[0]);
     }
+  }
+
+  if (!obs_trace_path.empty()) {
+    obs::trace_enable();
+    obs::metrics_enable();
   }
 
   eval::RunConfig cfg;
@@ -98,6 +113,8 @@ int main(int argc, char** argv) {
     std::printf("run %d digest: %016" PRIx64 "\n", r, d);
     digests.push_back(d);
   }
+
+  if (!obs_trace_path.empty() && !obs::write_chrome_trace(obs_trace_path)) return 2;
 
   bool ok = true;
   for (int r = 1; r < runs; ++r)

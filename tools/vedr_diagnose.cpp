@@ -3,11 +3,16 @@
 //   vedr_diagnose [--scenario contention|incast|storm|backpressure]
 //                 [--case N] [--system vedrfolnir|hawkeye-max|hawkeye-min|full]
 //                 [--scale F] [--json] [--dot PREFIX] [--record FILE.vtrc]
+//                 [--obs-trace FILE.json] [--obs-metrics FILE]
 //
 // Runs one seeded case end to end and prints the diagnosis as text (default)
 // or JSON (--json); --dot writes the waiting-graph DOT file for rendering.
 // --record streams the diagnosis plane's complete input into a .vtrc trace
-// that tools/vedr_replay can re-diagnose offline.
+// that tools/vedr_replay can re-diagnose offline. --obs-trace writes the
+// run's timeline spans as Chrome trace_event JSON (open in Perfetto);
+// --obs-metrics writes the case's metric snapshot as Prometheus text (or
+// JSON when the path ends in .json). Both are taps: the diagnosis and its
+// exit code are identical with or without them.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,6 +22,7 @@
 #include "core/json_export.h"
 #include "eval/experiment.h"
 #include "net/routing.h"
+#include "obs/cli.h"
 
 namespace {
 
@@ -26,7 +32,8 @@ using namespace vedr;
   std::fprintf(stderr,
                "usage: %s [--scenario contention|incast|storm|backpressure] [--case N]\n"
                "          [--system vedrfolnir|hawkeye-max|hawkeye-min|full] [--scale F]\n"
-               "          [--json] [--dot PREFIX] [--record FILE.vtrc]\n",
+               "          [--json] [--dot PREFIX] [--record FILE.vtrc]\n"
+               "          [--obs-trace FILE.json] [--obs-metrics FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -57,6 +64,7 @@ int main(int argc, char** argv) {
   bool as_json = false;
   std::string dot_prefix;
   std::string record_path;
+  obs::ObsCli obs_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -79,12 +87,16 @@ int main(int argc, char** argv) {
       dot_prefix = next();
     } else if (arg == "--record") {
       record_path = next();
+    } else if (obs_opts.parse(arg, next)) {
+      // handled
     } else {
       usage(argv[0]);
     }
   }
 
   eval::RunConfig cfg;
+  obs_opts.enable();
+  cfg.capture_metrics = obs_opts.want_metrics();
   eval::ScenarioParams params;
   params.scale = scale;
   const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
@@ -137,6 +149,13 @@ int main(int argc, char** argv) {
     out << core::json::diagnosis_to_json(result.diagnosis);
     std::fprintf(stderr, "wrote %s_diagnosis.json (graph DOT exports: see fig14_case_study)\n",
                  dot_prefix.c_str());
+  }
+
+  if (!obs_opts.finish(result.metrics.get(),
+                       {{"scenario", eval::to_string(spec.type)},
+                        {"system", eval::to_string(system)},
+                        {"case_id", std::to_string(spec.case_id)}})) {
+    return 3;
   }
   return result.outcome.tp ? 0 : 1;
 }
