@@ -33,14 +33,17 @@ namespace {
 
 [[noreturn]] void throw_handler(const CheckContext& ctx) { throw CheckFailure(ctx); }
 
-CheckFailureHandler g_handler = abort_handler;
+// Atomic: checks can fail on any thread (suite workers, stress tests), so the
+// hook read in check_failed must not race a test installing its handler.
+// Installation itself is still a process-global act — ScopedThrowOnCheckFailure
+// documents that it must bracket the threads it affects.
+std::atomic<CheckFailureHandler> g_handler{abort_handler};
 
 }  // namespace
 
 CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
-  CheckFailureHandler prev = g_handler;
-  g_handler = handler != nullptr ? handler : abort_handler;
-  return prev;
+  return g_handler.exchange(handler != nullptr ? handler : abort_handler,
+                            std::memory_order_acq_rel);
 }
 
 ScopedThrowOnCheckFailure::ScopedThrowOnCheckFailure()
@@ -56,7 +59,7 @@ void check_failed(const char* file, int line, const char* expr, const std::strin
   ctx.line = line;
   ctx.expr = expr;
   ctx.message = message;
-  g_handler(ctx);
+  g_handler.load(std::memory_order_acquire)(ctx);
   // A user-installed handler must not return; guarantee [[noreturn]] anyway.
   std::abort();
 }

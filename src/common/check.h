@@ -57,6 +57,11 @@ CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
 /// RAII: while alive, failed checks throw CheckFailure instead of aborting,
 /// so unit tests can assert an invariant fires without a death test (which
 /// interacts poorly with sanitizer runtimes).
+///
+/// The handler slot is process-global: install before spawning any thread
+/// whose checks should throw, and keep the scope alive until they join.
+/// (The slot itself is atomic, so a failure on another thread never races
+/// the swap — it sees either the old or the new handler, both valid.)
 class ScopedThrowOnCheckFailure {
  public:
   ScopedThrowOnCheckFailure();

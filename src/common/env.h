@@ -77,6 +77,8 @@ inline double parse_f64_or_die(std::string_view what, std::string_view value) {
 
 /// getenv as optional<string>; unset and empty both mean "not configured".
 inline std::optional<std::string> env_str(const char* name) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup; nothing in
+  // this process calls setenv/putenv after startup.
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return std::nullopt;
   return std::string(v);

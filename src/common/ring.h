@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 
 namespace vedr::common {
 
@@ -17,8 +18,11 @@ namespace vedr::common {
 ///
 /// operator[](i) indexes from the front (0 == front()), which is what the
 /// invariant auditors iterate.
+///
+/// Threading contract: VEDR_SINGLE_THREADED — hot queues belong to their
+/// simulation thread; this is not an SPSC ring and must never bridge shards.
 template <typename T>
-class Ring {
+class VEDR_SINGLE_THREADED Ring {
  public:
   Ring() = default;
 

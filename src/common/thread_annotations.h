@@ -1,0 +1,61 @@
+#pragma once
+
+/// Clang thread-safety-analysis annotations (a compile-time capability
+/// system: -Wthread-safety proves every access to a `VEDR_GUARDED_BY`
+/// member happens with its mutex held). Under GCC or MSVC every macro
+/// expands to nothing, so annotated headers stay portable.
+///
+/// Enable the analysis with `cmake -DVEDR_THREAD_SAFETY=ON` under Clang
+/// (adds -Wthread-safety -Wthread-safety-beta). The annotations only work
+/// on capability-aware lock types — use `vedr::common::Mutex` /
+/// `vedr::common::MutexLock` (common/mutex.h), not raw std::mutex.
+///
+/// Vocabulary (see DESIGN.md §11 for the reading guide):
+///   VEDR_CAPABILITY(x)       class is a capability (a lock type)
+///   VEDR_SCOPED_CAPABILITY   RAII type that acquires on ctor / releases on dtor
+///   VEDR_GUARDED_BY(mu)      member may only be touched with `mu` held
+///   VEDR_PT_GUARDED_BY(mu)   the pointed-to data is guarded, not the pointer
+///   VEDR_REQUIRES(mu)        caller must already hold `mu`
+///   VEDR_ACQUIRE(mu)         function takes `mu` and returns holding it
+///   VEDR_RELEASE(mu)         function releases `mu`
+///   VEDR_TRY_ACQUIRE(b, mu)  conditional acquisition, true-result means held
+///   VEDR_EXCLUDES(mu)        caller must NOT hold `mu` (deadlock guard)
+///   VEDR_NO_THREAD_SAFETY_ANALYSIS  opt a function out (justify in a comment)
+///
+/// Components with no locks at all carry one of the contract markers below
+/// instead; both expand to nothing and exist so the threading contract is
+/// greppable and the determinism linter / reviewers can key off it:
+///   VEDR_SINGLE_THREADED     confined to one thread for its whole lifetime
+///                            (EventQueue, Analyzer, ProvenanceGraph, pools);
+///                            future threaded callers must externally own it
+///   VEDR_THREAD_COMPATIBLE   const access is concurrently safe, any mutation
+///                            requires external serialization
+
+#if defined(__clang__) && !defined(SWIG)
+#define VEDR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VEDR_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC have no TSA
+#endif
+
+#define VEDR_CAPABILITY(x) VEDR_THREAD_ANNOTATION(capability(x))
+#define VEDR_SCOPED_CAPABILITY VEDR_THREAD_ANNOTATION(scoped_lockable)
+#define VEDR_GUARDED_BY(x) VEDR_THREAD_ANNOTATION(guarded_by(x))
+#define VEDR_PT_GUARDED_BY(x) VEDR_THREAD_ANNOTATION(pt_guarded_by(x))
+#define VEDR_REQUIRES(...) VEDR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define VEDR_REQUIRES_SHARED(...) \
+  VEDR_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define VEDR_ACQUIRE(...) VEDR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define VEDR_ACQUIRE_SHARED(...) \
+  VEDR_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define VEDR_RELEASE(...) VEDR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define VEDR_RELEASE_SHARED(...) \
+  VEDR_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define VEDR_TRY_ACQUIRE(...) VEDR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define VEDR_EXCLUDES(...) VEDR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define VEDR_ASSERT_CAPABILITY(x) VEDR_THREAD_ANNOTATION(assert_capability(x))
+#define VEDR_RETURN_CAPABILITY(x) VEDR_THREAD_ANNOTATION(lock_returned(x))
+#define VEDR_NO_THREAD_SAFETY_ANALYSIS VEDR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Contract markers (documentation-grade, zero codegen; see header comment).
+#define VEDR_SINGLE_THREADED
+#define VEDR_THREAD_COMPATIBLE

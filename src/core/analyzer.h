@@ -7,6 +7,7 @@
 #include "collective/plan.h"
 #include "collective/runner.h"
 #include "common/dense_map.h"
+#include "common/thread_annotations.h"
 #include "core/diagnosis.h"
 #include "core/intern.h"
 #include "core/provenance_graph.h"
@@ -40,7 +41,13 @@ namespace vedr::core {
 /// cross-graph work (classification, contributor rating) runs on u32 ids.
 /// Per-step graphs are pooled and cleared-not-freed across reset(), so a
 /// warmed analyzer re-ingests a same-shaped case without heap allocation.
-class Analyzer : public telemetry::ReportSink {
+///
+/// Threading contract: VEDR_SINGLE_THREADED — ingestion, diagnose(), and
+/// reset() must all come from one thread at a time (the pooled graphs,
+/// intern tables, and scratch buffers are unsynchronized by design). The
+/// streaming daemon (ROADMAP item 3) runs one Analyzer per tenant shard;
+/// concurrency lives in the shard executor, never inside the analyzer.
+class VEDR_SINGLE_THREADED Analyzer : public telemetry::ReportSink {
  public:
   Analyzer(const net::Topology* topo, const collective::CollectivePlan* plan);
 

@@ -109,7 +109,7 @@ class FlowIdSet {
              const std::unordered_set<net::FlowKey, net::FlowKeyHash>& keys) {
     keys_ = &keys;
     bits_.assign(interner.size(), 0);
-    for (const net::FlowKey& k : keys) {
+    for (const net::FlowKey& k : keys) {  // vedr-lint: allow(unordered-iter): sets idempotent bits; order-insensitive
       const std::uint32_t id = interner.find(k);
       if (id != FlowInterner::kNone) bits_[id] = 1;
     }

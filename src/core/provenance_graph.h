@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/dense_map.h"
+#include "common/thread_annotations.h"
 #include "core/intern.h"
 #include "net/topology.h"
 #include "net/types.h"
@@ -40,7 +41,11 @@ using net::Tick;
 /// Cleared-not-freed everywhere: reset() keeps every vector's capacity and
 /// every probe table, so re-ingesting a same-shaped report stream performs
 /// zero heap allocations.
-class ProvenanceGraph {
+///
+/// Threading contract: VEDR_SINGLE_THREADED — staging, finalize(), and the
+/// query API are confined to the owning analyzer's thread; the pooled cells
+/// and shared InternTables are unsynchronized by design.
+class VEDR_SINGLE_THREADED ProvenanceGraph {
  public:
   /// Standalone graph owning private intern tables (tests, ad-hoc tooling).
   explicit ProvenanceGraph(const net::Topology* topo);

@@ -36,13 +36,13 @@ Vedrfolnir::Vedrfolnir(net::Network& net, collective::CollectiveRunner& runner,
 
 int Vedrfolnir::total_polls() const {
   int n = 0;
-  for (const auto& [host, m] : monitors_) n += m->polls_sent();
+  for (const auto& [host, m] : monitors_) n += m->polls_sent();  // vedr-lint: allow(unordered-iter): commutative sum
   return n;
 }
 
 int Vedrfolnir::total_notifications() const {
   int n = 0;
-  for (const auto& [host, m] : monitors_) n += m->notifications_sent();
+  for (const auto& [host, m] : monitors_) n += m->notifications_sent();  // vedr-lint: allow(unordered-iter): commutative sum
   return n;
 }
 

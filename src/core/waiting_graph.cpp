@@ -137,7 +137,7 @@ std::vector<WgVertex> WaitingGraph::pruned_vertices() const {
 
   std::vector<WgVertex> stack;
   std::unordered_set<WgVertex, WgVertexHash> reachable;
-  for (const auto& [flow, step] : last_step) {
+  for (const auto& [flow, step] : last_step) {  // vedr-lint: allow(unordered-iter): seeds a reachability set; the set is visit-order-independent and sorted at emission
     const WgVertex src{flow, step, true};
     if (reachable.insert(src).second) stack.push_back(src);
   }
@@ -150,7 +150,7 @@ std::vector<WgVertex> WaitingGraph::pruned_vertices() const {
       if (reachable.insert(next).second) stack.push_back(next);
   }
 
-  std::vector<WgVertex> out(reachable.begin(), reachable.end());
+  std::vector<WgVertex> out(reachable.begin(), reachable.end());  // vedr-lint: allow(unordered-iter): sorted on the next line
   std::sort(out.begin(), out.end(), [](const WgVertex& a, const WgVertex& b) {
     if (a.flow != b.flow) return a.flow < b.flow;
     if (a.step != b.step) return a.step < b.step;

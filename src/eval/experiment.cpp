@@ -1,5 +1,6 @@
 #include "eval/experiment.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -49,7 +50,10 @@ std::vector<net::FlowKey> verified_contenders(net::Network& network,
       }
     }
   }
-  std::vector<net::FlowKey> out(found.begin(), found.end());
+  // Ground truth feeds precision/recall accounting downstream; canonicalize
+  // the hash-set order before it escapes.
+  std::vector<net::FlowKey> out(found.begin(), found.end());  // vedr-lint: allow(unordered-iter): sorted on the next line
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -324,6 +328,11 @@ std::vector<CaseResult> run_scenario_suite(ScenarioType type, int n_cases, Syste
 
   // Lock-free work claim: each worker grabs the next case index with a
   // fetch_add, so claiming never serializes the pool behind a mutex.
+  // Thread-safety argument (exercised by the TSan stress lane): fetch_add
+  // hands every index to exactly one worker, workers write disjoint
+  // results[idx] slots, and join() orders those writes before the caller's
+  // reads. Each run_case builds a private Simulator/Network, so the only
+  // cross-thread state it touches is the internally synchronized obs layer.
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
     while (true) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "net/packet.h"
 
 namespace vedr::net {
@@ -23,7 +24,11 @@ using PacketRef = std::uint32_t;
 /// (the slab is a vector and may grow). Never hold a Packet& across an
 /// acquire — take a local copy first (cold paths) or finish all reads before
 /// acquiring (hot paths).
-class PacketPool {
+///
+/// Threading contract: VEDR_SINGLE_THREADED — one pool per simulation
+/// thread. Lock-free cross-shard packet handoff (ROADMAP item 1) must move
+/// ownership of the slot, not share the pool.
+class VEDR_SINGLE_THREADED PacketPool {
  public:
   PacketRef acquire(Packet pkt) {
     if (!free_.empty()) {

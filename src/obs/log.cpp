@@ -46,6 +46,8 @@ const char* to_string(LogLevel lvl) {
 LogLevel log_threshold() {
   int t = g_threshold.load(std::memory_order_relaxed);
   if (t == kUninitialized) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup; nothing in
+    // this process calls setenv/putenv after startup.
     t = static_cast<int>(parse_level(std::getenv("VEDR_LOG")));
     g_threshold.store(t, std::memory_order_relaxed);
   }

@@ -18,6 +18,13 @@ namespace vedr::obs {
 /// cannot drown the terminal or distort a benchmark.
 ///
 /// Cold-path only: model hot loops must use spans/metrics, not logs.
+///
+/// Threading contract: fully thread-safe and lock-free. The threshold and
+/// every LogSite field are atomics (the window reset is approximate by
+/// design: two threads can both observe an expired window and reset it,
+/// which only widens the budget by one line); the final fprintf relies on
+/// POSIX stdio stream locking for line atomicity. Verified by the TSan
+/// stress lane (tests/concurrency).
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 

@@ -3,9 +3,9 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/json.h"
 #include "obs/log.h"
 
@@ -21,50 +21,63 @@ namespace {
 /// Fixed-capacity power-of-two ring. Overwrites the oldest slot on wrap;
 /// `written_` only ever grows, so drops fall out of the arithmetic instead of
 /// needing a second counter.
+///
+/// Single-writer (the owning thread records; slots are written lock-free),
+/// but `written_` is atomic with release/acquire pairing so the write/drop
+/// accounting (trace_stats) can be read from any thread while recording is
+/// live. Reading the *slots* (for_each / export) still requires recorder
+/// quiesce — the harness exports only between runs.
 class TraceBuffer {
  public:
   explicit TraceBuffer(std::size_t capacity) : mask_(capacity - 1), slots_(capacity) {}
 
   void record(const TraceEvent& ev) {
-    slots_[static_cast<std::size_t>(written_) & mask_] = ev;
-    ++written_;
+    const std::uint64_t w = written_.load(std::memory_order_relaxed);
+    slots_[static_cast<std::size_t>(w) & mask_] = ev;
+    written_.store(w + 1, std::memory_order_release);
   }
 
-  void clear() { written_ = 0; }
+  void clear() { written_.store(0, std::memory_order_release); }
 
-  std::uint64_t written() const { return written_; }
+  std::uint64_t written() const { return written_.load(std::memory_order_acquire); }
   std::uint64_t dropped() const {
-    return written_ > slots_.size() ? written_ - slots_.size() : 0;
+    const std::uint64_t w = written();
+    return w > slots_.size() ? w - slots_.size() : 0;
   }
   std::uint64_t retained() const {
-    return written_ < slots_.size() ? written_ : slots_.size();
+    const std::uint64_t w = written();
+    return w < slots_.size() ? w : slots_.size();
   }
   std::size_t capacity() const { return slots_.size(); }
 
-  /// Visits retained events oldest-first.
+  /// Visits retained events oldest-first. Requires recorder quiesce: the
+  /// slots are not synchronized against a live writer.
   template <typename Fn>
   void for_each(Fn&& fn) const {
+    const std::uint64_t w = written();
     const std::uint64_t n = retained();
-    for (std::uint64_t i = written_ - n; i != written_; ++i) {
+    for (std::uint64_t i = w - n; i != w; ++i) {
       fn(slots_[static_cast<std::size_t>(i) & mask_]);
     }
   }
 
  private:
-  std::uint64_t written_ = 0;
+  std::atomic<std::uint64_t> written_{0};
   std::size_t mask_;
   std::vector<TraceEvent> slots_;
 };
 
-/// Global buffer registry. Lifecycle operations (enable / disable / reset /
-/// export / capacity change) must be serialized against recording threads:
-/// the harness only calls them before a run starts or after worker threads
-/// have quiesced, which keeps the per-buffer fields free of atomics on the
-/// recording path.
+/// Global buffer registry. Recording itself is lock-free (each thread owns
+/// one ring); `mu` guards the buffer list and capacity. Write/drop accounting
+/// (trace_stats) is safe concurrent with live recorders; slot-reading
+/// lifecycle operations (reset / export / capacity change) must still be
+/// serialized against recording threads — the harness only calls them before
+/// a run starts or after worker threads have quiesced.
 struct Registry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<TraceBuffer>> buffers;  // never shrinks while live
-  std::size_t capacity = std::size_t{1} << 16;
+  common::Mutex mu;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers
+      VEDR_GUARDED_BY(mu);  // never shrinks while live
+  std::size_t capacity VEDR_GUARDED_BY(mu) = std::size_t{1} << 16;
   std::atomic<std::uint64_t> generation{1};  // bumped when buffers are replaced
 };
 
@@ -87,7 +100,7 @@ TraceBuffer& buffer_for_thread() {
   Registry& r = registry();
   const std::uint64_t gen = r.generation.load(std::memory_order_acquire);
   if (t_buf != nullptr && t_gen == gen) return *t_buf;
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   r.buffers.push_back(std::make_unique<TraceBuffer>(r.capacity));
   t_buf = r.buffers.back().get();
   t_gen = gen;
@@ -111,7 +124,7 @@ std::uint64_t wall_now_ns() {
 void trace_enable(std::size_t events_per_thread) {
   Registry& r = registry();
   {
-    std::lock_guard<std::mutex> lock(r.mu);
+    common::MutexLock lock(r.mu);
     const std::size_t cap = round_up_pow2(events_per_thread);
     if (cap != r.capacity) {
       r.capacity = cap;
@@ -129,7 +142,7 @@ void metrics_disable() { detail::g_metrics_enabled.store(false, std::memory_orde
 
 void trace_reset() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   for (auto& b : r.buffers) b->clear();
 }
 
@@ -157,7 +170,7 @@ void instant(const char* cat, const char* name, std::int64_t sim_ns, std::uint64
 
 TraceStats trace_stats() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   TraceStats s;
   s.threads = r.buffers.size();
   for (const auto& b : r.buffers) {
@@ -199,7 +212,7 @@ void emit_event(JsonWriter& w, const TraceEvent& ev, int pid, int tid, double ts
 
 std::string chrome_trace_json() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
 
   // Rebase wall timestamps so the earliest retained event is t=0.
   std::uint64_t wall_min = UINT64_MAX;

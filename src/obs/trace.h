@@ -29,13 +29,13 @@ inline constexpr std::int64_t kNoSimTime = -1;
 /// One ring-buffer slot. `cat` / `name` must be string literals (or otherwise
 /// outlive the trace session): the ring stores pointers, never copies.
 struct TraceEvent {
-  std::uint64_t wall_ns;  ///< host monotonic clock, ns
-  std::int64_t sim_ns;    ///< simulated time, ns; kNoSimTime if not applicable
-  const char* cat;
-  const char* name;
-  std::uint64_t id;   ///< async-span correlation id (phases 'b'/'e'), else 0
-  std::uint64_t arg;  ///< one numeric argument, exported as args.v
-  char phase;         ///< 'B','E' scoped; 'b','e' async; 'i' instant
+  std::uint64_t wall_ns = 0;  ///< host monotonic clock, ns
+  std::int64_t sim_ns = kNoSimTime;  ///< simulated time, ns
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  std::uint64_t id = 0;   ///< async-span correlation id (phases 'b'/'e'), else 0
+  std::uint64_t arg = 0;  ///< one numeric argument, exported as args.v
+  char phase = 0;         ///< 'B','E' scoped; 'b','e' async; 'i' instant
 };
 
 namespace detail {

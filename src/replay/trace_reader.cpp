@@ -4,6 +4,16 @@
 #include <cstring>
 
 namespace vedr::replay {
+namespace {
+
+std::string errno_str() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): trace files are read by one thread
+  // (TraceReader is VEDR_SINGLE_THREADED); strerror's static buffer cannot be
+  // clobbered concurrently.
+  return std::strerror(errno);
+}
+
+}  // namespace
 
 const char* to_string(TraceStatus s) {
   switch (s) {
@@ -30,7 +40,7 @@ std::string TraceError::str() const {
 TraceReader::TraceReader(const std::string& path) {
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) {
-    fail(TraceStatus::kIoError, 0, "open " + path + ": " + std::strerror(errno));
+    fail(TraceStatus::kIoError, 0, "open " + path + ": " + errno_str());
     return;
   }
   read_header();
@@ -96,7 +106,7 @@ TraceStatus TraceReader::next(TraceRecord& out) {
   const std::size_t got = std::fread(prefix, 1, sizeof prefix, file_);
   if (got == 0) {
     if (std::ferror(file_) != 0)
-      return fail(TraceStatus::kIoError, frame_offset, std::strerror(errno));
+      return fail(TraceStatus::kIoError, frame_offset, errno_str());
     eof_ = true;
     if (!seen_footer_)
       return fail(TraceStatus::kTruncated, frame_offset,

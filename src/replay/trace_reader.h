@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "replay/trace_format.h"
 
 namespace vedr::replay {
@@ -39,7 +40,10 @@ struct TraceError {
 /// yields one decoded record per next() call. Memory use is bounded by the
 /// largest single frame (the payload buffer is reused); there is no
 /// load-the-whole-file path.
-class TraceReader {
+///
+/// Threading: owned by the replaying thread; FILE* position, the reused
+/// payload buffer, and the latched error are unsynchronized.
+class VEDR_SINGLE_THREADED TraceReader {
  public:
   explicit TraceReader(const std::string& path);
   ~TraceReader();

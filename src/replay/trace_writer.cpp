@@ -6,16 +6,26 @@
 #include "common/check.h"
 
 namespace vedr::replay {
+namespace {
+
+std::string errno_str() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): trace files are written by one
+  // thread (TraceWriter is VEDR_SINGLE_THREADED); strerror's static buffer
+  // cannot be clobbered concurrently.
+  return std::strerror(errno);
+}
+
+}  // namespace
 
 TraceWriter::TraceWriter(const std::string& path) {
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
-    fail("open " + path + ": " + std::strerror(errno));
+    fail("open " + path + ": " + errno_str());
     return;
   }
   const std::string header = encode_file_header();
   if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
-    fail("write header: " + std::string(std::strerror(errno)));
+    fail("write header: " + errno_str());
     return;
   }
   bytes_ += header.size();
@@ -30,7 +40,7 @@ void TraceWriter::fail(const std::string& what) {
 
 bool TraceWriter::close() {
   if (file_ != nullptr) {
-    if (std::fclose(file_) != 0) fail("close: " + std::string(std::strerror(errno)));
+    if (std::fclose(file_) != 0) fail("close: " + errno_str());
     file_ = nullptr;
   }
   return ok_;
@@ -54,7 +64,7 @@ void TraceWriter::write_frame(RecordType type, const std::string& payload) {
           prefix.data().size() ||
       std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size() ||
       std::fwrite(tail.data().data(), 1, tail.data().size(), file_) != tail.data().size()) {
-    fail("write frame: " + std::string(std::strerror(errno)));
+    fail("write frame: " + errno_str());
     return;
   }
   ++frames_;

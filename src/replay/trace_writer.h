@@ -6,6 +6,7 @@
 
 #include "collective/runner.h"
 #include "common/tap.h"
+#include "common/thread_annotations.h"
 #include "replay/trace_format.h"
 
 namespace vedr::replay {
@@ -18,7 +19,10 @@ namespace vedr::replay {
 /// Usage: construct, write_envelope() once, run the case with the tap
 /// attached, write_footer() once, close(). Errors latch: after the first
 /// I/O failure all writes become no-ops and ok() stays false.
-class TraceWriter final : public core::TraceTap {
+///
+/// Threading: owned by the simulation thread of its case; buffered FILE*
+/// state and the latched error are unsynchronized.
+class VEDR_SINGLE_THREADED TraceWriter final : public core::TraceTap {
  public:
   explicit TraceWriter(const std::string& path);
   ~TraceWriter() override;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "sim/event.h"
 #include "sim/time.h"
 
@@ -29,7 +30,12 @@ namespace vedr::sim {
 ///     once the pool and heap have grown to the workload's high-water mark.
 ///   - schedule_callback(): the cold-path escape hatch storing an arbitrary
 ///     std::function in the slot (tests, injector glue, report delivery).
-class EventQueue {
+///
+/// Threading contract: VEDR_SINGLE_THREADED — the queue (heap, slot pool,
+/// free list) is confined to the simulation thread that owns it. The coming
+/// sharded engine gives each shard its own EventQueue; cross-shard handoff
+/// happens at a higher layer, never by touching another shard's queue.
+class VEDR_SINGLE_THREADED EventQueue {
  public:
   EventQueue() = default;
 

@@ -7,12 +7,14 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/histogram.h"
 
 namespace vedr::sim {
 
 /// Streaming summary of a series of samples (count/mean/min/max/stddev).
-class Summary {
+class VEDR_THREAD_COMPATIBLE Summary {
  public:
   void add(double x) {
     ++n_;
@@ -39,57 +41,100 @@ class Summary {
   double sum_ = 0, sum_sq_ = 0, min_ = 0, max_ = 0;
 };
 
-/// Named counters/summaries shared by model components, used by the
-/// evaluation harness to account overhead without plumbing every number
+/// Named counters/summaries/histograms shared by model components, used by
+/// the evaluation harness to account overhead without plumbing every number
 /// through constructors.
+///
+/// Threading contract (capability-checked under VEDR_THREAD_SAFETY):
+///   - Every name-keyed operation (add_counter / add_sample / observe /
+///     counter / summary / hist / snapshots / reset) locks `mu_`, so
+///     concurrent keyed accumulation from suite worker threads is safe and
+///     never loses updates.
+///   - The interned cells returned by counter_cell()/hist_cell() are the
+///     allocation-free hot path: the returned pointer is stable (node-based
+///     maps never move values) but the *cell contents* are unsynchronized.
+///     A cell is owned by the thread that interned it; sharing one cell
+///     across threads is a contract violation (TSan will flag it). Keyed
+///     reads of a cell-backed name are only exact after its owner quiesces.
 class StatsRegistry {
  public:
-  void add_counter(const std::string& name, std::int64_t delta = 1) {
+  void add_counter(const std::string& name, std::int64_t delta = 1) VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     counters_[name] += delta;
   }
 
   /// Stable pointer to a counter's storage cell (the map is node-based, so
   /// later insertions never move it). Hot paths intern the cell once at
   /// construction and bump through the pointer — add_counter's string key
-  /// would allocate on every event for names beyond the SSO limit.
-  std::int64_t* counter_cell(const std::string& name) { return &counters_[name]; }
-  std::int64_t counter(const std::string& name) const {
+  /// would allocate on every event for names beyond the SSO limit. The cell
+  /// is single-writer: owned by the interning thread (see class comment).
+  std::int64_t* counter_cell(const std::string& name) VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return &counters_[name];
+  }
+  std::int64_t counter(const std::string& name) const VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
 
-  void add_sample(const std::string& name, double x) { summaries_[name].add(x); }
-  const Summary& summary(const std::string& name) const {
-    static const Summary empty;
+  void add_sample(const std::string& name, double x) VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    summaries_[name].add(x);
+  }
+  Summary summary(const std::string& name) const VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     auto it = summaries_.find(name);
-    return it == summaries_.end() ? empty : it->second;
+    return it == summaries_.end() ? Summary{} : it->second;
   }
 
   /// Log2-bucketed distribution (RTTs, queue depths, latencies). Like the
   /// counters, hist cells live in a node-based map: hot paths intern the
   /// pointer once and add() through it without touching the string key.
-  void observe(const std::string& name, std::int64_t v) { hists_[name].add(v); }
-  obs::Histogram* hist_cell(const std::string& name) { return &hists_[name]; }
-  const obs::Histogram& hist(const std::string& name) const {
-    static const obs::Histogram empty;
+  void observe(const std::string& name, std::int64_t v) VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    hists_[name].add(v);
+  }
+  obs::Histogram* hist_cell(const std::string& name) VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return &hists_[name];
+  }
+  obs::Histogram hist(const std::string& name) const VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     auto it = hists_.find(name);
-    return it == hists_.end() ? empty : it->second;
+    return it == hists_.end() ? obs::Histogram{} : it->second;
   }
 
-  const std::map<std::string, std::int64_t>& counters() const { return counters_; }
-  const std::map<std::string, Summary>& summaries() const { return summaries_; }
-  const std::map<std::string, obs::Histogram>& hists() const { return hists_; }
+  /// Consistent point-in-time copies (what obs::snapshot renders). Each map
+  /// is copied under the lock; cell-backed series include whatever their
+  /// owning threads have published so far.
+  std::map<std::string, std::int64_t> counters() const VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return counters_;
+  }
+  std::map<std::string, Summary> summaries() const VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return summaries_;
+  }
+  std::map<std::string, obs::Histogram> hists() const VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return hists_;
+  }
 
-  void reset() {
+  /// Invalidates every previously interned cell pointer; callers must
+  /// re-intern (only used between runs, never while workers are live).
+  void reset() VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     counters_.clear();
     summaries_.clear();
     hists_.clear();
   }
 
  private:
-  std::map<std::string, std::int64_t> counters_;
-  std::map<std::string, Summary> summaries_;
-  std::map<std::string, obs::Histogram> hists_;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::int64_t> counters_ VEDR_GUARDED_BY(mu_);
+  std::map<std::string, Summary> summaries_ VEDR_GUARDED_BY(mu_);
+  std::map<std::string, obs::Histogram> hists_ VEDR_GUARDED_BY(mu_);
 };
 
 }  // namespace vedr::sim

@@ -16,7 +16,7 @@ void PortTelemetry::on_enqueue(const FlowKey& flow, std::int64_t bytes, Tick now
 
   // Queue-ahead accounting: every packet of another flow currently queued is
   // a packet this flow's packet waits behind.
-  for (const auto& [other, cnt] : in_queue_) {
+  for (const auto& [other, cnt] : in_queue_) {  // vedr-lint: allow(unordered-iter): commutative += into maps keyed by (flow, other)
     if (other == flow || cnt == 0) continue;
     wait_[flow][other] += cnt;
     wait_last_[flow][other] = now;
@@ -76,10 +76,10 @@ PortReport PortTelemetry::snapshot(PortRef self, Tick now, Tick since) const {
   r.currently_paused = paused_;
   r.total_pause_time = total_pause_time(now);
 
-  for (const auto& [key, fe] : flows_) {
+  for (const auto& [key, fe] : flows_) {  // vedr-lint: allow(unordered-iter): r.flows is sorted before return below
     if (fe.last_seen >= since) r.flows.push_back(fe);
   }
-  for (const auto& [waiter, row] : wait_) {
+  for (const auto& [waiter, row] : wait_) {  // vedr-lint: allow(unordered-iter): r.waits is sorted before return below
     auto last_row = wait_last_.find(waiter);
     for (const auto& [ahead, w] : row) {
       Tick last = sim::kNever;
@@ -118,7 +118,7 @@ void SwitchTelemetry::record_ttl_drop(const FlowKey& flow, PortId egress, Tick n
 
 std::vector<DropEntry> SwitchTelemetry::drops_since(Tick since) const {
   std::vector<DropEntry> out;
-  for (const auto& [flow, d] : drops_)
+  for (const auto& [flow, d] : drops_)  // vedr-lint: allow(unordered-iter): sorted by flow before return below
     if (d.last_drop >= since) out.push_back(d);
   std::sort(out.begin(), out.end(),
             [](const DropEntry& a, const DropEntry& b) { return a.flow < b.flow; });

@@ -18,8 +18,9 @@ std::size_t count_occurrences(const std::string& haystack, const std::string& ne
   return n;
 }
 
-sim::StatsRegistry make_registry() {
-  sim::StatsRegistry stats;
+// StatsRegistry is pinned in place (it owns a mutex), so the fixture fills a
+// caller-owned instance instead of returning one.
+void fill_registry(sim::StatsRegistry& stats) {
   stats.add_counter("overhead.poll_bytes", 1200);
   stats.add_counter("replay.frames", 56);
   stats.add_sample("queue.depth", 4.0);
@@ -27,11 +28,16 @@ sim::StatsRegistry make_registry() {
   stats.observe("diag.latency_ns", 900);     // bucket 10 (512..1023)
   stats.observe("diag.latency_ns", 1000);    // bucket 10
   stats.observe("diag.latency_ns", 70000);   // bucket 17 (65536..131071)
-  return stats;
+}
+
+MetricsSnapshot filled_snapshot() {
+  sim::StatsRegistry stats;
+  fill_registry(stats);
+  return snapshot(stats);
 }
 
 TEST(MetricsSnapshot, CapturesAllThreeKinds) {
-  const MetricsSnapshot snap = snapshot(make_registry());
+  const MetricsSnapshot snap = filled_snapshot();
   EXPECT_FALSE(snap.empty());
   EXPECT_EQ(snap.counters.at("overhead.poll_bytes"), 1200);
   EXPECT_EQ(snap.counters.at("replay.frames"), 56);
@@ -41,7 +47,8 @@ TEST(MetricsSnapshot, CapturesAllThreeKinds) {
 }
 
 TEST(MetricsSnapshot, IsIndependentOfTheRegistryAfterwards) {
-  sim::StatsRegistry stats = make_registry();
+  sim::StatsRegistry stats;
+  fill_registry(stats);
   const MetricsSnapshot snap = snapshot(stats);
   stats.add_counter("replay.frames", 100);
   stats.observe("diag.latency_ns", 5);
@@ -50,7 +57,7 @@ TEST(MetricsSnapshot, IsIndependentOfTheRegistryAfterwards) {
 }
 
 TEST(PrometheusExport, SanitizesNamesAndTypesSeries) {
-  const std::string text = to_prometheus(snapshot(make_registry()));
+  const std::string text = to_prometheus(filled_snapshot());
   EXPECT_NE(text.find("# TYPE vedr_overhead_poll_bytes counter\n"), std::string::npos) << text;
   EXPECT_NE(text.find("vedr_overhead_poll_bytes 1200\n"), std::string::npos);
   EXPECT_NE(text.find("# TYPE vedr_queue_depth gauge\n"), std::string::npos);
@@ -63,7 +70,7 @@ TEST(PrometheusExport, SanitizesNamesAndTypesSeries) {
 }
 
 TEST(PrometheusExport, HistogramBucketsAreCumulativeAndEndAtInf) {
-  const std::string text = to_prometheus(snapshot(make_registry()));
+  const std::string text = to_prometheus(filled_snapshot());
   // Two samples land in bucket 10 (le 1023) and one more in bucket 17
   // (le 131071); empty buckets between them are elided but the counts
   // stay cumulative. +Inf always equals the total count.
@@ -78,7 +85,7 @@ TEST(PrometheusExport, HistogramBucketsAreCumulativeAndEndAtInf) {
 
 TEST(PrometheusExport, LabelsAttachToEverySeries) {
   const std::string text =
-      to_prometheus(snapshot(make_registry()), {{"scenario", "incast"}, {"case_id", "0"}});
+      to_prometheus(filled_snapshot(), {{"scenario", "incast"}, {"case_id", "0"}});
   EXPECT_NE(text.find("vedr_replay_frames{case_id=\"0\",scenario=\"incast\"} 56\n"),
             std::string::npos)
       << text;
@@ -96,7 +103,7 @@ TEST(PrometheusExport, EmptySnapshotYieldsEmptyText) {
 }
 
 TEST(JsonExport, RendersCountersSummariesAndHistograms) {
-  const std::string json = to_json(snapshot(make_registry()));
+  const std::string json = to_json(filled_snapshot());
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"overhead.poll_bytes\":1200"), std::string::npos) << json;
   EXPECT_NE(json.find("\"summaries\""), std::string::npos);

@@ -5,6 +5,7 @@
 // boundaries and payload midpoints; they run under the ASan/UBSan build in
 // CI, so any UB in the decode path is fatal.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -113,14 +114,18 @@ class CorruptionTest : public ::testing::Test {
  protected:
   void SetUp() override {
     dir_ = ::testing::TempDir();
-    valid_path_ = dir_ + "/valid.vtrc";
+    // ctest runs each test case as its own process, in parallel, all sharing
+    // TempDir(); a per-process suffix keeps concurrent cases from tearing
+    // each other's files.
+    const std::string tag = std::to_string(::getpid());
+    valid_path_ = dir_ + "/valid." + tag + ".vtrc";
     bytes_ = make_valid_trace(valid_path_);
     ASSERT_GT(bytes_.size(), kFileHeaderBytes);
     boundaries_ = frame_boundaries(bytes_);
     // envelope + 7 streamed records + footer = 9 frames.
     ASSERT_EQ(boundaries_.size(), 10u);
     ASSERT_EQ(boundaries_.back(), bytes_.size());
-    mutant_path_ = dir_ + "/mutant.vtrc";
+    mutant_path_ = dir_ + "/mutant." + tag + ".vtrc";
   }
 
   TraceStatus pump_mutant(const std::string& body) {
