@@ -174,9 +174,14 @@ TraceStats trace_stats() {
   TraceStats s;
   s.threads = r.buffers.size();
   for (const auto& b : r.buffers) {
-    s.written += b->written();
-    s.dropped += b->dropped();
-    s.retained += b->retained();
+    // One load of written_ per buffer: separate written()/dropped()/retained()
+    // calls could each observe a different value while a recorder is live,
+    // tearing the written == retained + dropped invariant.
+    const std::uint64_t w = b->written();
+    const std::uint64_t cap = b->capacity();
+    s.written += w;
+    s.dropped += w > cap ? w - cap : 0;
+    s.retained += w < cap ? w : cap;
   }
   return s;
 }

@@ -54,8 +54,11 @@ class VEDR_THREAD_COMPATIBLE Summary {
 ///     allocation-free hot path: the returned pointer is stable (node-based
 ///     maps never move values) but the *cell contents* are unsynchronized.
 ///     A cell is owned by the thread that interned it; sharing one cell
-///     across threads is a contract violation (TSan will flag it). Keyed
-///     reads of a cell-backed name are only exact after its owner quiesces.
+///     across threads is a contract violation (TSan will flag it). Because
+///     cell writes are plain (non-atomic) stores, a keyed read or snapshot
+///     of a cell-backed name concurrent with its owner is a data race, not
+///     merely an inexact read — it is forbidden until the owning thread
+///     quiesces (joins, or provably stops touching the cell).
 class StatsRegistry {
  public:
   void add_counter(const std::string& name, std::int64_t delta = 1) VEDR_EXCLUDES(mu_) {
@@ -106,8 +109,9 @@ class StatsRegistry {
   }
 
   /// Consistent point-in-time copies (what obs::snapshot renders). Each map
-  /// is copied under the lock; cell-backed series include whatever their
-  /// owning threads have published so far.
+  /// is copied under the lock. Safe concurrent with keyed writers; if any
+  /// cell has been interned, copying races the owner's unlocked stores —
+  /// quiesce cell owners before snapshotting (see class comment).
   std::map<std::string, std::int64_t> counters() const VEDR_EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
     return counters_;
