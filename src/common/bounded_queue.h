@@ -1,0 +1,160 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace vedr::common {
+
+/// Counters a queue owner exposes as obs metrics (serve surfaces them per
+/// session as `serve.session.*`). Snapshot under the queue's lock, so the
+/// numbers are mutually consistent: pushed == popped + dropped + size.
+struct QueueStats {
+  std::uint64_t pushed = 0;       ///< items accepted into the queue
+  std::uint64_t popped = 0;       ///< items handed to a consumer
+  std::uint64_t dropped = 0;      ///< try_push rejections (queue full)
+  std::uint64_t blocked = 0;      ///< push() calls that had to wait for space
+  std::size_t size = 0;           ///< items currently queued
+  std::size_t high_watermark = 0; ///< max size ever observed
+};
+
+/// Bounded multi-producer / single-consumer FIFO with explicit backpressure.
+///
+/// The serve ingest plane puts one of these in front of every tenant session:
+/// transport threads produce decoded trace records, the session's shard
+/// worker consumes them. Two producer disciplines are offered and the caller
+/// picks per push:
+///
+///   * push(v)      lossless backpressure — blocks until space or close();
+///                  the default for file tailing, where the producer can
+///                  simply stop reading.
+///   * try_push(v)  lossy — a full queue rejects the item and accounts a
+///                  drop; for transports that must never stall (a live
+///                  socket whose peer outruns the consumer).
+///
+/// All state is guarded by one mutex (capability-checked); consumers block on
+/// a condition variable, so an idle queue costs nothing. The consumer side is
+/// written for a single consumer (the owning shard worker) but the lock makes
+/// concurrent pops safe too — FIFO order is only meaningful per producer and
+/// with one consumer.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    VEDR_CHECK(capacity > 0, "BoundedQueue capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Lossless producer: waits while full. Returns false (item not enqueued)
+  /// only when the queue was closed.
+  bool push(T v) VEDR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (items_.size() >= capacity_ && !closed_) {
+      ++stats_.blocked;
+      // condition_variable_any unlocks/relocks mu_ itself (Mutex is
+      // BasicLockable), so the guarded state below is always read held.
+      while (items_.size() >= capacity_ && !closed_) space_cv_.wait(mu_);
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(v));
+    ++stats_.pushed;
+    if (items_.size() > stats_.high_watermark) stats_.high_watermark = items_.size();
+    items_cv_.notify_one();
+    return true;
+  }
+
+  /// Lossy producer: never blocks. A full queue rejects the item and counts
+  /// it in QueueStats::dropped; a closed queue rejects without accounting a
+  /// drop (the stream is over, nothing was lost to capacity).
+  bool try_push(T v) VEDR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (closed_) return false;
+    if (items_.size() >= capacity_) {
+      ++stats_.dropped;
+      return false;
+    }
+    items_.push_back(std::move(v));
+    ++stats_.pushed;
+    if (items_.size() > stats_.high_watermark) stats_.high_watermark = items_.size();
+    items_cv_.notify_one();
+    return true;
+  }
+
+  /// Consumer: blocks until an item arrives or the queue is closed and
+  /// drained. Returns false exactly once per consumer at end of stream.
+  bool pop(T& out) VEDR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) items_cv_.wait(mu_);
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.popped;
+    space_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking consumer; false when currently empty (closed or not).
+  bool try_pop(T& out) VEDR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.popped;
+    space_cv_.notify_one();
+    return true;
+  }
+
+  /// Ends the stream: producers fail fast, blocked producers and consumers
+  /// wake. Items already queued stay poppable (close-then-drain shutdown).
+  void close() VEDR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    closed_ = true;
+    items_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  bool closed() const VEDR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const VEDR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return items_.size();
+  }
+
+  bool empty() const VEDR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return items_.empty();
+  }
+
+  QueueStats stats() const VEDR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    QueueStats s = stats_;
+    s.size = items_.size();
+    return s;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mu_;
+  /// Waits on the annotated Mutex directly (it satisfies BasicLockable); the
+  /// _any variant keeps the capability type visible to -Wthread-safety.
+  std::condition_variable_any items_cv_;
+  std::condition_variable_any space_cv_;
+  std::deque<T> items_ VEDR_GUARDED_BY(mu_);
+  bool closed_ VEDR_GUARDED_BY(mu_) = false;
+  QueueStats stats_ VEDR_GUARDED_BY(mu_);
+};
+
+}  // namespace vedr::common

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace vedr::common {
+
+/// The one audited thread-pool implementation in the tree. Two shapes:
+///
+///   * WorkerPool::parallel_for(n, threads, body) — the batch shape the
+///     scenario suite uses: spawn, claim indices lock-free with a fetch_add,
+///     join. Every index runs exactly once; joins order all body effects
+///     before the caller continues (the eval suite's safety argument).
+///
+///   * A persistent instance — the serve shape: `shards()` long-lived
+///     workers, each owning a FIFO task queue. post(shard, fn) enqueues onto
+///     one worker; tasks posted to the same shard run in order on the same
+///     thread, which is what lets a per-tenant analyzer session stay
+///     VEDR_SINGLE_THREADED while the daemon as a whole is concurrent.
+///
+/// Shutdown ordering: stop() (or the destructor) closes the queues, lets
+/// every already-queued task finish, then joins. Tasks must not post() after
+/// stop() begins; drain() gives a barrier for callers that need "everything
+/// posted so far has run".
+class WorkerPool {
+ public:
+  /// Spawns `shards` workers (clamped to >= 1).
+  explicit WorkerPool(int shards) {
+    if (shards < 1) shards = 1;
+    shards_.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) shards_.push_back(std::make_unique<Shard>());
+    for (int s = 0; s < shards; ++s)
+      threads_.emplace_back([this, s] { worker_loop(*shards_[static_cast<std::size_t>(s)]); });
+  }
+
+  ~WorkerPool() { stop(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Enqueues `fn` on shard `shard % shards()`. FIFO per shard; different
+  /// shards run concurrently. Returns false after stop() (task rejected).
+  bool post(std::size_t shard, std::function<void()> fn) {
+    Shard& sh = *shards_[shard % shards_.size()];
+    {
+      MutexLock lock(sh.mu);
+      if (sh.stopped) return false;
+      sh.tasks.push_back(std::move(fn));
+    }
+    sh.cv.notify_one();
+    return true;
+  }
+
+  /// Blocks until every task posted before the call has finished on every
+  /// shard. Safe to call from any non-worker thread.
+  void drain() {
+    for (auto& sh_ptr : shards_) {
+      Shard& sh = *sh_ptr;
+      MutexLock lock(sh.mu);
+      while (!sh.tasks.empty() || sh.running) sh.idle_cv.wait(sh.mu);
+    }
+  }
+
+  /// Runs queued tasks to completion, then joins all workers. Idempotent.
+  void stop() {
+    for (auto& sh_ptr : shards_) {
+      Shard& sh = *sh_ptr;
+      {
+        MutexLock lock(sh.mu);
+        sh.stopped = true;
+      }
+      sh.cv.notify_all();
+    }
+    for (auto& th : threads_)
+      if (th.joinable()) th.join();
+    threads_.clear();
+  }
+
+  /// Batch fan-out: runs body(i) for every i in [0, n) across `threads`
+  /// workers (0 = hardware concurrency). This is the extracted
+  /// run_scenario_suite work loop — claiming is a lock-free fetch_add, so
+  /// the pool never serializes behind a mutex; each index is handed to
+  /// exactly one worker and the joins publish every body effect to the
+  /// caller before parallel_for returns.
+  static void parallel_for(int n, int threads, const std::function<void(int)>& body) {
+    if (n <= 0) return;
+    if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+    if (threads > n) threads = n;
+    if (threads == 1) {
+      for (int i = 0; i < n; ++i) body(i);
+      return;
+    }
+    std::atomic<int> next{0};
+    auto worker = [&] {
+      while (true) {
+        const int idx = next.fetch_add(1, std::memory_order_relaxed);
+        if (idx >= n) return;
+        body(idx);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+ private:
+  /// Per-shard state lives behind its own mutex so shards never contend
+  /// with each other; `running` distinguishes "queue empty" from "idle" for
+  /// drain()'s barrier.
+  struct Shard {
+    Mutex mu;
+    std::condition_variable_any cv;       ///< task arrived / stop
+    std::condition_variable_any idle_cv;  ///< queue drained and worker idle
+    std::deque<std::function<void()>> tasks VEDR_GUARDED_BY(mu);
+    bool stopped VEDR_GUARDED_BY(mu) = false;
+    bool running VEDR_GUARDED_BY(mu) = false;
+  };
+
+  void worker_loop(Shard& sh) {
+    while (true) {
+      std::function<void()> task;
+      {
+        MutexLock lock(sh.mu);
+        while (sh.tasks.empty() && !sh.stopped) sh.cv.wait(sh.mu);
+        if (sh.tasks.empty()) {
+          // stopped and drained — tell drain() waiters before exiting.
+          sh.idle_cv.notify_all();
+          return;
+        }
+        task = std::move(sh.tasks.front());
+        sh.tasks.pop_front();
+        sh.running = true;
+      }
+      task();
+      {
+        MutexLock lock(sh.mu);
+        sh.running = false;
+        if (sh.tasks.empty()) sh.idle_cv.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace vedr::common

@@ -1,7 +1,6 @@
 #include "eval/experiment.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
 #include <thread>
 
@@ -9,6 +8,7 @@
 #include "baselines/hawkeye.h"
 #include "collective/runner.h"
 #include "common/digest.h"
+#include "common/worker_pool.h"
 #include "core/json_export.h"
 #include "core/vedrfolnir.h"
 #include "net/network.h"
@@ -326,24 +326,17 @@ std::vector<CaseResult> run_scenario_suite(ScenarioType type, int n_cases, Syste
   VEDR_LOG_DEBUG("eval", "suite %s x%d under %s on %d threads", to_string(type), n_cases,
                  to_string(system), threads);
 
-  // Lock-free work claim: each worker grabs the next case index with a
-  // fetch_add, so claiming never serializes the pool behind a mutex.
-  // Thread-safety argument (exercised by the TSan stress lane): fetch_add
-  // hands every index to exactly one worker, workers write disjoint
-  // results[idx] slots, and join() orders those writes before the caller's
-  // reads. Each run_case builds a private Simulator/Network, so the only
-  // cross-thread state it touches is the internally synchronized obs layer.
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    while (true) {
-      const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
-      if (idx >= specs.size()) return;
-      results[idx] = run_case(specs[idx], system, cfg);
-    }
-  };
-  std::vector<std::thread> pool;
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+  // Thread-safety argument (exercised by the TSan stress lane): the shared
+  // pool hands every index to exactly one worker, workers write disjoint
+  // results[idx] slots, and parallel_for's joins order those writes before
+  // the caller's reads. Each run_case builds a private Simulator/Network, so
+  // the only cross-thread state it touches is the internally synchronized
+  // obs layer.
+  common::WorkerPool::parallel_for(
+      n_cases, threads, [&](int idx) {
+        results[static_cast<std::size_t>(idx)] =
+            run_case(specs[static_cast<std::size_t>(idx)], system, cfg);
+      });
   return results;
 }
 

@@ -30,56 +30,64 @@ void StreamingCollector::build_from_envelope(const TraceEnvelope& env) {
   analyzer_->set_stats(&stats_);
 }
 
-ReplayResult StreamingCollector::replay(TraceReader& reader) {
-  ReplayResult result;
-  if (!reader.ok()) {
-    result.error = reader.error();
-    return result;
-  }
-
-  TraceRecord rec;
-  TraceStatus status;
-  std::uint64_t frame_offset = reader.bytes_read();
-  while ((status = reader.next(rec)) == TraceStatus::kOk) {
-    ++result.stats.frames;
-    const std::size_t slot = static_cast<std::size_t>(rec.type);
-    if (result.stats.by_type[slot] == 0) result.stats.first_offset[slot] = frame_offset;
-    result.stats.last_offset[slot] = frame_offset;
-    result.stats.by_type[slot] += 1;
-    frame_offset = reader.bytes_read();
-    switch (rec.type) {
-      case RecordType::kEnvelope:
-        result.envelope = std::get<TraceEnvelope>(rec.payload);
-        build_from_envelope(result.envelope);
-        break;
-      case RecordType::kStepRecord:
-        analyzer_->add_step_record(std::get<collective::StepRecord>(rec.payload));
-        break;
-      case RecordType::kPollRegistration: {
-        const auto& p = std::get<PollRegistration>(rec.payload);
-        analyzer_->register_poll(p.poll_id, p.flow, p.step);
-        break;
-      }
-      case RecordType::kSwitchReport:
-        analyzer_->on_switch_report(std::get<telemetry::SwitchReport>(rec.payload));
-        break;
-      case RecordType::kFooter:
-        result.have_footer = true;
-        result.footer = std::get<TraceFooter>(rec.payload);
-        break;
-      case RecordType::kPollTrigger:
-      case RecordType::kNotification:
-      case RecordType::kPauseCause:
-      case RecordType::kTtlDrop:
-        break;  // informational: counted above, never fed to a live analyzer
+void StreamingCollector::ingest(const TraceRecord& rec, std::uint64_t frame_offset) {
+  ++stats_in_.frames;
+  const std::size_t slot = static_cast<std::size_t>(rec.type);
+  if (stats_in_.by_type[slot] == 0) stats_in_.first_offset[slot] = frame_offset;
+  stats_in_.last_offset[slot] = frame_offset;
+  stats_in_.by_type[slot] += 1;
+  switch (rec.type) {
+    case RecordType::kEnvelope:
+      envelope_ = std::get<TraceEnvelope>(rec.payload);
+      build_from_envelope(envelope_);
+      break;
+    case RecordType::kStepRecord: {
+      const auto& r = std::get<collective::StepRecord>(rec.payload);
+      if (r.step > max_step_seen_) max_step_seen_ = r.step;
+      // A reader-fed stream always leads with the envelope, but a lossy
+      // serve ingest queue can shed it — then there is no analyzer to feed
+      // and the records are counted only (finalize() reports the loss via
+      // the footer cross-check).
+      if (analyzer_ != nullptr) analyzer_->add_step_record(r);
+      break;
     }
+    case RecordType::kPollRegistration: {
+      const auto& p = std::get<PollRegistration>(rec.payload);
+      if (analyzer_ != nullptr) analyzer_->register_poll(p.poll_id, p.flow, p.step);
+      break;
+    }
+    case RecordType::kSwitchReport:
+      if (analyzer_ != nullptr)
+        analyzer_->on_switch_report(std::get<telemetry::SwitchReport>(rec.payload));
+      break;
+    case RecordType::kFooter:
+      have_footer_ = true;
+      footer_ = std::get<TraceFooter>(rec.payload);
+      break;
+    case RecordType::kPollTrigger:
+    case RecordType::kNotification:
+    case RecordType::kPauseCause:
+    case RecordType::kTtlDrop:
+      break;  // informational: counted above, never fed to a live analyzer
   }
-  result.stats.bytes = reader.bytes_read();
+}
+
+core::Diagnosis StreamingCollector::diagnose() {
+  return analyzer_ != nullptr ? analyzer_->diagnose() : core::Diagnosis{};
+}
+
+ReplayResult StreamingCollector::finalize(const TraceError& error, std::uint64_t bytes) {
+  ReplayResult result;
+  stats_in_.bytes = bytes;
+  result.stats = stats_in_;
+  result.envelope = envelope_;
+  result.have_footer = have_footer_;
+  result.footer = footer_;
   stats_.add_counter("replay.frames", static_cast<std::int64_t>(result.stats.frames));
   stats_.add_counter("replay.bytes", static_cast<std::int64_t>(result.stats.bytes));
 
-  if (status != TraceStatus::kEof) {
-    result.error = reader.error();
+  if (error.status != TraceStatus::kOk && error.status != TraceStatus::kEof) {
+    result.error = error;
   } else if (result.have_footer) {
     // Frame-count cross-check: a frame-granular truncation that removed
     // whole records (every surviving frame intact) still disagrees with the
@@ -98,6 +106,9 @@ ReplayResult StreamingCollector::replay(TraceReader& reader) {
       }
     }
     if (result.error.status == TraceStatus::kOk) result.ok = true;
+  } else {
+    result.error = TraceError{TraceStatus::kTruncated, result.stats.bytes,
+                              "stream ends without a footer frame"};
   }
 
   if (analyzer_ != nullptr) {
@@ -109,6 +120,25 @@ ReplayResult StreamingCollector::replay(TraceReader& reader) {
                             result.diagnosis_json.size() == result.footer.diagnosis_json_bytes;
   }
   return result;
+}
+
+ReplayResult StreamingCollector::replay(TraceReader& reader) {
+  if (!reader.ok()) {
+    ReplayResult result;
+    result.error = reader.error();
+    return result;
+  }
+
+  TraceRecord rec;
+  TraceStatus status;
+  std::uint64_t frame_offset = reader.bytes_read();
+  while ((status = reader.next(rec)) == TraceStatus::kOk) {
+    ingest(rec, frame_offset);
+    frame_offset = reader.bytes_read();
+  }
+  TraceError end = reader.error();
+  if (status == TraceStatus::kEof) end = TraceError{};  // clean end
+  return finalize(end, reader.bytes_read());
 }
 
 }  // namespace vedr::replay

@@ -56,7 +56,18 @@ struct ReplayResult {
 /// analyzer would). Informational frames (poll triggers, notifications,
 /// pause causes, TTL drops) are counted but not fed to the analyzer, which
 /// never sees them live either.
-class StreamingCollector {
+///
+/// Two driving shapes share the same dispatch:
+///   * replay(reader) — one-shot: pump to end of stream, diagnose, verify.
+///   * ingest()/diagnose()/finalize() — streaming: the serve daemon feeds
+///     records as a tail-followed or socket transport delivers them and
+///     re-diagnoses mid-stream (diagnose() is re-callable; the analyzer
+///     re-finalizes only graphs that changed). finalize() then produces the
+///     same ReplayResult the one-shot path would have.
+///
+/// Threading: VEDR_SINGLE_THREADED like the Analyzer it owns — the daemon
+/// confines each collector to its session's shard worker.
+class VEDR_SINGLE_THREADED StreamingCollector {
  public:
   StreamingCollector();
   ~StreamingCollector();
@@ -65,6 +76,35 @@ class StreamingCollector {
   /// on a damaged stream (best effort over the frames that survived), but
   /// `ok` and `digest_matches` are only set for a complete, verified stream.
   ReplayResult replay(TraceReader& reader);
+
+  // --- streaming interface ---------------------------------------------------
+
+  /// Dispatches one decoded frame (read at `frame_offset`, for divergence
+  /// reporting). The first frame must be the envelope — the reader enforces
+  /// that structurally, so a record stream from TraceReader is always valid
+  /// input here.
+  void ingest(const TraceRecord& rec, std::uint64_t frame_offset);
+
+  bool have_envelope() const { return analyzer_ != nullptr; }
+  const TraceEnvelope& envelope() const { return envelope_; }
+  bool have_footer() const { return have_footer_; }
+  const TraceFooter& footer() const { return footer_; }
+  /// Frame/byte accounting over everything ingested so far (bytes is
+  /// maintained by finalize(); frames/offsets by ingest()).
+  const ReplayStats& ingest_stats() const { return stats_in_; }
+  /// Highest StepRecord step ingested so far (-1: none). The serve session
+  /// treats step s as closed once a record for a step > s arrives.
+  int max_step_seen() const { return max_step_seen_; }
+
+  /// Diagnoses everything ingested so far. Re-callable after further
+  /// ingest() calls — the per-step verdict stream is a sequence of these.
+  core::Diagnosis diagnose();
+
+  /// Completes the stream: final diagnosis, digest verification against the
+  /// footer, and the footer-count truncation cross-check. `error` is the
+  /// reader's terminal state (kOk/kEof for a clean end), `bytes` the total
+  /// bytes consumed.
+  ReplayResult finalize(const TraceError& error, std::uint64_t bytes);
 
   /// Valid after replay(); exposes the replayed graphs for DOT/JSON export.
   core::Analyzer* analyzer() { return analyzer_.get(); }
@@ -85,6 +125,13 @@ class StreamingCollector {
   std::unique_ptr<core::Analyzer> analyzer_;
   std::unordered_set<net::FlowKey, net::FlowKeyHash> cc_flows_;
   sim::StatsRegistry stats_;
+
+  // Streaming state (mirrors what replay() used to keep on its stack).
+  TraceEnvelope envelope_;
+  bool have_footer_ = false;
+  TraceFooter footer_;
+  ReplayStats stats_in_;
+  int max_step_seen_ = -1;
 };
 
 }  // namespace vedr::replay

@@ -26,6 +26,7 @@ const char* to_string(TraceStatus s) {
     case TraceStatus::kTruncated: return "truncated";
     case TraceStatus::kCrcMismatch: return "crc-mismatch";
     case TraceStatus::kBadRecord: return "bad-record";
+    case TraceStatus::kNeedMoreData: return "need-more-data";
   }
   return "?";
 }
@@ -37,7 +38,7 @@ std::string TraceError::str() const {
   return s;
 }
 
-TraceReader::TraceReader(const std::string& path) {
+TraceReader::TraceReader(const std::string& path, bool tail) : tail_(tail) {
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) {
     fail(TraceStatus::kIoError, 0, "open " + path + ": " + errno_str());
@@ -59,10 +60,26 @@ TraceStatus TraceReader::fail(TraceStatus status, std::uint64_t offset, std::str
   return error_.status;
 }
 
+TraceStatus TraceReader::need_more(std::uint64_t offset) {
+  // Writer mid-append: rewind to the frame boundary and clear stdio's
+  // latched EOF indicator so the retry actually re-reads. Never latches —
+  // fail() is not involved.
+  std::clearerr(file_);
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0)
+    return fail(TraceStatus::kIoError, offset, "tail rewind: " + errno_str());
+  return TraceStatus::kNeedMoreData;
+}
+
 void TraceReader::read_header() {
   char header[kFileHeaderBytes];
   const std::size_t got = std::fread(header, 1, sizeof header, file_);
   if (got != sizeof header) {
+    // Tail mode: a writer that has not finished the 12-byte header yet is
+    // not a corrupt file; next() retries until the header completes.
+    if (tail_ && std::ferror(file_) == 0) {
+      need_more(0);
+      return;
+    }
     fail(TraceStatus::kBadHeader, got, "file shorter than the 12-byte header");
     return;
   }
@@ -95,11 +112,18 @@ void TraceReader::read_header() {
     return;
   }
   bytes_ = kFileHeaderBytes;
+  header_parsed_ = true;
 }
 
 TraceStatus TraceReader::next(TraceRecord& out) {
   if (error_.status != TraceStatus::kOk) return error_.status;
   if (eof_) return TraceStatus::kEof;
+  if (!header_parsed_) {
+    // Tail mode deferred the header past a short initial read; retry it.
+    read_header();
+    if (error_.status != TraceStatus::kOk) return error_.status;
+    if (!header_parsed_) return TraceStatus::kNeedMoreData;
+  }
 
   const std::uint64_t frame_offset = bytes_;
   char prefix[kFramePrefixBytes];
@@ -107,14 +131,19 @@ TraceStatus TraceReader::next(TraceRecord& out) {
   if (got == 0) {
     if (std::ferror(file_) != 0)
       return fail(TraceStatus::kIoError, frame_offset, errno_str());
+    if (seen_footer_) {
+      eof_ = true;
+      return TraceStatus::kEof;
+    }
+    if (tail_) return need_more(frame_offset);
     eof_ = true;
-    if (!seen_footer_)
-      return fail(TraceStatus::kTruncated, frame_offset,
-                  "stream ends without a footer frame");
-    return TraceStatus::kEof;
+    return fail(TraceStatus::kTruncated, frame_offset,
+                "stream ends without a footer frame");
   }
-  if (got != sizeof prefix)
+  if (got != sizeof prefix) {
+    if (tail_ && std::ferror(file_) == 0) return need_more(frame_offset);
     return fail(TraceStatus::kTruncated, frame_offset, "file ends inside a frame prefix");
+  }
 
   ByteReader pr(std::string_view(prefix, sizeof prefix));
   const std::uint8_t type_byte = pr.u8();
@@ -124,12 +153,16 @@ TraceStatus TraceReader::next(TraceRecord& out) {
                 "frame payload length " + std::to_string(len) + " exceeds the format cap");
 
   payload_.resize(len);
-  if (len > 0 && std::fread(payload_.data(), 1, len, file_) != len)
+  if (len > 0 && std::fread(payload_.data(), 1, len, file_) != len) {
+    if (tail_ && std::ferror(file_) == 0) return need_more(frame_offset);
     return fail(TraceStatus::kTruncated, frame_offset, "file ends inside a frame payload");
+  }
 
   char crc_buf[kFrameCrcBytes];
-  if (std::fread(crc_buf, 1, sizeof crc_buf, file_) != sizeof crc_buf)
+  if (std::fread(crc_buf, 1, sizeof crc_buf, file_) != sizeof crc_buf) {
+    if (tail_ && std::ferror(file_) == 0) return need_more(frame_offset);
     return fail(TraceStatus::kTruncated, frame_offset, "file ends inside a frame CRC");
+  }
   ByteReader cr(std::string_view(crc_buf, sizeof crc_buf));
   const std::uint32_t stored = cr.u32();
   std::uint32_t state = crc32_update(kCrcInit, std::string_view(prefix, sizeof prefix));

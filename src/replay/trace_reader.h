@@ -24,6 +24,10 @@ enum class TraceStatus : std::uint8_t {
   kCrcMismatch,  ///< frame payload corrupt
   kBadRecord,    ///< frame decodes to an invalid record (unknown type,
                  ///< malformed payload, envelope/footer misplacement)
+  kNeedMoreData, ///< tail mode only: the stream ends mid-frame because the
+                 ///< writer is still appending. Retryable, never latched —
+                 ///< the reader rewinds to the frame boundary and the next
+                 ///< next() call resumes cleanly once bytes arrive.
 };
 
 const char* to_string(TraceStatus s);
@@ -41,11 +45,19 @@ struct TraceError {
 /// largest single frame (the payload buffer is reused); there is no
 /// load-the-whole-file path.
 ///
+/// Tail mode (`tail = true`) follows a file a writer is still appending to:
+/// a partial trailing frame (or a not-yet-complete header) is not corruption
+/// but a writer mid-append, so the reader rewinds to the last frame boundary
+/// and reports the retryable kNeedMoreData instead of latching a terminal
+/// kTruncated. Callers poll next() until the frame completes; a frame that
+/// is fully present but fails its CRC is still terminal in tail mode (the
+/// writer wrote garbage, waiting will not fix it).
+///
 /// Threading: owned by the replaying thread; FILE* position, the reused
 /// payload buffer, and the latched error are unsynchronized.
 class VEDR_SINGLE_THREADED TraceReader {
  public:
-  explicit TraceReader(const std::string& path);
+  explicit TraceReader(const std::string& path, bool tail = false);
   ~TraceReader();
 
   TraceReader(const TraceReader&) = delete;
@@ -57,19 +69,30 @@ class VEDR_SINGLE_THREADED TraceReader {
   std::uint16_t version() const { return version_; }
 
   /// Reads and decodes the next frame. Returns kOk with `out` filled, kEof
-  /// at a clean end of stream, or a terminal error (which latches: further
-  /// calls return the same error).
+  /// at a clean end of stream, kNeedMoreData in tail mode when the stream
+  /// currently ends mid-frame (retryable), or a terminal error (which
+  /// latches: further calls return the same error).
   TraceStatus next(TraceRecord& out);
+
+  bool tail() const { return tail_; }
+  /// Tail mode: the footer frame has been read — the stream is complete and
+  /// the next next() returns kEof.
+  bool saw_footer() const { return seen_footer_; }
 
   std::uint64_t frames_read() const { return frames_; }
   std::uint64_t bytes_read() const { return bytes_; }
 
  private:
   TraceStatus fail(TraceStatus status, std::uint64_t offset, std::string detail);
+  /// Rewinds to `offset` and clears stdio's latched EOF so a future read
+  /// retries; the retryable not-enough-bytes-yet result in tail mode.
+  TraceStatus need_more(std::uint64_t offset);
   void read_header();
 
   std::FILE* file_ = nullptr;
   TraceError error_;
+  bool tail_ = false;
+  bool header_parsed_ = false;
   bool eof_ = false;
   std::uint16_t version_ = 0;
   std::uint64_t frames_ = 0;

@@ -1,0 +1,130 @@
+#include "serve/http.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vedr::serve {
+namespace {
+
+constexpr int kAcceptPollMs = 200;   ///< stop() latency bound
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a scraper that hangs up mid-response must not SIGPIPE
+    // the daemon.
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool HttpListener::start(std::uint16_t port, std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // observability is loopback-only
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    if (error != nullptr) *error = std::string("bind/listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void HttpListener::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpListener::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0) continue;  // timeout (re-check stop) or transient error
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_client(client);
+    ::close(client);
+  }
+}
+
+void HttpListener::handle_client(int fd) {
+  // Scrapers send the whole request in one segment in practice, but read
+  // until the header terminator anyway, bounded by poll so a stalled client
+  // cannot wedge the listener.
+  std::string req;
+  while (req.size() < kMaxRequestBytes && req.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, 1000) <= 0) break;
+    char buf[1024];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse resp;
+  const std::size_t sp1 = req.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                   : req.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp.status = 405;
+    resp.body = "malformed request\n";
+  } else if (req.compare(0, sp1, "GET") != 0) {
+    resp.status = 405;
+    resp.body = "only GET is supported\n";
+  } else {
+    resp = handler_(req.substr(sp1 + 1, sp2 - sp1 - 1));
+  }
+
+  std::string out = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                    reason_phrase(resp.status) + "\r\nContent-Type: " +
+                    resp.content_type + "\r\nContent-Length: " +
+                    std::to_string(resp.body.size()) + "\r\nConnection: close\r\n\r\n";
+  out += resp.body;
+  send_all(fd, out);
+}
+
+}  // namespace vedr::serve

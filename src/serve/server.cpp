@@ -1,0 +1,169 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/json_export.h"
+
+namespace vedr::serve {
+
+Server::Server(const ServerConfig& cfg, VerdictSink* sink)
+    : cfg_(cfg), sink_(sink), pool_(cfg.shards) {}
+
+Server::~Server() { shutdown(); }
+
+std::uint64_t Server::open_session(const std::string& tenant) {
+  common::MutexLock lock(mu_);
+  const std::uint64_t id = next_id_++;
+  // Shard by id, not tenant hash: ids are dense, so sessions spread evenly.
+  const std::size_t shard = static_cast<std::size_t>(id) %
+                            static_cast<std::size_t>(pool_.shards());
+  sessions_.emplace(id, std::make_unique<Session>(id, tenant, shard, cfg_.session));
+  ++open_count_;
+  stats_.add_counter("serve.sessions_opened");
+  return id;
+}
+
+Session* Server::find_session(std::uint64_t sid) const {
+  common::MutexLock lock(mu_);
+  const auto it = sessions_.find(sid);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+bool Server::offer(std::uint64_t sid, replay::TraceRecord rec, std::uint64_t offset) {
+  Session* s = find_session(sid);
+  if (s == nullptr) return false;
+  // offer() may block on backpressure — never under mu_.
+  const bool accepted = s->offer(std::move(rec), offset);
+  schedule_pump(s);  // even a drop warrants a pump: the queue is full
+  return accepted;
+}
+
+void Server::close_session(std::uint64_t sid, const replay::TraceError& error,
+                           std::uint64_t bytes) {
+  Session* s = find_session(sid);
+  if (s == nullptr) return;
+  s->close_input(error, bytes);
+  schedule_pump(s);  // the finalizing pump
+}
+
+void Server::schedule_pump(Session* s) {
+  // One pending pump per session: armed here, cleared on task entry, so a
+  // record offered mid-pump always produces a follow-up task.
+  if (s->pump_pending().exchange(true, std::memory_order_acq_rel)) return;
+  if (!pool_.post(s->shard(), [this, s] { pump_task(s); }))
+    s->pump_pending().store(false, std::memory_order_release);  // pool stopped
+}
+
+void Server::pump_task(Session* s) {
+  s->pump_pending().store(false, std::memory_order_release);
+  const PumpResult r = s->pump(*sink_, stats_);
+  if (r == PumpResult::kFinishedNow) {
+    common::MutexLock lock(mu_);
+    --open_count_;
+    finished_cv_.notify_all();
+  } else if (r == PumpResult::kMore) {
+    schedule_pump(s);  // batch limit hit with records still queued
+  }
+}
+
+bool Server::all_finished() const {
+  common::MutexLock lock(mu_);
+  return open_count_ == 0;
+}
+
+void Server::wait_all_finished() {
+  common::MutexLock lock(mu_);
+  while (open_count_ > 0) finished_cv_.wait(mu_);
+}
+
+void Server::shutdown() {
+  {
+    common::MutexLock lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    // Release producers blocked on full queues; queued items stay poppable,
+    // so the drain below still ingests everything already accepted.
+    for (auto& [id, s] : sessions_) s->abort_queue();
+  }
+  pool_.drain();
+  pool_.stop();
+}
+
+bool Server::healthy() const {
+  common::MutexLock lock(mu_);
+  return !shutdown_;
+}
+
+obs::MetricsSnapshot Server::metrics_snapshot() const {
+  obs::MetricsSnapshot snap = obs::snapshot(stats_);
+
+  std::uint64_t pushed = 0, popped = 0, dropped = 0, blocked = 0;
+  std::uint64_t depth = 0, high_watermark = 0, frames = 0, verdicts = 0;
+  std::int64_t total = 0, active = 0;
+  {
+    common::MutexLock lock(mu_);
+    for (const auto& [id, s] : sessions_) {
+      const common::QueueStats q = s->queue_stats();
+      pushed += q.pushed;
+      popped += q.popped;
+      dropped += q.dropped;
+      blocked += q.blocked;
+      depth += q.size;
+      high_watermark = std::max<std::uint64_t>(high_watermark, q.high_watermark);
+      frames += s->frames_ingested();
+      verdicts += s->verdicts_emitted();
+      ++total;
+      if (s->state() == SessionState::kActive) ++active;
+    }
+  }
+  snap.counters["serve.sessions_total"] = total;
+  snap.counters["serve.sessions_open"] = active;
+  snap.counters["serve.queue_pushed"] = static_cast<std::int64_t>(pushed);
+  snap.counters["serve.queue_popped"] = static_cast<std::int64_t>(popped);
+  snap.counters["serve.queue_dropped"] = static_cast<std::int64_t>(dropped);
+  snap.counters["serve.queue_blocked"] = static_cast<std::int64_t>(blocked);
+  snap.counters["serve.queue_depth"] = static_cast<std::int64_t>(depth);
+  snap.counters["serve.queue_high_watermark"] = static_cast<std::int64_t>(high_watermark);
+  snap.counters["serve.frames_ingested"] = static_cast<std::int64_t>(frames);
+  snap.counters["serve.verdicts_emitted"] = static_cast<std::int64_t>(verdicts);
+  return snap;
+}
+
+std::string Server::prometheus() const {
+  return obs::to_prometheus(metrics_snapshot(), {{"service", "vedr_serve"}});
+}
+
+std::string Server::sessions_json() const {
+  std::string out = "{\"sessions\":[";
+  bool first = true;
+  common::MutexLock lock(mu_);
+  for (const auto& [id, s] : sessions_) {
+    const common::QueueStats q = s->queue_stats();
+    const SessionState st = s->state();
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + std::to_string(id) + ",\"tenant\":\"" +
+           core::json::escape(s->tenant()) + "\",\"shard\":" +
+           std::to_string(s->shard()) + ",\"state\":\"" + to_string(st) +
+           "\",\"frames\":" + std::to_string(s->frames_ingested()) +
+           ",\"steps_closed\":" + std::to_string(s->steps_closed()) +
+           ",\"verdicts\":" + std::to_string(s->verdicts_emitted()) +
+           ",\"digest_match\":" + (st != SessionState::kActive && s->digest_matched()
+                                       ? "true" : "false") +
+           ",\"error\":\"" +
+           core::json::escape(st == SessionState::kError ? s->final_error()
+                                                         : std::string()) +
+           "\",\"queue\":{\"size\":" + std::to_string(q.size) +
+           ",\"capacity\":" + std::to_string(s->config().queue_capacity) +
+           ",\"pushed\":" + std::to_string(q.pushed) +
+           ",\"popped\":" + std::to_string(q.popped) +
+           ",\"dropped\":" + std::to_string(q.dropped) +
+           ",\"blocked\":" + std::to_string(q.blocked) +
+           ",\"high_watermark\":" + std::to_string(q.high_watermark) + "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace vedr::serve

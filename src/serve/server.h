@@ -1,0 +1,114 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/worker_pool.h"
+#include "obs/metrics.h"
+#include "serve/session.h"
+#include "serve/verdict.h"
+#include "sim/stats.h"
+
+namespace vedr::serve {
+
+struct ServerConfig {
+  int shards = 2;          ///< shard workers (sessions hash onto these)
+  SessionConfig session;   ///< per-session queue bound / overflow policy
+};
+
+/// The serve daemon's core: many tenant sessions multiplexed onto a sharded
+/// worker pool. Transports (file tailers, tests, the bench) open a session,
+/// offer() decoded records, and close it; the owning shard worker pumps the
+/// session's analyzer and emits verdict lines to the shared sink. Everything
+/// observable (/metrics, /sessions, /healthz bodies) reads only atomics,
+/// queue snapshots, and the keyed StatsRegistry — all safe while ingestion
+/// is running at full tilt.
+///
+/// Scheduling: each session has a single pending-pump slot (an atomic flag).
+/// offer()/close_session() arm it; the shard worker clears it on task entry,
+/// so a record arriving mid-pump always gets a follow-up pump. Per-shard
+/// FIFO means pumps for one session never overlap — the analyzer underneath
+/// stays single-threaded without ever taking a lock on the hot path.
+///
+/// Shutdown ordering (shutdown(), also run by the destructor): abort every
+/// session queue (releasing producers blocked on backpressure), drain the
+/// pool so in-flight pumps settle, then stop the workers. Transports should
+/// be stopped by the caller first; late offer()s fail harmlessly against
+/// the closed queues.
+class Server {
+ public:
+  /// `sink` receives every verdict line from every shard (it must be
+  /// shard-concurrent-safe, e.g. FileVerdictSink) and must outlive shutdown.
+  Server(const ServerConfig& cfg, VerdictSink* sink);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const ServerConfig& config() const { return cfg_; }
+
+  // --- transport side --------------------------------------------------------
+
+  /// Registers a tenant stream; returns its session id (never reused).
+  std::uint64_t open_session(const std::string& tenant);
+
+  /// Enqueues one record for `sid` and schedules its shard pump. Blocking or
+  /// lossy per the configured OverflowPolicy (see Session::offer). False for
+  /// an unknown sid, a dropped record, or an aborted queue.
+  bool offer(std::uint64_t sid, replay::TraceRecord rec, std::uint64_t offset);
+
+  /// The transport finished (footer reached, stream error, or stop); the
+  /// session finalizes after draining what is queued.
+  void close_session(std::uint64_t sid, const replay::TraceError& error,
+                     std::uint64_t bytes);
+
+  /// Sessions are never erased while the server lives, so the pointer stays
+  /// valid until destruction. nullptr for an unknown id.
+  Session* find_session(std::uint64_t sid) const VEDR_EXCLUDES(mu_);
+
+  // --- lifecycle -------------------------------------------------------------
+
+  bool all_finished() const VEDR_EXCLUDES(mu_);
+  /// Blocks until every opened session reached kFinished/kError. Only
+  /// returns if every transport eventually closes its session.
+  void wait_all_finished() VEDR_EXCLUDES(mu_);
+  /// Releases blocked producers, settles in-flight pumps, stops the workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown() VEDR_EXCLUDES(mu_);
+
+  // --- observability ---------------------------------------------------------
+
+  sim::StatsRegistry& stats() { return stats_; }
+  bool healthy() const VEDR_EXCLUDES(mu_);
+  /// Keyed registry snapshot plus live aggregates over every session's queue
+  /// (depth, drops, blocks, high watermark) and state counts.
+  obs::MetricsSnapshot metrics_snapshot() const VEDR_EXCLUDES(mu_);
+  std::string prometheus() const;
+  /// /sessions body: one JSON object per session with ingest/queue counters.
+  std::string sessions_json() const VEDR_EXCLUDES(mu_);
+
+ private:
+  void schedule_pump(Session* s);
+  void pump_task(Session* s);
+
+  const ServerConfig cfg_;
+  VerdictSink* const sink_;
+  /// Keyed-only writes from the shard workers (observe/add_counter by name),
+  /// so snapshotting concurrently is lossless and race-free.
+  sim::StatsRegistry stats_;
+  common::WorkerPool pool_;
+
+  mutable common::Mutex mu_;
+  std::condition_variable_any finished_cv_;
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_ VEDR_GUARDED_BY(mu_);
+  std::uint64_t next_id_ VEDR_GUARDED_BY(mu_) = 1;
+  std::size_t open_count_ VEDR_GUARDED_BY(mu_) = 0;  ///< sessions still kActive
+  bool shutdown_ VEDR_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace vedr::serve

@@ -1,0 +1,122 @@
+#include "serve/session.h"
+
+#include <algorithm>
+
+#include "core/json_export.h"
+#include "obs/trace.h"  // wall_now_ns
+
+namespace vedr::serve {
+
+const char* to_string(SessionState s) {
+  switch (s) {
+    case SessionState::kActive: return "active";
+    case SessionState::kFinished: return "finished";
+    case SessionState::kError: return "error";
+  }
+  return "?";
+}
+
+PumpResult Session::pump(VerdictSink& sink, sim::StatsRegistry& stats) {
+  if (state() != SessionState::kActive) return PumpResult::kIdle;
+
+  IngestItem item;
+  int n = 0;
+  while (n < cfg_.pump_batch && queue_.try_pop(item)) {
+    collector_.ingest(item.rec, item.offset);
+    bytes_seen_ = item.offset;  // frame-start offset of the newest frame
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    ++n;
+    // The footer is structurally the last frame; stop slicing and finalize.
+    if (collector_.have_footer()) break;
+  }
+  if (n > 0) emit_step_verdicts(sink, stats);
+
+  // Finalize once the stream is complete (footer ingested, queue drained) or
+  // the transport gave up (error / shutdown) with nothing left to ingest.
+  // Checking input_closed_ only after draining keeps the close_input() race
+  // benign: a pump scheduled for the close always sees the empty queue.
+  const bool drained = queue_.empty();
+  if (drained &&
+      (collector_.have_footer() || input_closed_.load(std::memory_order_acquire))) {
+    finish(sink, stats);
+    return PumpResult::kFinishedNow;
+  }
+  return drained ? PumpResult::kIdle : PumpResult::kMore;
+}
+
+void Session::emit_step_verdicts(VerdictSink& sink, sim::StatsRegistry& stats) {
+  if (!collector_.have_envelope()) return;
+  const int max_step = collector_.max_step_seen();
+  // Steps are recorded in order, so step s is closed once a record for a
+  // later step arrived; the footer closes the frontier entirely.
+  const int closed = collector_.have_footer() ? max_step : max_step - 1;
+  if (closed <= last_closed_step_) return;
+  if (!cfg_.emit_step_verdicts) {
+    last_closed_step_ = closed;
+    steps_closed_.store(closed, std::memory_order_relaxed);
+    return;
+  }
+
+  const std::uint64_t t0 = obs::wall_now_ns();
+  const core::Diagnosis d = collector_.diagnose();
+  stats.observe("serve.step_diagnose_ns",
+                static_cast<std::int64_t>(obs::wall_now_ns() - t0));
+
+  for (int s = last_closed_step_ + 1; s <= closed; ++s) {
+    std::string line = "{\"type\":\"step\",\"session\":" + std::to_string(id_) +
+                       ",\"tenant\":\"" + core::json::escape(tenant_) +
+                       "\",\"step\":" + std::to_string(s) + ",\"critical_flow\":";
+    const bool have_cf = s >= 0 && s < static_cast<int>(d.critical_flow_per_step.size());
+    line += std::to_string(have_cf ? d.critical_flow_per_step[static_cast<std::size_t>(s)]
+                                   : -1);
+    line += ",\"findings\":[";
+    bool first = true;
+    for (const auto& f : d.findings) {
+      if (f.step != s) continue;
+      if (!first) line += ',';
+      first = false;
+      line += core::json::finding_to_json(f);
+    }
+    line += "]}";
+    sink.on_verdict(line);
+    verdicts_.fetch_add(1, std::memory_order_relaxed);
+    stats.add_counter("serve.step_verdicts");
+  }
+  last_closed_step_ = closed;
+  steps_closed_.store(closed, std::memory_order_relaxed);
+}
+
+void Session::finish(VerdictSink& sink, sim::StatsRegistry& stats) {
+  replay::TraceError end;  // kOk: the footer path can finish before close_input()
+  std::uint64_t bytes = bytes_seen_;
+  if (input_closed_.load(std::memory_order_acquire)) {
+    end = transport_error_;
+    bytes = std::max(bytes, final_bytes_hint_);
+  }
+  const replay::ReplayResult r = collector_.finalize(end, bytes);
+  const std::string err = r.ok ? std::string() : r.error.str();
+
+  std::string line = "{\"type\":\"final\",\"session\":" + std::to_string(id_) +
+                     ",\"tenant\":\"" + core::json::escape(tenant_) + "\",\"state\":\"" +
+                     (r.ok ? "finished" : "error") + "\",\"ok\":" +
+                     (r.ok ? "true" : "false") + ",\"digest_match\":" +
+                     (r.digest_matches ? "true" : "false") +
+                     ",\"frames\":" + std::to_string(r.stats.frames) +
+                     ",\"dropped\":" + std::to_string(queue_.stats().dropped) +
+                     ",\"error\":\"" + core::json::escape(err) + "\",\"diagnosis\":";
+  // diagnosis_json is the canonical deterministic export — splice it raw so
+  // the daemon's final verdict is byte-comparable with batch vedr_replay.
+  line += r.diagnosis_json.empty() ? "null" : r.diagnosis_json;
+  line += '}';
+  sink.on_verdict(line);
+  verdicts_.fetch_add(1, std::memory_order_relaxed);
+
+  stats.add_counter(r.ok ? "serve.sessions_finished" : "serve.sessions_error");
+  digest_matched_.store(r.digest_matches, std::memory_order_release);
+  final_error_ = err;
+  state_.store(static_cast<std::uint8_t>(r.ok ? SessionState::kFinished
+                                              : SessionState::kError),
+               std::memory_order_release);
+}
+
+}  // namespace vedr::serve

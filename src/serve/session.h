@@ -1,0 +1,167 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/bounded_queue.h"
+#include "common/thread_annotations.h"
+#include "replay/collector.h"
+#include "replay/trace_reader.h"
+#include "serve/verdict.h"
+#include "sim/stats.h"
+
+namespace vedr::serve {
+
+/// What a full ingest queue does to the producer.
+enum class OverflowPolicy : std::uint8_t {
+  kBlock,      ///< lossless backpressure: offer() blocks until space
+  kDropNewest, ///< lossy: offer() rejects and the queue accounts a drop
+};
+
+enum class SessionState : std::uint8_t {
+  kActive = 0,  ///< ingesting (or waiting for the transport to deliver)
+  kFinished,    ///< stream completed through its footer; final verdict emitted
+  kError,       ///< transport or stream error; final best-effort verdict emitted
+};
+
+const char* to_string(SessionState s);
+
+struct SessionConfig {
+  /// Records buffered per tenant. Sized so one full burst of the largest
+  /// expected trace fits even if the shard pump is starved for a scheduler
+  /// quantum; drop-policy tenants shed load only past this bound.
+  std::size_t queue_capacity = 4096;
+  OverflowPolicy policy = OverflowPolicy::kBlock;
+  int pump_batch = 256;               ///< max records ingested per pump slice
+  bool emit_step_verdicts = true;     ///< per-step lines, not just the final one
+};
+
+/// What one pump() call accomplished — the server's scheduler keys off this.
+enum class PumpResult : std::uint8_t {
+  kIdle,         ///< nothing to do (queue empty, stream still open)
+  kMore,         ///< batch limit hit with records still queued — re-schedule
+  kFinishedNow,  ///< this call completed the session (count it exactly once)
+};
+
+/// One tenant's streaming diagnosis session: a bounded ingest queue in front
+/// of a StreamingCollector-backed analyzer. Producers (transport threads)
+/// call offer()/close_input() from anywhere; pump() — ingestion, incremental
+/// diagnosis, verdict emission — must only run on the session's shard worker
+/// (the collector and analyzer underneath are VEDR_SINGLE_THREADED; the
+/// server's per-shard FIFO provides the confinement). The atomics below are
+/// the only cross-thread snapshot surface (/sessions, /metrics).
+class Session {
+ public:
+  Session(std::uint64_t id, std::string tenant, std::size_t shard, const SessionConfig& cfg)
+      : id_(id), tenant_(std::move(tenant)), shard_(shard), cfg_(cfg),
+        queue_(cfg.queue_capacity) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  const std::string& tenant() const { return tenant_; }
+  std::size_t shard() const { return shard_; }
+  const SessionConfig& config() const { return cfg_; }
+
+  // --- producer side (any thread) -------------------------------------------
+
+  /// Enqueues one decoded record (read at byte `offset` of the transport
+  /// stream). kBlock: waits for space, false only if the queue was aborted.
+  /// kDropNewest: false means the record was dropped (accounted in
+  /// queue_stats().dropped).
+  bool offer(replay::TraceRecord rec, std::uint64_t offset) {
+    IngestItem item;
+    item.rec = std::move(rec);
+    item.offset = offset;
+    return cfg_.policy == OverflowPolicy::kBlock ? queue_.push(std::move(item))
+                                                 : queue_.try_push(std::move(item));
+  }
+
+  /// The transport is done (footer delivered, stream error, or shutdown).
+  /// `transport_error` default-constructed (kOk) for a clean end; `final_bytes`
+  /// the total bytes the transport consumed. The next pump() finalizes.
+  void close_input(const replay::TraceError& transport_error, std::uint64_t final_bytes) {
+    transport_error_ = transport_error;
+    final_bytes_hint_ = final_bytes;
+    input_closed_.store(true, std::memory_order_release);
+  }
+
+  /// Releases producers blocked on a full queue and rejects future offers;
+  /// part of server shutdown, after which a final pump() can still finalize.
+  void abort_queue() { queue_.close(); }
+
+  // --- shard-worker side ------------------------------------------------------
+
+  /// Ingests up to one batch, emits per-step verdicts for steps that closed,
+  /// and finalizes (final verdict + digest check) once the footer arrived
+  /// and the queue drained, or the transport closed the input. `stats` is
+  /// the server-wide registry (keyed writes only — safe from all shards).
+  PumpResult pump(VerdictSink& sink, sim::StatsRegistry& stats);
+
+  // --- cross-thread snapshot surface -----------------------------------------
+
+  SessionState state() const {
+    return static_cast<SessionState>(state_.load(std::memory_order_acquire));
+  }
+  common::QueueStats queue_stats() const { return queue_.stats(); }
+  bool queue_empty() const { return queue_.empty(); }
+  std::uint64_t frames_ingested() const { return frames_.load(std::memory_order_relaxed); }
+  /// Highest step already covered by an emitted verdict (-1: none yet).
+  int steps_closed() const { return steps_closed_.load(std::memory_order_relaxed); }
+  std::uint64_t verdicts_emitted() const { return verdicts_.load(std::memory_order_relaxed); }
+  /// Valid once state() != kActive.
+  bool digest_matched() const { return digest_matched_.load(std::memory_order_acquire); }
+  /// Valid once state() == kError (written before the state store).
+  const std::string& final_error() const { return final_error_; }
+
+  /// Server scheduling slot: set when a pump task is queued for this session
+  /// so at most one is ever pending (per-shard FIFO keeps pumps serial).
+  std::atomic<bool>& pump_pending() { return pump_pending_; }
+
+ private:
+  struct IngestItem {
+    replay::TraceRecord rec;
+    std::uint64_t offset = 0;
+  };
+
+  /// Re-diagnoses and emits one verdict line per newly closed step. A step s
+  /// is closed once a record for a later step arrived (collective steps are
+  /// emitted in order) or the footer ended the stream.
+  void emit_step_verdicts(VerdictSink& sink, sim::StatsRegistry& stats);
+  /// Final diagnosis + digest verification + final verdict line; moves the
+  /// session to kFinished/kError. Runs exactly once.
+  void finish(VerdictSink& sink, sim::StatsRegistry& stats);
+
+  const std::uint64_t id_;
+  const std::string tenant_;
+  const std::size_t shard_;
+  const SessionConfig cfg_;
+
+  common::BoundedQueue<IngestItem> queue_;
+
+  // Shard-confined (pump() only).
+  replay::StreamingCollector collector_;
+  int last_closed_step_ = -1;
+  std::uint64_t bytes_seen_ = 0;
+
+  // Written by the transport before the input_closed_ release-store; read by
+  // the shard worker after the acquire-load.
+  replay::TraceError transport_error_;
+  std::uint64_t final_bytes_hint_ = 0;
+  std::atomic<bool> input_closed_{false};
+
+  // Written by the shard worker before the state_ release-store; read by
+  // observers after the acquire-load.
+  std::string final_error_;
+  std::atomic<bool> digest_matched_{false};
+
+  std::atomic<std::uint8_t> state_{static_cast<std::uint8_t>(SessionState::kActive)};
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<int> steps_closed_{-1};
+  std::atomic<std::uint64_t> verdicts_{0};
+  std::atomic<bool> pump_pending_{false};
+};
+
+}  // namespace vedr::serve

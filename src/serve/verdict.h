@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace vedr::serve {
+
+/// Consumer of the daemon's verdict stream: one JSON object per line, emitted
+/// incrementally as collective steps close and once more when a session's
+/// stream ends. Implementations must be safe to call from every shard worker
+/// concurrently (the daemon emits from the shard that owns the session).
+class VerdictSink {
+ public:
+  virtual ~VerdictSink() = default;
+  /// `line` is a complete JSON object without the trailing newline.
+  virtual void on_verdict(const std::string& line) = 0;
+};
+
+/// Line-buffered sink onto a FILE* (stdout, or a verdict log). A mutex makes
+/// each line atomic — verdicts from different shards interleave only at line
+/// granularity, never mid-line.
+class FileVerdictSink : public VerdictSink {
+ public:
+  /// Does not own `out` (pass stdout, or an fopen'd log the caller closes
+  /// after the server has shut down).
+  explicit FileVerdictSink(std::FILE* out) : out_(out) {}
+
+  void on_verdict(const std::string& line) override VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fputc('\n', out_);
+    std::fflush(out_);  // verdicts are consumed live; don't sit in stdio buffers
+  }
+
+ private:
+  common::Mutex mu_;
+  std::FILE* out_ VEDR_PT_GUARDED_BY(mu_);
+};
+
+}  // namespace vedr::serve

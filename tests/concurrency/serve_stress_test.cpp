@@ -1,0 +1,157 @@
+// Serve-plane stress for the TSan lane: many tenants ingest golden-corpus
+// streams concurrently while a poller hammers the observability surface
+// (/metrics Prometheus text, /sessions JSON, per-session queue counters) the
+// whole time. Correctness bar: no data race reports, exact queue accounting,
+// and every session finishing with its footer digest matched.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "replay/trace_reader.h"
+#include "serve/server.h"
+#include "serve/verdict.h"
+
+namespace vedr {
+namespace {
+
+std::string corpus_path(const std::string& name) {
+  return std::string(VEDR_REPLAY_CORPUS_DIR) + "/" + name + ".vtrc";
+}
+
+struct DecodedTrace {
+  std::vector<std::pair<replay::TraceRecord, std::uint64_t>> records;
+  std::uint64_t bytes = 0;
+};
+
+DecodedTrace decode(const std::string& name) {
+  DecodedTrace t;
+  replay::TraceReader reader(corpus_path(name));
+  replay::TraceRecord rec;
+  std::uint64_t offset = reader.bytes_read();
+  while (reader.next(rec) == replay::TraceStatus::kOk) {
+    t.records.emplace_back(rec, offset);
+    offset = reader.bytes_read();
+  }
+  EXPECT_EQ(reader.error().status, replay::TraceStatus::kOk) << reader.error().str();
+  t.bytes = reader.bytes_read();
+  return t;
+}
+
+class CountingSink : public serve::VerdictSink {
+ public:
+  void on_verdict(const std::string& line) override {
+    EXPECT_FALSE(line.empty());
+    lines_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t lines() const { return lines_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> lines_{0};
+};
+
+TEST(ServeStress, ManyTenantsIngestWhilePollerScrapes) {
+  const std::vector<std::string> names = {"contention", "incast", "storm",
+                                          "backpressure"};
+  std::vector<DecodedTrace> corpus;
+  corpus.reserve(names.size());
+  for (const auto& n : names) corpus.push_back(decode(n));
+
+  constexpr int kTenants = 8;
+  CountingSink sink;
+  serve::ServerConfig cfg;
+  cfg.shards = 4;
+  // Small bound on purpose: producers and shard pumps constantly cross the
+  // queue's backpressure path, the interleavings TSan is here for.
+  cfg.session.queue_capacity = 16;
+  serve::Server server(cfg, &sink);
+
+  std::vector<std::uint64_t> sids;
+  sids.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t)
+    sids.push_back(server.open_session(names[static_cast<std::size_t>(t) % names.size()] +
+                                       "-" + std::to_string(t)));
+
+  std::vector<std::thread> producers;
+  producers.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    const DecodedTrace& trace = corpus[static_cast<std::size_t>(t) % corpus.size()];
+    const std::uint64_t sid = sids[static_cast<std::size_t>(t)];
+    producers.emplace_back([&server, &trace, sid] {
+      for (const auto& [rec, offset] : trace.records)
+        ASSERT_TRUE(server.offer(sid, rec, offset));
+      server.close_session(sid, replay::TraceError{}, trace.bytes);
+    });
+  }
+
+  // The poller: scrapes every observability surface for the entire ingest
+  // window, exactly what a Prometheus scraper does to the live daemon.
+  std::atomic<bool> stop_poller{false};
+  std::thread poller([&server, &sids, &stop_poller] {
+    while (!stop_poller.load(std::memory_order_acquire)) {
+      const std::string prom = server.prometheus();
+      EXPECT_NE(prom.find("vedr_serve_queue_pushed"), std::string::npos);
+      const std::string sessions = server.sessions_json();
+      EXPECT_NE(sessions.find("\"sessions\":["), std::string::npos);
+      for (const std::uint64_t sid : sids) {
+        const serve::Session* s = server.find_session(sid);
+        ASSERT_NE(s, nullptr);
+        const common::QueueStats q = s->queue_stats();
+        EXPECT_LE(q.popped, q.pushed);
+        EXPECT_EQ(q.dropped, 0u);  // block policy: losslessness is observable live
+        (void)s->frames_ingested();
+        (void)s->steps_closed();
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& p : producers) p.join();
+  server.wait_all_finished();
+  stop_poller.store(true, std::memory_order_release);
+  poller.join();
+
+  std::uint64_t total_offered = 0;
+  for (int t = 0; t < kTenants; ++t) {
+    const serve::Session* s = server.find_session(sids[static_cast<std::size_t>(t)]);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->state(), serve::SessionState::kFinished);
+    EXPECT_TRUE(s->digest_matched());
+    const DecodedTrace& trace = corpus[static_cast<std::size_t>(t) % corpus.size()];
+    EXPECT_EQ(s->frames_ingested(), trace.records.size());
+    const common::QueueStats q = s->queue_stats();
+    EXPECT_EQ(q.pushed, trace.records.size());
+    EXPECT_EQ(q.popped, q.pushed);
+    EXPECT_EQ(q.dropped, 0u);
+    total_offered += trace.records.size();
+  }
+  const obs::MetricsSnapshot snap = server.metrics_snapshot();
+  EXPECT_EQ(snap.counters.at("serve.queue_pushed"),
+            static_cast<std::int64_t>(total_offered));
+  EXPECT_EQ(snap.counters.at("serve.queue_dropped"), 0);
+  EXPECT_EQ(snap.counters.at("serve.sessions_open"), 0);
+  EXPECT_GT(sink.lines(), static_cast<std::uint64_t>(kTenants));  // steps + finals
+  server.shutdown();
+}
+
+TEST(ServeStress, ShutdownReleasesBlockedProducers) {
+  // A producer wedged on a full queue (consumerless: no pump will ever run
+  // because we never schedule one — we drive the Session directly) must be
+  // released by shutdown's queue abort.
+  serve::SessionConfig cfg;
+  cfg.queue_capacity = 1;
+  serve::Session session(1, "wedged", 0, cfg);
+  ASSERT_TRUE(session.offer(replay::TraceRecord{}, 0));
+  std::thread producer([&session] {
+    EXPECT_FALSE(session.offer(replay::TraceRecord{}, 1));  // blocks, then aborted
+  });
+  session.abort_queue();
+  producer.join();
+}
+
+}  // namespace
+}  // namespace vedr

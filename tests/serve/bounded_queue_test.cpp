@@ -1,0 +1,101 @@
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace vedr::common {
+namespace {
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_EQ(q.size(), 4u);
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(BoundedQueue, TryPushAccountsDrops) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.pushed, 2u);
+  EXPECT_EQ(s.dropped, 2u);
+  EXPECT_EQ(s.size, 2u);
+  EXPECT_EQ(s.high_watermark, 2u);
+}
+
+TEST(BoundedQueue, PushBlocksUntilSpaceAndCountsBlocked) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread producer([&q] { EXPECT_TRUE(q.push(2)); });
+  // The producer is (about to be) blocked on the full queue; popping must
+  // release it.
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  producer.join();
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 2);
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.pushed, 2u);
+  EXPECT_EQ(s.dropped, 0u);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducerAndKeepsItemsPoppable) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(7));
+  std::thread producer([&q] { EXPECT_FALSE(q.push(8)); });  // blocked, then closed
+  std::thread closer([&q] { q.close(); });
+  producer.join();
+  closer.join();
+  EXPECT_FALSE(q.try_push(9));  // closed: rejected without a drop
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));  // close-then-drain: queued item survives
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(q.pop(v));  // closed and drained: end of stream
+  EXPECT_EQ(q.stats().dropped, 0u);
+}
+
+TEST(BoundedQueue, ConcurrentProducersLoseNothingUnderBackpressure) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(8);  // far smaller than the item count: constant pressure
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+    });
+  }
+  std::vector<int> seen(kProducers * kPerProducer, 0);
+  std::thread consumer([&q, &seen] {
+    int v = 0;
+    for (int i = 0; i < kProducers * kPerProducer; ++i) {
+      ASSERT_TRUE(q.pop(v));
+      ++seen[static_cast<std::size_t>(v)];
+    }
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  for (const int count : seen) EXPECT_EQ(count, 1);  // every item exactly once
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.pushed, static_cast<std::uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(s.popped, s.pushed);
+  EXPECT_EQ(s.dropped, 0u);
+  EXPECT_LE(s.high_watermark, q.capacity());
+}
+
+}  // namespace
+}  // namespace vedr::common

@@ -1,0 +1,90 @@
+#include "serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace vedr::serve {
+namespace {
+
+/// One-shot HTTP/1.0 GET against loopback; returns the raw response.
+std::string http_get(int port, const std::string& request_line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+  const std::string req = request_line + "\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0), static_cast<ssize_t>(req.size()));
+  std::string resp;
+  char buf[2048];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) resp.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return resp;
+}
+
+TEST(HttpListener, ServesHandlerResponsesOnEphemeralPort) {
+  HttpListener http([](const std::string& path) {
+    HttpResponse r;
+    if (path == "/healthz") {
+      r.body = "ok\n";
+    } else if (path == "/echo") {
+      r.content_type = "application/json";
+      r.body = "{\"path\":\"/echo\"}";
+    } else {
+      r.status = 404;
+      r.body = "nope\n";
+    }
+    return r;
+  });
+  std::string err;
+  ASSERT_TRUE(http.start(0, &err)) << err;
+  ASSERT_GT(http.port(), 0);  // kernel-assigned, read back
+
+  const std::string health = http_get(http.port(), "GET /healthz HTTP/1.0");
+  EXPECT_NE(health.find("HTTP/1.0 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("Content-Length: 3"), std::string::npos) << health;
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos) << health;
+
+  const std::string echo = http_get(http.port(), "GET /echo HTTP/1.0");
+  EXPECT_NE(echo.find("Content-Type: application/json"), std::string::npos) << echo;
+  EXPECT_NE(echo.find("{\"path\":\"/echo\"}"), std::string::npos) << echo;
+
+  const std::string missing = http_get(http.port(), "GET /none HTTP/1.0");
+  EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos) << missing;
+
+  const std::string post = http_get(http.port(), "POST /healthz HTTP/1.0");
+  EXPECT_NE(post.find("HTTP/1.0 405"), std::string::npos) << post;
+
+  http.stop();
+  http.stop();  // idempotent
+}
+
+TEST(HttpListener, SequentialRequestsSurviveStopStartCycle) {
+  int calls = 0;
+  HttpListener http([&calls](const std::string&) {
+    HttpResponse r;
+    r.body = "n=" + std::to_string(++calls) + "\n";
+    return r;
+  });
+  std::string err;
+  ASSERT_TRUE(http.start(0, &err)) << err;
+  for (int i = 1; i <= 3; ++i) {
+    const std::string resp = http_get(http.port(), "GET / HTTP/1.0");
+    EXPECT_NE(resp.find("n=" + std::to_string(i) + "\n"), std::string::npos) << resp;
+  }
+  http.stop();
+}
+
+}  // namespace
+}  // namespace vedr::serve

@@ -1,0 +1,192 @@
+// Tail-mode TraceReader coverage (the serve transport contract): a partial
+// trailing frame — the writer mid-append — must surface as the retryable
+// kNeedMoreData, never latch, and resume cleanly once the bytes arrive.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "replay/trace_reader.h"
+
+namespace vedr::replay {
+namespace {
+
+std::string corpus_path(const std::string& name) {
+  return std::string(VEDR_REPLAY_CORPUS_DIR) + "/" + name + ".vtrc";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+void append_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Full-file frame count and frame boundaries via the one-shot reader.
+std::vector<std::uint64_t> frame_boundaries(const std::string& path, int* frames_out) {
+  TraceReader reader(path);
+  std::vector<std::uint64_t> bounds;
+  TraceRecord rec;
+  int frames = 0;
+  bounds.push_back(reader.bytes_read());
+  while (reader.next(rec) == TraceStatus::kOk) {
+    ++frames;
+    bounds.push_back(reader.bytes_read());
+  }
+  EXPECT_TRUE(reader.saw_footer());
+  *frames_out = frames;
+  return bounds;
+}
+
+/// Feeds the trace to a tail reader in `chunk`-byte appends, covering every
+/// truncation point in [0, size) in one pass: after each append, next() is
+/// pumped until it reports kNeedMoreData (or the stream completes). The
+/// reader must never latch an error and must decode exactly the one-shot
+/// reader's frame count.
+void byte_feed_walk(const std::string& trace, std::size_t chunk) {
+  const std::string bytes = read_file(corpus_path(trace));
+  ASSERT_FALSE(bytes.empty());
+  int expect_frames = 0;
+  frame_boundaries(corpus_path(trace), &expect_frames);
+  ASSERT_GT(expect_frames, 0);
+
+  const std::string path = testing::TempDir() + "tail_feed_" + trace + ".vtrc";
+  write_file(path, std::string());
+  TraceReader reader(path, /*tail=*/true);
+  ASSERT_TRUE(reader.ok()) << reader.error().str();
+
+  int frames = 0;
+  TraceRecord rec;
+  for (std::size_t off = 0; off < bytes.size(); off += chunk) {
+    append_file(path, bytes.substr(off, chunk));
+    TraceStatus status;
+    while ((status = reader.next(rec)) == TraceStatus::kOk) ++frames;
+    if (off + chunk < bytes.size()) {
+      ASSERT_EQ(status, TraceStatus::kNeedMoreData)
+          << "after " << off + chunk << " of " << bytes.size() << " bytes: "
+          << to_string(status) << " (" << reader.error().str() << ")";
+      ASSERT_TRUE(reader.ok()) << "kNeedMoreData must not latch";
+    } else {
+      ASSERT_EQ(status, TraceStatus::kEof);
+    }
+  }
+  EXPECT_EQ(frames, expect_frames);
+  EXPECT_TRUE(reader.saw_footer());
+  EXPECT_EQ(reader.next(rec), TraceStatus::kEof);  // kEof is sticky, not latched
+  std::remove(path.c_str());
+}
+
+TEST(TailReader, EveryTruncationPointIsRetryable) {
+  // chunk=1 covers every byte boundary: mid-header, mid-prefix, mid-payload,
+  // mid-CRC. Contention is the largest corpus trace; one pass is plenty.
+  byte_feed_walk("contention", 1);
+}
+
+TEST(TailReader, ChunkedFeedResumesAcrossAllScenarios) {
+  for (const char* name : {"incast", "storm", "backpressure"})
+    byte_feed_walk(name, 257);  // prime-sized chunks never align with frames
+}
+
+TEST(TailReader, TruncateThenExtendResumesAtFrameBoundary) {
+  const std::string bytes = read_file(corpus_path("incast"));
+  int expect_frames = 0;
+  const std::vector<std::uint64_t> bounds =
+      frame_boundaries(corpus_path("incast"), &expect_frames);
+  ASSERT_GT(bounds.size(), 4u);
+
+  // Cut inside the third frame's payload.
+  const std::size_t cut = static_cast<std::size_t>(bounds[3]) - 3;
+  const std::string path = testing::TempDir() + "tail_truncate.vtrc";
+  write_file(path, bytes.substr(0, cut));
+
+  TraceReader reader(path, /*tail=*/true);
+  TraceRecord rec;
+  int frames = 0;
+  TraceStatus status;
+  while ((status = reader.next(rec)) == TraceStatus::kOk) ++frames;
+  EXPECT_EQ(frames, 2);  // the two complete frames before the cut
+  EXPECT_EQ(status, TraceStatus::kNeedMoreData);
+  // Retrying without new bytes stays retryable — no latch, no progress.
+  EXPECT_EQ(reader.next(rec), TraceStatus::kNeedMoreData);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.bytes_read(), bounds[2]);  // rewound to the frame boundary
+
+  append_file(path, bytes.substr(cut));
+  while ((status = reader.next(rec)) == TraceStatus::kOk) ++frames;
+  EXPECT_EQ(status, TraceStatus::kEof);
+  EXPECT_EQ(frames, expect_frames);
+  EXPECT_TRUE(reader.saw_footer());
+  std::remove(path.c_str());
+}
+
+TEST(TailReader, PartialHeaderIsRetryable) {
+  const std::string bytes = read_file(corpus_path("storm"));
+  const std::string path = testing::TempDir() + "tail_header.vtrc";
+  write_file(path, bytes.substr(0, 5));  // mid-file-header
+
+  TraceReader reader(path, /*tail=*/true);
+  ASSERT_TRUE(reader.ok());  // constructor must not latch kBadHeader
+  TraceRecord rec;
+  EXPECT_EQ(reader.next(rec), TraceStatus::kNeedMoreData);
+
+  append_file(path, bytes.substr(5));
+  int frames = 0;
+  while (reader.next(rec) == TraceStatus::kOk) ++frames;
+  EXPECT_GT(frames, 0);
+  EXPECT_TRUE(reader.saw_footer());
+  std::remove(path.c_str());
+}
+
+TEST(TailReader, NonTailReaderStillReportsTruncation) {
+  const std::string bytes = read_file(corpus_path("backpressure"));
+  const std::string path = testing::TempDir() + "nontail_truncate.vtrc";
+  write_file(path, bytes.substr(0, bytes.size() - 5));
+
+  TraceReader reader(path);  // batch mode: truncation is terminal
+  TraceRecord rec;
+  TraceStatus status;
+  while ((status = reader.next(rec)) == TraceStatus::kOk) {
+  }
+  EXPECT_EQ(status, TraceStatus::kTruncated);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.next(rec), TraceStatus::kTruncated);  // latched
+  std::remove(path.c_str());
+}
+
+TEST(TailReader, CorruptFrameIsTerminalEvenInTailMode) {
+  std::string bytes = read_file(corpus_path("incast"));
+  // Flip a byte inside the second frame's payload: a complete frame with a
+  // bad CRC is corruption, not a writer lagging.
+  int frames = 0;
+  const std::vector<std::uint64_t> bounds =
+      frame_boundaries(corpus_path("incast"), &frames);
+  ASSERT_GT(bounds.size(), 3u);
+  bytes[static_cast<std::size_t>(bounds[1]) + 7] ^= 0x40;
+  const std::string path = testing::TempDir() + "tail_corrupt.vtrc";
+  write_file(path, bytes);
+
+  TraceReader reader(path, /*tail=*/true);
+  TraceRecord rec;
+  TraceStatus status;
+  while ((status = reader.next(rec)) == TraceStatus::kOk) {
+  }
+  EXPECT_EQ(status, TraceStatus::kCrcMismatch);
+  EXPECT_FALSE(reader.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vedr::replay

@@ -1,0 +1,85 @@
+#include "common/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace vedr::common {
+namespace {
+
+TEST(ParallelFor, EveryIndexExactlyOnce) {
+  constexpr int kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  WorkerPool::parallel_for(kN, 4, [&hits](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  WorkerPool::parallel_for(3, 64, [&hits](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndSingleThreadShapes) {
+  int calls = 0;
+  WorkerPool::parallel_for(0, 4, [&calls](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  WorkerPool::parallel_for(5, 1, [&calls](int) { ++calls; });  // inline fast path
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(WorkerPool, PerShardFifoOrdering) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.shards(), 3);
+  constexpr int kPerShard = 100;
+  std::vector<std::vector<int>> order(3);  // written only by the owning shard
+  for (int i = 0; i < kPerShard; ++i)
+    for (std::size_t sh = 0; sh < 3; ++sh)
+      ASSERT_TRUE(pool.post(sh, [&order, sh, i] {
+        order[sh].push_back(i);
+      }));
+  pool.drain();
+  for (const auto& seq : order) {
+    ASSERT_EQ(seq.size(), static_cast<std::size_t>(kPerShard));
+    for (int i = 0; i < kPerShard; ++i) EXPECT_EQ(seq[static_cast<std::size_t>(i)], i);
+  }
+  pool.stop();
+}
+
+TEST(WorkerPool, DrainIsABarrier) {
+  WorkerPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i)
+    pool.post(static_cast<std::size_t>(i), [&done] {
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  pool.drain();
+  EXPECT_EQ(done.load(), 50);  // everything posted before drain() has run
+}
+
+TEST(WorkerPool, StopRunsQueuedTasksAndRejectsNewOnes) {
+  std::atomic<int> ran{0};
+  WorkerPool pool(1);
+  for (int i = 0; i < 20; ++i)
+    pool.post(0, [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.stop();
+  EXPECT_EQ(ran.load(), 20);  // queued tasks finished before the join
+  EXPECT_FALSE(pool.post(0, [] {}));
+  pool.stop();  // idempotent
+}
+
+TEST(WorkerPool, ShardIndexWraps) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.post(7, [&ran] { ran.fetch_add(1); }));  // 7 % 2 == shard 1
+  pool.drain();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace vedr::common

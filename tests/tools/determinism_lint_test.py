@@ -144,6 +144,23 @@ class WallClockTest(unittest.TestCase):
         # ...but only that directory.
         self.assertEqual(rules_of(run(src, rel="src/sim/x.cpp")), ["wall-clock"])
 
+    def test_serve_daemon_is_exempt(self):
+        # The streaming daemon is host-side plumbing: wall-time latency
+        # metrics and tail-poll pacing are legitimate there and never feed a
+        # determinism digest.
+        src = "auto deadline = std::chrono::steady_clock::now() + poll;\n"
+        self.assertEqual(run(src, rel="src/serve/tail_source.cpp"), [])
+        self.assertEqual(run(src, rel="src/serve/session.cpp"), [])
+        # The exemption is the directory, not the name: a serve-like file
+        # elsewhere in src/ is still held to sim time.
+        self.assertEqual(
+            rules_of(run(src, rel="src/core/serve_helpers.cpp")), ["wall-clock"]
+        )
+        # Prefix matching is per path segment — src/served is not src/serve.
+        self.assertEqual(
+            rules_of(run(src, rel="src/served/x.cpp")), ["wall-clock"]
+        )
+
     def test_sim_time_identifiers_are_fine(self):
         src = "Tick now = sim().now();\nconst auto runtime_ns = now - start;\n"
         self.assertEqual(run(src), [])

@@ -18,9 +18,13 @@ for the rule catalogue and rationale):
                    pointer type, or reinterpret_cast<std::uintptr_t> used to
                    build a key/hash — addresses differ run to run (ASLR).
   wall-clock       rand()/srand(), time(), clock_gettime()/gettimeofday(),
-                   std::chrono clocks — anywhere outside ``src/obs``
+                   std::chrono clocks — anywhere outside the exempt dirs
                    (obs::wall_now_ns is the single sanctioned wall-clock
                    read; model and diagnosis code must only see sim time).
+                   ``src/obs`` is exempt (it implements that read) and so is
+                   ``src/serve``: the daemon is host-side plumbing that
+                   legitimately measures wall latency and paces polls — it
+                   feeds metrics, never digests or the simulation.
   uninit-pod       scalar fields without a default member initializer in
                    event/trace payload structs (names matching Event /
                    Payload / Record / Header / Footer / Envelope / Frame /
@@ -74,7 +78,13 @@ WALL_CLOCK_RES = (
     re.compile(r"\bgettimeofday\s*\(|\bclock_gettime\s*\("),
     re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
 )
-WALL_CLOCK_EXEMPT_DIRS = ("src/obs",)
+# Directories allowed to read the host clock. Every entry needs a reason:
+#   src/obs    implements obs::wall_now_ns, the one sanctioned host-clock
+#              read, plus trace timestamps that are wall time by definition.
+#   src/serve  the streaming daemon: diagnose-latency metrics and tail-poll
+#              pacing are wall-time by nature; nothing in src/serve feeds a
+#              determinism digest or the simulation clock.
+WALL_CLOCK_EXEMPT_DIRS = ("src/obs", "src/serve")
 
 PAYLOAD_STRUCT_RE = re.compile(
     r"\bstruct\s+([A-Za-z_]\w*(?:Event|Payload|Record|Header|Footer|Envelope|Frame|Meta))\b"
@@ -245,9 +255,9 @@ def lint_text(text: str, rel: str, extra_unordered: set[str] | None = None) -> l
             for pat in WALL_CLOCK_RES:
                 if pat.search(code):
                     emit("wall-clock",
-                         "wall-clock/randomness outside src/obs: model code must "
-                         "only observe sim time (obs::wall_now_ns is the one "
-                         "sanctioned host-clock read)")
+                         "wall-clock/randomness outside src/obs and src/serve: "
+                         "model code must only observe sim time (obs::wall_now_ns "
+                         "is the one sanctioned host-clock read)")
                     break
 
         # --- uninit-pod: track payload struct bodies by brace depth --------

@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for the vedr_serve streaming daemon.
+
+Stdlib-only harness used by CI (and the serve_smoke ctest lane):
+
+  python3 tools/serve_smoke.py --serve build/tools/vedr_serve \
+                               --replay build/tools/vedr_replay \
+                               --corpus tests/replay/corpus
+
+What it proves, in one daemon run over all four golden-corpus traces:
+
+  * live tailing: each trace is appended in chunks to a file the daemon is
+    already following (the files don't even exist at startup), so every
+    session exercises the kNeedMoreData resume path, not a one-shot read;
+  * verdict parity: each session's final verdict carries a ``diagnosis``
+    identical to batch ``vedr_replay --json`` on the same trace, with the
+    footer digest matched;
+  * the HTTP surface: /healthz answers 200, /sessions reports every session
+    finished with exact frame accounting, and /metrics parses as valid
+    Prometheus text exposition (schema-validated via tools/check_obs.py);
+  * clean shutdown: SIGTERM ends the daemon with exit code 0 and the
+    verdict stream intact.
+
+Exit code 0 on success, 1 with a FAIL line per violated check.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+SCENARIOS = ("contention", "incast", "storm", "backpressure")
+_FAILURES = []
+
+
+def fail(msg):
+    _FAILURES.append(msg)
+    print(f"FAIL: {msg}", file=sys.stderr)
+
+
+def http_get(port, path, timeout=5.0):
+    """Returns (status, body) without raising on HTTP error statuses."""
+    url = f"http://127.0.0.1:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, resp.read().decode("utf-8")
+    except urllib.error.HTTPError as e:
+        return e.code, e.read().decode("utf-8")
+
+
+def wait_for(predicate, timeout, what):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        result = predicate()
+        if result is not None:
+            return result
+        time.sleep(0.05)
+    fail(f"timed out after {timeout}s waiting for {what}")
+    return None
+
+
+def feed_in_chunks(src, dst, chunks=4, pause=0.02):
+    """Appends src's bytes to dst in pieces, like a writer mid-record."""
+    data = pathlib.Path(src).read_bytes()
+    step = max(1, len(data) // chunks)
+    with open(dst, "ab") as out:
+        for off in range(0, len(data), step):
+            out.write(data[off : off + step])
+            out.flush()
+            time.sleep(pause)
+
+
+def batch_diagnosis(replay_bin, trace):
+    """The reference verdict: vedr_replay --json on the finished trace."""
+    proc = subprocess.run(
+        [replay_bin, str(trace), "--json", "--verify-digest"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if proc.returncode != 0:
+        fail(f"batch replay of {trace} exited {proc.returncode}: {proc.stderr.strip()}")
+        return None
+    doc = json.loads(proc.stdout)
+    if not doc.get("digest_matches"):
+        fail(f"batch replay of {trace} reports digest mismatch")
+    return doc
+
+
+def check_verdict_stream(verdicts_path, batch_by_tenant):
+    """Per tenant: monotonically increasing step lines, then a matching final."""
+    finals = {}
+    steps = {t: [] for t in batch_by_tenant}
+    for lineno, line in enumerate(
+        pathlib.Path(verdicts_path).read_text().splitlines(), start=1
+    ):
+        try:
+            v = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"verdicts line {lineno} is not JSON: {e}")
+            continue
+        tenant = v.get("tenant")
+        if tenant not in batch_by_tenant:
+            fail(f"verdicts line {lineno}: unknown tenant {tenant!r}")
+            continue
+        if v.get("type") == "step":
+            steps[tenant].append(v.get("step"))
+        elif v.get("type") == "final":
+            if tenant in finals:
+                fail(f"tenant {tenant}: second final verdict at line {lineno}")
+            finals[tenant] = v
+        else:
+            fail(f"verdicts line {lineno}: unknown type {v.get('type')!r}")
+
+    for tenant, batch in batch_by_tenant.items():
+        got = steps[tenant]
+        if got != sorted(set(got)) or (got and got[0] != 0):
+            fail(f"tenant {tenant}: step verdicts not 0..N strictly increasing: {got}")
+        final = finals.get(tenant)
+        if final is None:
+            fail(f"tenant {tenant}: no final verdict emitted")
+            continue
+        if not final.get("ok") or not final.get("digest_match"):
+            fail(f"tenant {tenant}: final verdict not ok: {final}")
+        if final.get("frames") != batch["frames"]:
+            fail(
+                f"tenant {tenant}: daemon saw {final.get('frames')} frames, "
+                f"batch saw {batch['frames']}"
+            )
+        if final.get("diagnosis") != batch["diagnosis"]:
+            fail(f"tenant {tenant}: streamed diagnosis != batch replay diagnosis")
+        else:
+            print(
+                f"  parity OK: {tenant} ({batch['frames']} frames, "
+                f"{len(got)} step verdicts, digest matched)"
+            )
+
+
+def check_metrics(port, check_obs, workdir):
+    status, body = http_get(port, "/metrics")
+    if status != 200:
+        fail(f"/metrics returned {status}")
+        return
+    prom = workdir / "metrics.prom"
+    prom.write_text(body)
+    proc = subprocess.run(
+        [sys.executable, str(check_obs), "--metrics", str(prom)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    if proc.returncode != 0:
+        fail(f"check_obs.py rejected /metrics:\n{proc.stderr.strip()}")
+    series = {}
+    for line in body.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.rpartition(" ")
+        series[name.split("{")[0]] = float(value)
+    for required, expect in (
+        ("vedr_serve_sessions_finished", len(SCENARIOS)),
+        ("vedr_serve_sessions_open", 0),
+        ("vedr_serve_queue_dropped", 0),
+    ):
+        if required not in series:
+            fail(f"/metrics missing series {required}")
+        elif series[required] != expect:
+            fail(f"/metrics {required} = {series[required]}, expected {expect}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--serve", required=True, help="path to the vedr_serve binary")
+    ap.add_argument("--replay", required=True, help="path to the vedr_replay binary")
+    ap.add_argument("--corpus", required=True, help="golden corpus directory")
+    ap.add_argument(
+        "--check-obs",
+        default=str(pathlib.Path(__file__).resolve().parent / "check_obs.py"),
+        help="metrics schema validator (default: sibling check_obs.py)",
+    )
+    args = ap.parse_args()
+    corpus = pathlib.Path(args.corpus)
+
+    with tempfile.TemporaryDirectory(prefix="vedr_serve_smoke_") as tmp:
+        workdir = pathlib.Path(tmp)
+        verdicts = workdir / "verdicts.jsonl"
+        port_file = workdir / "port"
+        live = {sc: workdir / f"{sc}.vtrc" for sc in SCENARIOS}
+
+        cmd = [
+            args.serve,
+            "--port", "0",
+            "--port-file", str(port_file),
+            "--verdicts", str(verdicts),
+            "--shards", "2",
+        ]
+        for sc in SCENARIOS:  # the files don't exist yet: the daemon waits
+            cmd += ["--follow", f"{live[sc]}={sc}"]
+        daemon = subprocess.Popen(cmd, stderr=subprocess.PIPE, text=True)
+        try:
+            port = wait_for(
+                lambda: int(port_file.read_text()) if port_file.exists() else None,
+                timeout=10,
+                what="the daemon's port file",
+            )
+            if port is None:
+                raise RuntimeError("daemon never published its port")
+
+            status, body = http_get(port, "/healthz")
+            if status != 200 or body.strip() != "ok":
+                fail(f"/healthz returned {status} {body!r}")
+            status, _ = http_get(port, "/nope")
+            if status != 404:
+                fail(f"unknown path returned {status}, expected 404")
+
+            print(f"feeding {len(SCENARIOS)} traces in chunks ...")
+            for sc in SCENARIOS:
+                feed_in_chunks(corpus / f"{sc}.vtrc", live[sc])
+
+            def all_finished():
+                status, body = http_get(port, "/sessions")
+                if status != 200:
+                    return None
+                sessions = json.loads(body)["sessions"]
+                if len(sessions) == len(SCENARIOS) and all(
+                    s["state"] == "finished" for s in sessions
+                ):
+                    return sessions
+                return None
+
+            sessions = wait_for(all_finished, timeout=60, what="all sessions finished")
+            if sessions is None:
+                raise RuntimeError("sessions never finished")
+
+            batch_by_tenant = {}
+            for s in sessions:
+                sc = s["tenant"]
+                batch = batch_diagnosis(args.replay, corpus / f"{sc}.vtrc")
+                if batch is None:
+                    continue
+                batch_by_tenant[sc] = batch
+                if not s["digest_match"]:
+                    fail(f"/sessions: {sc} digest_match false")
+                if s["frames"] != batch["frames"]:
+                    fail(f"/sessions: {sc} frames {s['frames']} != batch {batch['frames']}")
+                if s["queue"]["dropped"] != 0:
+                    fail(f"/sessions: {sc} dropped {s['queue']['dropped']} records")
+
+            check_metrics(port, pathlib.Path(args.check_obs), workdir)
+
+            daemon.send_signal(signal.SIGTERM)
+            rc = daemon.wait(timeout=30)
+            if rc != 0:
+                fail(f"daemon exited {rc} on SIGTERM, expected 0")
+
+            check_verdict_stream(verdicts, batch_by_tenant)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=10)
+                fail("daemon had to be killed")
+            stderr = daemon.stderr.read()
+            if _FAILURES and stderr:
+                print(f"--- daemon stderr ---\n{stderr}", file=sys.stderr)
+
+    if _FAILURES:
+        print(f"serve_smoke: {len(_FAILURES)} failure(s)", file=sys.stderr)
+        return 1
+    print("serve_smoke: OK (tailed ingest, verdict parity, /metrics schema, clean SIGTERM)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
