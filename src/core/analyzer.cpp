@@ -40,6 +40,7 @@ void Analyzer::register_poll(std::uint64_t poll_id, int flow, int step) {
 void Analyzer::on_switch_report(const telemetry::SwitchReport& report) {
   if (tap_ != nullptr) tap_->on_switch_report_in(report);
   ++reports_received_;
+  if (report.backend == net::TelemetryBackend::kSketch) saw_sketch_ = true;
   if (const std::uint64_t* entry = poll_index_.find(report.poll_id); entry != nullptr) {
     const int step = static_cast<int>(common::unpack_lo(*entry));
     std::uint64_t& slot =
@@ -68,6 +69,7 @@ void Analyzer::reset() {
   records_.clear();
   max_step_ = -1;
   reports_received_ = 0;
+  saw_sketch_ = false;
 }
 
 std::vector<int> Analyzer::step_graph_steps() const {
@@ -91,6 +93,7 @@ Diagnosis Analyzer::diagnose() {
   const bool timed = diag_hist_ != nullptr && obs::metrics_enabled();
   const std::uint64_t t0 = timed ? obs::wall_now_ns() : 0;
   Diagnosis d;
+  d.sketch_lane = saw_sketch_;
 
   // 1. Waiting graph: bottleneck analysis and the per-step critical flows.
   //    rebuild() borrows records_ and reuses the graph's buffers; max_step_

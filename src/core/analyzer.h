@@ -101,6 +101,9 @@ class VEDR_SINGLE_THREADED Analyzer : public telemetry::ReportSink {
   ProvenanceGraph* step_graph(int step);
   std::size_t step_records() const { return records_.size(); }
   std::size_t reports_received() const { return reports_received_; }
+  /// True once any ingested report carried the sketch-backend marker; the
+  /// resulting Diagnosis advertises the lane (Diagnosis::sketch_lane).
+  bool saw_sketch_reports() const { return saw_sketch_; }
   const InternTables& tables() const { return tables_; }
 
  private:
@@ -121,6 +124,7 @@ class VEDR_SINGLE_THREADED Analyzer : public telemetry::ReportSink {
   WaitingGraph waiting_graph_;
   SignatureClassifier classifier_;
   std::size_t reports_received_ = 0;
+  bool saw_sketch_ = false;  ///< any report arrived via the sketch backend
   TraceTap* tap_ = nullptr;
   obs::Histogram* diag_hist_ = nullptr;  ///< interned diagnose-latency cell
 };

@@ -47,6 +47,11 @@ struct Diagnosis {
   std::vector<std::pair<FlowKey, double>> contributions;
   /// Per-step critical ("bottleneck") flow index, -1 if unknown.
   std::vector<int> critical_flow_per_step;
+  /// True when any ingested switch report came through the bounded sketch
+  /// backend: estimates are overestimate-only and flow/wait sets may be
+  /// top-k truncated. Exact-lane diagnoses leave this false, and the JSON
+  /// export omits the marker entirely so exact output stays byte-identical.
+  bool sketch_lane = false;
 
   bool detects_flow(const FlowKey& f) const;
   std::vector<FlowKey> all_contenders() const;

@@ -77,6 +77,9 @@ std::string diagnosis_to_json(const Diagnosis& d) {
          });
   out += ",\"critical_flow_per_step\":" +
          array(d.critical_flow_per_step, [](int f) { return std::to_string(f); });
+  // Appended last, and only on the sketch lane: exact-lane JSON (and every
+  // digest over it) stays byte-for-byte what it was before backends existed.
+  if (d.sketch_lane) out += ",\"telemetry\":\"sketch\"";
   out += "}";
   return out;
 }

@@ -209,6 +209,11 @@ CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig
   result.poll_bytes = stats.counter("overhead.poll_bytes");
   result.notify_bytes = stats.counter("overhead.notify_bytes");
   result.report_count = stats.counter("overhead.report_count");
+  // End-of-run switch-resident collection state, summed live rather than
+  // read from the poll-time gauge so runs that never polled still report
+  // their footprint. Observation only — never folded into run_case_digest.
+  for (net::NodeId sw_id : network.switches())
+    result.telemetry_state_bytes += network.switch_at(sw_id).telem().state_bytes();
   if (cfg.capture_metrics)
     result.metrics = std::make_shared<const obs::MetricsSnapshot>(obs::snapshot(stats));
   return result;

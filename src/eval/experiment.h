@@ -70,6 +70,11 @@ struct CaseResult {
   std::int64_t poll_bytes = 0;
   std::int64_t notify_bytes = 0;
   std::int64_t report_count = 0;
+  /// Peak switch-resident telemetry state (the `telemetry.state_bytes`
+  /// gauge at end of run): the memory axis of the exact-vs-sketch frontier.
+  /// Deliberately NOT folded into run_case_digest — the exact lane's digest
+  /// predates this field and must stay byte-identical.
+  std::int64_t telemetry_state_bytes = 0;
   sim::Tick cc_time = 0;
   bool cc_completed = false;
   std::uint64_t sim_events = 0;

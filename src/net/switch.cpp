@@ -25,7 +25,7 @@ Switch::Switch(Network& net, NodeId id, int num_ports)
       pause_sig_(static_cast<std::size_t>(num_ports)),
       queued_from_(static_cast<std::size_t>(num_ports),
                    std::vector<std::int64_t>(static_cast<std::size_t>(num_ports), 0)),
-      telem_(id, num_ports),
+      telem_(id, num_ports, net.config().telemetry),
       ecn_rng_(sim::Rng::mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)),
                              0xEC11ULL)) {
   const auto& cfg = net.config();
@@ -355,6 +355,7 @@ void Switch::handle_poll(Packet pkt, PortId in_port) {
   report.switch_id = id_;
   report.poll_id = info.poll_id;
   report.time = now;
+  report.backend = telem_.backend();
 
   if (!info.pfc_chase) {
     // Snapshot the egress this flow takes here, then keep the poll moving
@@ -368,6 +369,7 @@ void Switch::handle_poll(Packet pkt, PortId in_port) {
       report.drops = telem_.drops_since(since);
       maybe_chase(out, info);
       emit_report(std::move(report));
+      telemetry_housekeeping(now);
     }
     forward_ref(net_.pool().acquire(std::move(pkt)), in_port);
     return;
@@ -389,11 +391,27 @@ void Switch::handle_poll(Packet pkt, PortId in_port) {
   for (PortId e : next_hops) report.ports.push_back(telem_.port_snapshot(e, now, since));
   report.causes = std::move(causes);
   emit_report(std::move(report));
+  telemetry_housekeeping(now);
 
   if (info.pfc_hops_left > 0) {
     PollInfo next = info;
     next.pfc_hops_left -= 1;
     for (PortId e : next_hops) maybe_chase(e, next);
+  }
+}
+
+void Switch::telemetry_housekeeping(Tick now) {
+  // Poll-time bookkeeping for the collection plane itself. Pruning only
+  // drops state no future windowed snapshot can observe (retention is far
+  // above any poll window), so every report byte is digest-identical with
+  // or without it. The gauge push is delta-based: the registry's
+  // `telemetry.state_bytes` counter always reads the fabric-wide current
+  // footprint, and it is never mixed into determinism digests.
+  telem_.prune(now, net_.config().telemetry_retention);
+  const std::int64_t state = telem_.state_bytes();
+  if (state != state_bytes_pushed_) {
+    net_.stats().add_counter("telemetry.state_bytes", state - state_bytes_pushed_);
+    state_bytes_pushed_ = state;
   }
 }
 

@@ -98,6 +98,10 @@ class Switch : public Device {
   void handle_pfc(const Packet& pkt, PortId in_port);
   void handle_poll(Packet pkt, PortId in_port);
   void maybe_chase(PortId egress, const PollInfo& info);
+  /// Post-poll collection-plane upkeep: prune aged telemetry state (digest
+  /// safe — see NetConfig::telemetry_retention) and refresh the fabric-wide
+  /// `telemetry.state_bytes` gauge with this switch's delta.
+  void telemetry_housekeeping(Tick now);
   void emit_report(telemetry::SwitchReport report);
   bool poll_seen(std::uint64_t poll_id, PortId target);
 
@@ -110,6 +114,10 @@ class Switch : public Device {
   std::mt19937_64 ecn_rng_;
   std::int64_t drops_ = 0;
   std::int64_t ttl_drops_ = 0;
+  // Last telemetry state-bytes value pushed into the gauge counter: each
+  // poll pushes only the delta, so the registry's `telemetry.state_bytes`
+  // counter always reads the fabric's current total.
+  std::int64_t state_bytes_pushed_ = 0;
   // Interned stats cells: these counters are bumped per packet event, where
   // add_counter's string lookup (and SSO-overflowing key) is measurable.
   std::int64_t* drops_cell_ = nullptr;

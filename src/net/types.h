@@ -93,6 +93,26 @@ struct PortRefHash {
 /// Which congestion control the host NICs run (§I: DCQCN or Swift).
 enum class CcAlgorithm : std::uint8_t { kDcqcn, kSwift };
 
+/// Which telemetry store backs each egress port's flow/queue-ahead
+/// accounting (DESIGN.md §13). kExact keeps per-flow counters and the full
+/// pairwise wait matrix (ground truth, the default); kSketch bounds memory
+/// with count-min summaries, a top-k heavy-hitter heap and a fixed-capacity
+/// pairwise-wait table.
+enum class TelemetryBackend : std::uint8_t { kExact = 0, kSketch = 1 };
+
+/// Sketch-lane sizing knobs (ignored by the exact backend). Not part of the
+/// .vtrc wire format: traces always record the exact-lane ground truth and
+/// any sketch compression is applied by the consumer.
+struct TelemetryParams {
+  TelemetryBackend backend = TelemetryBackend::kExact;
+  std::int32_t sketch_width = 512;  ///< count-min counters per row
+  std::int32_t sketch_depth = 4;    ///< count-min rows (independent hashes)
+  std::int32_t topk = 32;           ///< heavy-hitter heap capacity (flows per port report)
+  std::int32_t pair_capacity = 0;   ///< pairwise-wait table capacity; 0 = 8 * topk
+
+  std::int32_t pair_cap() const { return pair_capacity > 0 ? pair_capacity : 8 * topk; }
+};
+
 /// Static link/fabric parameters shared across the simulation.
 struct NetConfig {
   CcAlgorithm cc_algorithm = CcAlgorithm::kDcqcn;
@@ -121,6 +141,15 @@ struct NetConfig {
   Tick telemetry_window = 5 * sim::kMillisecond;  ///< "recent" horizon for poll snapshots
   Tick controller_delay = 20 * sim::kMicrosecond; ///< switch CPU -> analyzer latency
   int pfc_chase_hops = 8;                         ///< max PFC spreading-path depth per poll
+
+  /// Telemetry store selection + sketch sizing per egress port.
+  TelemetryParams telemetry;
+  /// Exact-lane state idle longer than this is pruned when a poll closes its
+  /// window. Must be well above telemetry_window (windowed snapshots never
+  /// see pruned entries); kept far above any scenario horizon so ground-truth
+  /// full-history reads — and therefore the determinism digests — are
+  /// untouched in the evaluation runs, while long-lived sessions stay bounded.
+  Tick telemetry_retention = 320 * sim::kMillisecond;
 };
 
 }  // namespace vedr::net

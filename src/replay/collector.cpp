@@ -57,8 +57,18 @@ void StreamingCollector::ingest(const TraceRecord& rec, std::uint64_t frame_offs
       break;
     }
     case RecordType::kSwitchReport:
-      if (analyzer_ != nullptr)
-        analyzer_->on_switch_report(std::get<telemetry::SwitchReport>(rec.payload));
+      if (analyzer_ != nullptr) {
+        if (compressor_.has_value()) {
+          // Sketch lane: re-encode the exact recorded report through the
+          // bounded memory budget before the analyzer sees it.
+          telemetry::SwitchReport compressed = std::get<telemetry::SwitchReport>(rec.payload);
+          compressor_->compress(compressed);
+          stats_.add_counter("replay.sketched_reports");
+          analyzer_->on_switch_report(compressed);
+        } else {
+          analyzer_->on_switch_report(std::get<telemetry::SwitchReport>(rec.payload));
+        }
+      }
       break;
     case RecordType::kFooter:
       have_footer_ = true;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -13,6 +14,7 @@
 #include "net/topology.h"
 #include "replay/trace_reader.h"
 #include "sim/stats.h"
+#include "telemetry/compressor.h"
 
 namespace vedr::replay {
 
@@ -85,6 +87,19 @@ class VEDR_SINGLE_THREADED StreamingCollector {
   /// input here.
   void ingest(const TraceRecord& rec, std::uint64_t frame_offset);
 
+  /// Switches the collector to the bounded sketch lane: every subsequent
+  /// switch report is re-encoded through `params`' memory budget (see
+  /// telemetry::ReportCompressor) before the analyzer sees it. Traces always
+  /// record exact ground truth, so calling this models "what would the
+  /// diagnosis have been if the switches had only sketch memory". Must be
+  /// called before the first switch report is ingested; digest verification
+  /// against the footer is intentionally expected to fail on this lane
+  /// (the footer hashes the exact diagnosis).
+  void set_telemetry(const net::TelemetryParams& params) {
+    compressor_.emplace(params);
+  }
+  bool sketch_lane() const { return compressor_.has_value(); }
+
   bool have_envelope() const { return analyzer_ != nullptr; }
   const TraceEnvelope& envelope() const { return envelope_; }
   bool have_footer() const { return have_footer_; }
@@ -125,6 +140,8 @@ class VEDR_SINGLE_THREADED StreamingCollector {
   std::unique_ptr<core::Analyzer> analyzer_;
   std::unordered_set<net::FlowKey, net::FlowKeyHash> cc_flows_;
   sim::StatsRegistry stats_;
+  /// Engaged iff set_telemetry() selected the sketch lane.
+  std::optional<telemetry::ReportCompressor> compressor_;
 
   // Streaming state (mirrors what replay() used to keep on its stack).
   TraceEnvelope envelope_;

@@ -100,7 +100,7 @@ obs::MetricsSnapshot Server::metrics_snapshot() const {
 
   std::uint64_t pushed = 0, popped = 0, dropped = 0, blocked = 0;
   std::uint64_t depth = 0, high_watermark = 0, frames = 0, verdicts = 0;
-  std::int64_t total = 0, active = 0;
+  std::int64_t total = 0, active = 0, sketch_sessions = 0;
   {
     common::MutexLock lock(mu_);
     for (const auto& [id, s] : sessions_) {
@@ -115,6 +115,7 @@ obs::MetricsSnapshot Server::metrics_snapshot() const {
       verdicts += s->verdicts_emitted();
       ++total;
       if (s->state() == SessionState::kActive) ++active;
+      if (s->config().telemetry.backend == net::TelemetryBackend::kSketch) ++sketch_sessions;
     }
   }
   snap.counters["serve.sessions_total"] = total;
@@ -127,6 +128,7 @@ obs::MetricsSnapshot Server::metrics_snapshot() const {
   snap.counters["serve.queue_high_watermark"] = static_cast<std::int64_t>(high_watermark);
   snap.counters["serve.frames_ingested"] = static_cast<std::int64_t>(frames);
   snap.counters["serve.verdicts_emitted"] = static_cast<std::int64_t>(verdicts);
+  snap.counters["serve.telemetry_sketch_sessions"] = sketch_sessions;
   return snap;
 }
 

@@ -112,6 +112,11 @@ void Session::finish(VerdictSink& sink, sim::StatsRegistry& stats) {
   verdicts_.fetch_add(1, std::memory_order_relaxed);
 
   stats.add_counter(r.ok ? "serve.sessions_finished" : "serve.sessions_error");
+  // Fold the collector's sketch-lane accounting into the server registry
+  // here, on the shard worker, where touching the collector is legal.
+  if (collector_.sketch_lane())
+    stats.add_counter("serve.sketched_reports",
+                      collector_.stats().counter("replay.sketched_reports"));
   digest_matched_.store(r.digest_matches, std::memory_order_release);
   final_error_ = err;
   state_.store(static_cast<std::uint8_t>(r.ok ? SessionState::kFinished

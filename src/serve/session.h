@@ -35,6 +35,12 @@ struct SessionConfig {
   OverflowPolicy policy = OverflowPolicy::kBlock;
   int pump_batch = 256;               ///< max records ingested per pump slice
   bool emit_step_verdicts = true;     ///< per-step lines, not just the final one
+  /// Telemetry lane for this tenant's collector. kExact feeds recorded
+  /// reports verbatim; kSketch re-encodes each through the bounded memory
+  /// budget (telemetry::ReportCompressor) before diagnosis. On the sketch
+  /// lane the footer digest check is expected to report digest_match:false —
+  /// the footer hashes the exact-lane diagnosis.
+  net::TelemetryParams telemetry;
 };
 
 /// What one pump() call accomplished — the server's scheduler keys off this.
@@ -55,7 +61,10 @@ class Session {
  public:
   Session(std::uint64_t id, std::string tenant, std::size_t shard, const SessionConfig& cfg)
       : id_(id), tenant_(std::move(tenant)), shard_(shard), cfg_(cfg),
-        queue_(cfg.queue_capacity) {}
+        queue_(cfg.queue_capacity) {
+    if (cfg_.telemetry.backend == net::TelemetryBackend::kSketch)
+      collector_.set_telemetry(cfg_.telemetry);
+  }
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;

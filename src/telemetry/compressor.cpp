@@ -1,0 +1,63 @@
+#include "telemetry/compressor.h"
+
+#include <algorithm>
+
+#include "telemetry/sketch_store.h"
+
+namespace vedr::telemetry {
+
+void ReportCompressor::compress(PortReport& port) const {
+  const std::size_t k = static_cast<std::size_t>(std::max<std::int32_t>(1, params_.topk));
+  const std::size_t pair_cap = static_cast<std::size_t>(params_.pair_cap());
+  const bool flows_fit = port.flows.size() <= k;
+  const bool waits_fit = port.waits.size() <= pair_cap;
+
+  // Sketch the per-flow counters: every estimate a consumer sees went
+  // through the same count-min the live lane uses.
+  CountMinSketch pkts(params_.sketch_width, params_.sketch_depth);
+  CountMinSketch bytes(params_.sketch_width, params_.sketch_depth);
+  for (const auto& fe : port.flows) {
+    pkts.add(fe.flow.hash(), fe.pkts);
+    bytes.add(fe.flow.hash(), fe.bytes);
+  }
+  for (auto& fe : port.flows) {
+    fe.pkts = pkts.estimate(fe.flow.hash());
+    fe.bytes = bytes.estimate(fe.flow.hash());
+  }
+
+  if (!flows_fit) {
+    // Top-k selection under the heap's (estimate, FlowKey) order: highest
+    // estimates win, FlowKey order breaks ties deterministically.
+    std::sort(port.flows.begin(), port.flows.end(), [](const FlowEntry& a, const FlowEntry& b) {
+      if (a.pkts != b.pkts) return a.pkts > b.pkts;
+      return a.flow < b.flow;
+    });
+    port.flows.resize(k);
+    std::sort(port.flows.begin(), port.flows.end(),
+              [](const FlowEntry& a, const FlowEntry& b) { return a.flow < b.flow; });
+  }
+
+  if (!waits_fit) {
+    // Space-saving shape without a stream: keep the pair_cap heaviest pairs
+    // (weight desc, pair key asc on ties), then restore canonical order.
+    std::sort(port.waits.begin(), port.waits.end(), [](const WaitEntry& a, const WaitEntry& b) {
+      if (a.weight != b.weight) return a.weight > b.weight;
+      if (a.waiter != b.waiter) return a.waiter < b.waiter;
+      return a.ahead < b.ahead;
+    });
+    port.waits.resize(pair_cap);
+    std::sort(port.waits.begin(), port.waits.end(), [](const WaitEntry& a, const WaitEntry& b) {
+      if (a.waiter != b.waiter) return a.waiter < b.waiter;
+      return a.ahead < b.ahead;
+    });
+  }
+
+  port.truncated = !flows_fit || !waits_fit;
+}
+
+void ReportCompressor::compress(SwitchReport& report) const {
+  report.backend = TelemetryBackend::kSketch;
+  for (auto& port : report.ports) compress(port);
+}
+
+}  // namespace vedr::telemetry

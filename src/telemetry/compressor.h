@@ -1,0 +1,41 @@
+#pragma once
+
+#include "telemetry/records.h"
+#include "telemetry/store.h"
+
+namespace vedr::telemetry {
+
+/// Re-encodes exact-lane switch reports through the sketch backend's memory
+/// budget — the offline twin of running SketchStore on a live switch. Replay
+/// and the serve daemon use it for `--telemetry sketch`: .vtrc traces always
+/// record exact ground truth, and the consumer that wants the bounded lane
+/// compresses each report before it reaches the analyzer.
+///
+/// Compression is stateless per report (each recorded PortReport is already
+/// a cumulative windowed snapshot, so re-sketching it models a switch whose
+/// collection plane had `params` worth of memory at that poll): flow entries
+/// hash into fresh count-min rows and only the top-k survive (deterministic
+/// (pkts, FlowKey) tie-break); wait entries pass through a fixed-capacity
+/// space-saving pair table. Counters come back as the count-min estimates —
+/// overestimate-only, like the live sketch lane.
+class ReportCompressor {
+ public:
+  explicit ReportCompressor(const TelemetryParams& params) : params_(params) {
+    params_.backend = TelemetryBackend::kSketch;
+  }
+
+  const TelemetryParams& params() const { return params_; }
+
+  /// Compresses every port snapshot in `report` in place and stamps the
+  /// sketch-lane marker. Causes/drops/meters are O(ports), not O(flows), and
+  /// pass through untouched.
+  void compress(SwitchReport& report) const;
+
+  /// The per-port compression primitive (exposed for tests/bench).
+  void compress(PortReport& port) const;
+
+ private:
+  TelemetryParams params_;
+};
+
+}  // namespace vedr::telemetry

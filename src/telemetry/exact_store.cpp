@@ -1,0 +1,117 @@
+#include "telemetry/exact_store.h"
+
+#include <algorithm>
+
+namespace vedr::telemetry {
+
+void ExactStore::on_enqueue(const FlowKey& flow, std::int64_t bytes, Tick now) {
+  auto& fe = flows_[flow];
+  if (fe.pkts == 0) {
+    fe.flow = flow;
+    fe.first_seen = now;
+  }
+  fe.pkts += 1;
+  fe.bytes += bytes;
+  fe.last_seen = now;
+
+  // Queue-ahead accounting: every packet of another flow currently queued is
+  // a packet this flow's packet waits behind.
+  for (const auto& [other, cnt] : in_queue_) {  // vedr-lint: allow(unordered-iter): commutative += into maps keyed by (flow, other)
+    if (other == flow || cnt == 0) continue;
+    wait_[flow][other] += cnt;
+    wait_last_[flow][other] = now;
+  }
+
+  in_queue_[flow] += 1;
+}
+
+void ExactStore::on_dequeue(const FlowKey& flow, std::int64_t bytes) {
+  (void)bytes;
+  auto it = in_queue_.find(flow);
+  // Drained flows keep their (zero) entry: erasing would free the hash node
+  // just to reallocate it on the flow's next packet, and the queue-ahead
+  // loop in on_enqueue already skips cnt == 0. prune() reclaims them.
+  if (it != in_queue_.end() && it->second > 0) it->second -= 1;
+}
+
+void ExactStore::fill_snapshot(PortReport& r, Tick now, Tick since) const {
+  (void)now;
+  for (const auto& [key, fe] : flows_) {  // vedr-lint: allow(unordered-iter): r.flows is sorted before return below
+    if (fe.last_seen >= since) r.flows.push_back(fe);
+  }
+  for (const auto& [waiter, row] : wait_) {  // vedr-lint: allow(unordered-iter): r.waits is sorted before return below
+    auto last_row = wait_last_.find(waiter);
+    for (const auto& [ahead, w] : row) {
+      Tick last = sim::kNever;
+      if (last_row != wait_last_.end()) {
+        auto it = last_row->second.find(ahead);
+        if (it != last_row->second.end()) last = it->second;
+      }
+      if (last >= since && w > 0) r.waits.push_back(WaitEntry{waiter, ahead, w});
+    }
+  }
+  // Reports are assembled from unordered_maps; canonicalize their order so a
+  // snapshot's content never depends on hash-table iteration (which would
+  // leak into downstream graphs, findings, and the determinism digest).
+  std::sort(r.flows.begin(), r.flows.end(),
+            [](const FlowEntry& a, const FlowEntry& b) { return a.flow < b.flow; });
+  std::sort(r.waits.begin(), r.waits.end(), [](const WaitEntry& a, const WaitEntry& b) {
+    if (a.waiter != b.waiter) return a.waiter < b.waiter;
+    return a.ahead < b.ahead;
+  });
+}
+
+void ExactStore::prune(Tick now, Tick retention) {
+  const Tick cutoff = now - retention;
+  // Drained queue entries carry no observable state (on_enqueue skips
+  // cnt == 0), so reclaiming them can never change a snapshot.
+  for (auto it = in_queue_.begin(); it != in_queue_.end();) {  // vedr-lint: allow(unordered-iter): per-entry predicate, erasures commute
+    it = it->second == 0 ? in_queue_.erase(it) : std::next(it);
+  }
+  // Flow rows idle since before the cutoff fail fill_snapshot's
+  // `last_seen >= since` filter for every window starting at or after the
+  // cutoff, so dropping them is invisible to those readers. Rows for flows
+  // still resident in the queue are kept regardless of age: their counters
+  // must keep accumulating if the queue ever drains (e.g. across a long
+  // pause).
+  for (auto it = flows_.begin(); it != flows_.end();) {  // vedr-lint: allow(unordered-iter): per-entry predicate, erasures commute
+    if (it->second.last_seen < cutoff && in_queue_.find(it->first) == in_queue_.end()) {
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Wait pairs idle since before the cutoff fail the `last >= since` filter
+  // of every snapshot whose window starts at or after the cutoff; dropping
+  // them is invisible to those. Full-history (since = 0) readers would see
+  // the loss, which is why the default retention sits far beyond any
+  // evaluation horizon (NetConfig::telemetry_retention).
+  for (auto wit = wait_last_.begin(); wit != wait_last_.end();) {  // vedr-lint: allow(unordered-iter): per-entry predicate, erasures commute
+    auto wrow = wait_.find(wit->first);
+    for (auto pit = wit->second.begin(); pit != wit->second.end();) {  // vedr-lint: allow(unordered-iter): per-entry predicate, erasures commute
+      if (pit->second < cutoff) {
+        if (wrow != wait_.end()) wrow->second.erase(pit->first);
+        pit = wit->second.erase(pit);
+      } else {
+        ++pit;
+      }
+    }
+    if (wit->second.empty()) {
+      if (wrow != wait_.end() && wrow->second.empty()) wait_.erase(wrow);
+      wit = wait_last_.erase(wit);
+    } else {
+      ++wit;
+    }
+  }
+}
+
+std::int64_t ExactStore::state_bytes() const {
+  std::int64_t pairs = 0;
+  for (const auto& [waiter, row] : wait_)  // vedr-lint: allow(unordered-iter): commutative sum
+    pairs += static_cast<std::int64_t>(row.size());
+  return static_cast<std::int64_t>(flows_.size()) * StateCosts::kFlowState +
+         static_cast<std::int64_t>(in_queue_.size()) * StateCosts::kQueueState +
+         pairs * StateCosts::kWaitState;
+}
+
+}  // namespace vedr::telemetry

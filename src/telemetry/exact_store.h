@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "telemetry/store.h"
+
+namespace vedr::telemetry {
+
+/// The ground-truth backend: exact per-flow counters plus the full pairwise
+/// queue-ahead matrix w(f_i, f_j). State is O(active flows) + O(co-resident
+/// flow pairs); prune() bounds "active" to the retention horizon so
+/// long-running sessions stop leaking idle-flow entries.
+class ExactStore final : public TelemetryStore {
+ public:
+  void on_enqueue(const FlowKey& flow, std::int64_t bytes, Tick now) override;
+  void on_dequeue(const FlowKey& flow, std::int64_t bytes) override;
+  void fill_snapshot(PortReport& r, Tick now, Tick since) const override;
+  void prune(Tick now, Tick retention) override;
+  std::int64_t state_bytes() const override;
+  TelemetryBackend backend() const override { return TelemetryBackend::kExact; }
+
+  const std::unordered_map<FlowKey, FlowEntry, net::FlowKeyHash>& flows() const {
+    return flows_;
+  }
+
+ private:
+  std::unordered_map<FlowKey, FlowEntry, net::FlowKeyHash> flows_;
+  // Live per-flow packet counts in the queue (for queue-ahead accounting).
+  std::unordered_map<FlowKey, std::int64_t, net::FlowKeyHash> in_queue_;
+  // wait_[f_i][f_j] = w(f_i, f_j)
+  std::unordered_map<FlowKey, std::unordered_map<FlowKey, std::int64_t, net::FlowKeyHash>,
+                     net::FlowKeyHash>
+      wait_;
+  // Pair of (f_i, f_j) -> last time f_i enqueued behind f_j, for windowing.
+  std::unordered_map<FlowKey, std::unordered_map<FlowKey, Tick, net::FlowKeyHash>,
+                     net::FlowKeyHash>
+      wait_last_;
+};
+
+}  // namespace vedr::telemetry

@@ -2,37 +2,31 @@
 
 #include <algorithm>
 
+#include "telemetry/exact_store.h"
+#include "telemetry/sketch_store.h"
+
 namespace vedr::telemetry {
 
+namespace {
+
+std::unique_ptr<TelemetryStore> make_store(const TelemetryParams& params) {
+  if (params.backend == TelemetryBackend::kSketch)
+    return std::make_unique<SketchStore>(params);
+  return std::make_unique<ExactStore>();
+}
+
+}  // namespace
+
+PortTelemetry::PortTelemetry(const TelemetryParams& params) : store_(make_store(params)) {}
+
 void PortTelemetry::on_enqueue(const FlowKey& flow, std::int64_t bytes, Tick now) {
-  auto& fe = flows_[flow];
-  if (fe.pkts == 0) {
-    fe.flow = flow;
-    fe.first_seen = now;
-  }
-  fe.pkts += 1;
-  fe.bytes += bytes;
-  fe.last_seen = now;
-
-  // Queue-ahead accounting: every packet of another flow currently queued is
-  // a packet this flow's packet waits behind.
-  for (const auto& [other, cnt] : in_queue_) {  // vedr-lint: allow(unordered-iter): commutative += into maps keyed by (flow, other)
-    if (other == flow || cnt == 0) continue;
-    wait_[flow][other] += cnt;
-    wait_last_[flow][other] = now;
-  }
-
-  in_queue_[flow] += 1;
+  store_->on_enqueue(flow, bytes, now);
   qdepth_pkts_ += 1;
   qdepth_bytes_ += bytes;
 }
 
 void PortTelemetry::on_dequeue(const FlowKey& flow, std::int64_t bytes) {
-  auto it = in_queue_.find(flow);
-  // Drained flows keep their (zero) entry: erasing would free the hash node
-  // just to reallocate it on the flow's next packet, and the queue-ahead
-  // loop in on_enqueue already skips cnt == 0.
-  if (it != in_queue_.end() && it->second > 0) it->second -= 1;
+  store_->on_dequeue(flow, bytes);
   qdepth_pkts_ = std::max<std::int64_t>(0, qdepth_pkts_ - 1);
   qdepth_bytes_ = std::max<std::int64_t>(0, qdepth_bytes_ - bytes);
 }
@@ -76,34 +70,45 @@ PortReport PortTelemetry::snapshot(PortRef self, Tick now, Tick since) const {
   r.currently_paused = paused_;
   r.total_pause_time = total_pause_time(now);
 
-  for (const auto& [key, fe] : flows_) {  // vedr-lint: allow(unordered-iter): r.flows is sorted before return below
-    if (fe.last_seen >= since) r.flows.push_back(fe);
-  }
-  for (const auto& [waiter, row] : wait_) {  // vedr-lint: allow(unordered-iter): r.waits is sorted before return below
-    auto last_row = wait_last_.find(waiter);
-    for (const auto& [ahead, w] : row) {
-      Tick last = sim::kNever;
-      if (last_row != wait_last_.end()) {
-        auto it = last_row->second.find(ahead);
-        if (it != last_row->second.end()) last = it->second;
-      }
-      if (last >= since && w > 0) r.waits.push_back(WaitEntry{waiter, ahead, w});
-    }
-  }
+  // Flows + waits come from the backend store; both return canonically
+  // sorted (TelemetryStore contract), so nothing downstream ever sees
+  // hash-iteration order.
+  store_->fill_snapshot(r, now, since);
+
   for (const auto& ev : pause_events_) {
     const Tick end = ev.end == sim::kNever ? now : ev.end;
     if (end >= since) r.pauses.push_back(PauseEvent{ev.start, ev.end});
   }
-  // Reports are assembled from unordered_maps; canonicalize their order so a
-  // snapshot's content never depends on hash-table iteration (which would
-  // leak into downstream graphs, findings, and the determinism digest).
-  std::sort(r.flows.begin(), r.flows.end(),
-            [](const FlowEntry& a, const FlowEntry& b) { return a.flow < b.flow; });
-  std::sort(r.waits.begin(), r.waits.end(), [](const WaitEntry& a, const WaitEntry& b) {
-    if (a.waiter != b.waiter) return a.waiter < b.waiter;
-    return a.ahead < b.ahead;
-  });
   return r;
+}
+
+void PortTelemetry::prune(Tick now, Tick retention) {
+  store_->prune(now, retention);
+  // Pause events that ended before the cutoff fail every `end >= since`
+  // filter with since at or after it (snapshot and paused_within alike);
+  // accumulated_pause_ already folded them in. Events are start-ordered, so
+  // dropping the closed prefix preserves the early-break scan order.
+  const Tick cutoff = now - retention;
+  std::size_t drop = 0;
+  while (drop < pause_events_.size() && pause_events_[drop].end != sim::kNever &&
+         pause_events_[drop].end < cutoff)
+    ++drop;
+  if (drop > 0)
+    pause_events_.erase(pause_events_.begin(),
+                        pause_events_.begin() + static_cast<std::ptrdiff_t>(drop));
+}
+
+std::int64_t PortTelemetry::state_bytes() const {
+  return store_->state_bytes() +
+         static_cast<std::int64_t>(pause_events_.size()) * WireCosts::kPauseEvent;
+}
+
+SwitchTelemetry::SwitchTelemetry(NodeId switch_id, int num_ports, const TelemetryParams& params)
+    : switch_id_(switch_id), params_(params),
+      meter_(static_cast<std::size_t>(num_ports),
+             std::vector<std::int64_t>(static_cast<std::size_t>(num_ports), 0)) {
+  ports_.reserve(static_cast<std::size_t>(num_ports));
+  for (int p = 0; p < num_ports; ++p) ports_.emplace_back(params);
 }
 
 void SwitchTelemetry::record_ttl_drop(const FlowKey& flow, PortId egress, Tick now) {
@@ -142,6 +147,16 @@ PortReport SwitchTelemetry::port_snapshot(PortId egress, Tick now, Tick since) c
     if (b > 0 && in != egress) r.meters.push_back(MeterEntry{in, b});
   }
   return r;
+}
+
+void SwitchTelemetry::prune(Tick now, Tick retention) {
+  for (auto& p : ports_) p.prune(now, retention);
+}
+
+std::int64_t SwitchTelemetry::state_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& p : ports_) total += p.state_bytes();
+  return total;
 }
 
 }  // namespace vedr::telemetry

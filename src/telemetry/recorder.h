@@ -1,21 +1,28 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/tap.h"
 #include "net/types.h"
 #include "telemetry/records.h"
+#include "telemetry/store.h"
 
 namespace vedr::telemetry {
 
 /// Always-on flow/queue accounting for one egress port, mirroring what a
 /// telemetry-capable switch data plane records (§III-C3): per-flow counters,
 /// queue-ahead matrices (the w(f_i, f_j) inputs), queue depth and PFC pause
-/// state.
+/// state. The flow/wait side — the only part whose memory scales with flow
+/// count — lives behind a pluggable TelemetryStore (DESIGN.md §13): the
+/// exact backend (default, ground truth) or the bounded-memory sketch
+/// backend. Queue depth and pause accounting are backend-independent.
 class PortTelemetry {
  public:
+  explicit PortTelemetry(const TelemetryParams& params = {});
+
   /// Called when a packet is appended to the data-priority queue.
   void on_enqueue(const FlowKey& flow, std::int64_t bytes, Tick now);
 
@@ -39,22 +46,21 @@ class PortTelemetry {
   /// weights, and pause intervals overlapping [since, now].
   PortReport snapshot(PortRef self, Tick now, Tick since) const;
 
-  const std::unordered_map<FlowKey, FlowEntry, net::FlowKeyHash>& flows() const {
-    return flows_;
-  }
+  /// Reclaims store state idle since before now - retention (and pause
+  /// events that ended before then). Never changes a snapshot whose window
+  /// starts at or after the cutoff; callers poll-window close, so retention
+  /// must stay comfortably above the poll window.
+  void prune(Tick now, Tick retention);
+
+  /// Current store memory priced by the StateCosts model, plus this port's
+  /// pause-event log.
+  std::int64_t state_bytes() const;
+
+  const TelemetryStore& store() const { return *store_; }
+  TelemetryBackend backend() const { return store_->backend(); }
 
  private:
-  std::unordered_map<FlowKey, FlowEntry, net::FlowKeyHash> flows_;
-  // Live per-flow packet counts in the queue (for queue-ahead accounting).
-  std::unordered_map<FlowKey, std::int64_t, net::FlowKeyHash> in_queue_;
-  // wait_[f_i][f_j] = w(f_i, f_j)
-  std::unordered_map<FlowKey, std::unordered_map<FlowKey, std::int64_t, net::FlowKeyHash>,
-                     net::FlowKeyHash>
-      wait_;
-  // Pair of (f_i, f_j) -> last time f_i enqueued behind f_j, for windowing.
-  std::unordered_map<FlowKey, std::unordered_map<FlowKey, Tick, net::FlowKeyHash>,
-                     net::FlowKeyHash>
-      wait_last_;
+  std::unique_ptr<TelemetryStore> store_;
 
   std::int64_t qdepth_bytes_ = 0;
   std::int64_t qdepth_pkts_ = 0;
@@ -69,14 +75,12 @@ class PortTelemetry {
 /// byte meters and the pause-cause log this switch generated.
 class SwitchTelemetry {
  public:
-  explicit SwitchTelemetry(NodeId switch_id, int num_ports)
-      : switch_id_(switch_id), ports_(static_cast<std::size_t>(num_ports)),
-        meter_(static_cast<std::size_t>(num_ports),
-               std::vector<std::int64_t>(static_cast<std::size_t>(num_ports), 0)) {}
+  SwitchTelemetry(NodeId switch_id, int num_ports, const TelemetryParams& params = {});
 
   PortTelemetry& port(PortId p) { return ports_.at(static_cast<std::size_t>(p)); }
   const PortTelemetry& port(PortId p) const { return ports_.at(static_cast<std::size_t>(p)); }
   int num_ports() const { return static_cast<int>(ports_.size()); }
+  TelemetryBackend backend() const { return params_.backend; }
 
   void on_forward(PortId in_port, PortId out_port, std::int64_t bytes) {
     if (in_port == net::kInvalidPort) return;  // locally originated
@@ -109,10 +113,19 @@ class SwitchTelemetry {
   /// Full port snapshot including meters toward this egress port.
   PortReport port_snapshot(PortId egress, Tick now, Tick since) const;
 
+  /// Prunes every port's store (satellite of DESIGN.md §13: idle-flow wait
+  /// entries in long-lived sessions must not leak).
+  void prune(Tick now, Tick retention);
+
+  /// Total store memory across every egress port (StateCosts model) — the
+  /// per-switch telemetry memory gauge.
+  std::int64_t state_bytes() const;
+
   NodeId switch_id() const { return switch_id_; }
 
  private:
   NodeId switch_id_;
+  TelemetryParams params_;
   std::vector<PortTelemetry> ports_;
   std::vector<std::vector<std::int64_t>> meter_;  // [in][out] bytes
   std::vector<PauseCauseReport> causes_;

@@ -71,6 +71,10 @@ struct PortReport {
   std::vector<WaitEntry> waits;
   std::vector<MeterEntry> meters;
   std::vector<PauseEvent> pauses;
+  /// Sketch lane only: the producing store evicted state, so `flows`/`waits`
+  /// may omit entries an exact store would have reported (top-k truncation).
+  /// Not serialized in .vtrc traces — recordings are always exact-lane.
+  bool truncated = false;
 
   /// Whether this snapshot carries any PFC pause evidence: the diagnosis
   /// plane latches this per port, so a later quiet snapshot cannot erase it.
@@ -117,6 +121,10 @@ struct SwitchReport {
   NodeId switch_id = net::kInvalidNode;
   std::uint64_t poll_id = 0;
   Tick time = 0;
+  /// Which telemetry lane produced the port snapshots (the analyzer latches
+  /// this into the Diagnosis so a verdict names its evidence quality). Not
+  /// serialized: .vtrc traces always carry the exact-lane ground truth.
+  net::TelemetryBackend backend = net::TelemetryBackend::kExact;
   std::vector<PortReport> ports;
   std::vector<PauseCauseReport> causes;
   std::vector<DropEntry> drops;

@@ -1,0 +1,208 @@
+#include "telemetry/sketch_store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sim/rng.h"
+
+namespace vedr::telemetry {
+
+CountMinSketch::CountMinSketch(std::int32_t width, std::int32_t depth)
+    : width_(std::max<std::int32_t>(1, width)),
+      depth_(std::clamp<std::int32_t>(depth, 1, kMaxSketchDepth)),
+      cells_(static_cast<std::size_t>(width_) * static_cast<std::size_t>(depth_), 0) {}
+
+std::size_t CountMinSketch::cell_index(std::uint64_t key, std::int32_t row) const {
+  const std::uint64_t h = sim::Rng::mix(key, kSketchRowSeeds[row]);
+  return static_cast<std::size_t>(row) * static_cast<std::size_t>(width_) +
+         static_cast<std::size_t>(h % static_cast<std::uint64_t>(width_));
+}
+
+void CountMinSketch::add(std::uint64_t key, std::int64_t delta) {
+  VEDR_ASSERT(delta >= 0, "count-min deltas must be non-negative (overestimate-only)");
+  total_ += delta;
+  for (std::int32_t r = 0; r < depth_; ++r) cells_[cell_index(key, r)] += delta;
+}
+
+std::int64_t CountMinSketch::estimate(std::uint64_t key) const {
+  std::int64_t est = cells_[cell_index(key, 0)];
+  for (std::int32_t r = 1; r < depth_; ++r)
+    est = std::min(est, cells_[cell_index(key, r)]);
+  return est;
+}
+
+SketchStore::SketchStore(const TelemetryParams& params)
+    : params_(params),
+      pkts_(params.sketch_width, params.sketch_depth),
+      bytes_(params.sketch_width, params.sketch_depth),
+      ahead_(params.sketch_width, params.sketch_depth) {
+  if (params_.topk < 1) params_.topk = 1;
+  heap_.reserve(static_cast<std::size_t>(params_.topk));
+}
+
+void SketchStore::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    heap_index_[heap_[i].flow] = i;
+    heap_index_[heap_[parent].flow] = parent;
+    i = parent;
+  }
+}
+
+void SketchStore::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && heap_less(heap_[l], heap_[smallest])) smallest = l;
+    if (r < n && heap_less(heap_[r], heap_[smallest])) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    heap_index_[heap_[i].flow] = i;
+    heap_index_[heap_[smallest].flow] = smallest;
+    i = smallest;
+  }
+}
+
+void SketchStore::heap_update(const FlowKey& flow, std::int64_t est, Tick now) {
+  const auto it = heap_index_.find(flow);
+  if (it != heap_index_.end()) {
+    HeapEntry& e = heap_[it->second];
+    e.est = est;  // estimates only grow: sinking restores the heap
+    e.last_seen = now;
+    sift_down(it->second);
+    return;
+  }
+  if (heap_.size() < static_cast<std::size_t>(params_.topk)) {
+    heap_.push_back(HeapEntry{flow, est, now, now});
+    heap_index_[flow] = heap_.size() - 1;
+    sift_up(heap_.size() - 1);
+    return;
+  }
+  // Full: the candidate displaces the root only if it strictly beats it
+  // under (est, FlowKey) order. The heap minimum is therefore non-decreasing
+  // over the run — the invariant behind the top-k superset guarantee (every
+  // flow whose true count exceeds the final heap minimum is in the heap).
+  HeapEntry candidate{flow, est, now, now};
+  if (!heap_less(heap_[0], candidate)) return;
+  evicted_ = true;
+  heap_index_.erase(heap_[0].flow);
+  heap_[0] = candidate;
+  heap_index_[flow] = 0;
+  sift_down(0);
+}
+
+void SketchStore::pair_update(const FlowKey& waiter, const FlowKey& ahead, std::int64_t cnt,
+                              Tick now) {
+  pair_mass_ += cnt;
+  const PairKey key{waiter, ahead};
+  const auto it = pairs_.find(key);
+  if (it != pairs_.end()) {
+    it->second.weight += cnt;
+    it->second.last = now;
+    return;
+  }
+  if (pairs_.size() < static_cast<std::size_t>(params_.pair_cap())) {
+    pairs_.emplace(key, PairCell{cnt, now});
+    return;
+  }
+  // Space-saving eviction: the new pair inherits the minimum weight, so
+  // per-pair estimates stay overestimate-only and the inherited error is
+  // bounded by pair_mass_ / capacity. Minimum selection compares (weight,
+  // key), so equal weights break deterministically by pair key order.
+  auto min_it = pairs_.begin();
+  for (auto pit = std::next(pairs_.begin()); pit != pairs_.end(); ++pit) {
+    if (pit->second.weight < min_it->second.weight) min_it = pit;
+  }
+  const std::int64_t inherited = min_it->second.weight;
+  evicted_ = true;
+  pairs_.erase(min_it);
+  pairs_.emplace(key, PairCell{inherited + cnt, now});
+}
+
+void SketchStore::on_enqueue(const FlowKey& flow, std::int64_t bytes, Tick now) {
+  const std::uint64_t h = flow.hash();
+  pkts_.add(h, 1);
+  bytes_.add(h, bytes);
+  heap_update(flow, pkts_.estimate(h), now);
+
+  for (const auto& [other, cnt] : in_queue_) {
+    if (other == flow || cnt == 0) continue;
+    ahead_.add(h, cnt);
+    pair_update(flow, other, cnt, now);
+  }
+  in_queue_[flow] += 1;
+}
+
+void SketchStore::on_dequeue(const FlowKey& flow, std::int64_t bytes) {
+  (void)bytes;
+  const auto it = in_queue_.find(flow);
+  if (it == in_queue_.end()) return;
+  if (it->second > 0) it->second -= 1;
+  // Unlike the exact store there is no churn concern worth the leak: the
+  // live-queue map is the only unbounded-keyed structure here, so drained
+  // flows are reclaimed immediately.
+  if (it->second == 0) in_queue_.erase(it);
+}
+
+void SketchStore::fill_snapshot(PortReport& r, Tick now, Tick since) const {
+  (void)now;
+  for (const auto& e : heap_) {
+    if (e.last_seen < since) continue;
+    FlowEntry fe;
+    fe.flow = e.flow;
+    fe.pkts = pkts_.estimate(e.flow.hash());
+    fe.bytes = bytes_.estimate(e.flow.hash());
+    fe.first_seen = e.first_seen;
+    fe.last_seen = e.last_seen;
+    r.flows.push_back(fe);
+  }
+  std::sort(r.flows.begin(), r.flows.end(),
+            [](const FlowEntry& a, const FlowEntry& b) { return a.flow < b.flow; });
+  // pairs_ iterates in (waiter, ahead) key order already — the canonical
+  // wait order downstream consumers expect.
+  for (const auto& [key, cell] : pairs_) {
+    if (cell.last >= since && cell.weight > 0)
+      r.waits.push_back(WaitEntry{key.waiter, key.ahead, cell.weight});
+  }
+  r.truncated = evicted_;
+}
+
+void SketchStore::prune(Tick now, Tick retention) {
+  const Tick cutoff = now - retention;
+  for (auto it = pairs_.begin(); it != pairs_.end();) {
+    it = it->second.last < cutoff ? pairs_.erase(it) : std::next(it);
+  }
+  // Stale heavy hitters free their slots for the next burst. Survivors are
+  // re-heapified; entries were only removed, so heap order stays valid after
+  // a full rebuild (deterministic: comparator is (est, FlowKey)).
+  std::vector<HeapEntry> kept;
+  kept.reserve(heap_.size());
+  for (const auto& e : heap_)
+    if (e.last_seen >= cutoff) kept.push_back(e);
+  if (kept.size() == heap_.size()) return;
+  heap_ = std::move(kept);
+  std::sort(heap_.begin(), heap_.end(), heap_less);
+  heap_index_.clear();
+  for (std::size_t i = 0; i < heap_.size(); ++i) heap_index_[heap_[i].flow] = i;
+}
+
+std::int64_t SketchStore::state_bytes() const {
+  return pkts_.state_bytes() + bytes_.state_bytes() + ahead_.state_bytes() +
+         static_cast<std::int64_t>(heap_.size()) * StateCosts::kTopKState +
+         static_cast<std::int64_t>(pairs_.size()) * StateCosts::kPairState +
+         static_cast<std::int64_t>(in_queue_.size()) * StateCosts::kQueueState;
+}
+
+std::vector<FlowKey> SketchStore::topk_flows() const {
+  std::vector<FlowKey> out;
+  out.reserve(heap_.size());
+  for (const auto& e : heap_) out.push_back(e.flow);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vedr::telemetry

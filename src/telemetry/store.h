@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.h"
+#include "telemetry/records.h"
+
+namespace vedr::telemetry {
+
+using net::TelemetryBackend;
+using net::TelemetryParams;
+
+/// In-switch memory model for the state-bytes gauge and the accuracy/memory
+/// frontier (bench/telemetry_frontier): what one entry of each telemetry
+/// structure costs on a real data plane. Deliberately separate from
+/// WireCosts — WireCosts prices what a report *ships*, StateCosts prices
+/// what the switch *holds* between polls.
+struct StateCosts {
+  static constexpr std::int64_t kFlowState = 48;     ///< 5-tuple + counters + 2 timestamps
+  static constexpr std::int64_t kQueueState = 24;    ///< 5-tuple + live packet count
+  static constexpr std::int64_t kWaitState = 40;     ///< flow pair + weight + last tick
+  static constexpr std::int64_t kSketchCounter = 8;  ///< one count-min cell
+  static constexpr std::int64_t kTopKState = 56;     ///< heap entry: key + est + timestamps
+  static constexpr std::int64_t kPairState = 48;     ///< pair-table entry: keys + weight + last
+};
+
+/// Backend behind one egress port's flow/queue-ahead accounting — the
+/// O(flows) / O(flows^2) part of PortTelemetry (DESIGN.md §13). Pause state,
+/// queue depth and pause events stay in PortTelemetry itself: they are O(1)
+/// or O(pause episodes) and identical across backends.
+///
+/// Contract:
+///   * on_enqueue/on_dequeue mirror the switch's data-priority queue events.
+///   * fill_snapshot appends `flows` and `waits` (and sets `truncated`) for
+///     activity within [since, now]; both vectors must come back sorted
+///     canonically (flows by FlowKey, waits by (waiter, ahead)) so no
+///     hash-iteration order ever escapes into reports.
+///   * prune(now, retention) may drop state idle since before
+///     now - retention; it must not change any snapshot whose window starts
+///     at or after now - retention.
+///   * state_bytes() prices the backend's current state via StateCosts.
+///
+/// Determinism: implementations must be reproducible run-to-run — fixed
+/// hash-seed constants, no wall-clock, no iteration-order-dependent results.
+class TelemetryStore {
+ public:
+  virtual ~TelemetryStore() = default;
+
+  virtual void on_enqueue(const FlowKey& flow, std::int64_t bytes, Tick now) = 0;
+  virtual void on_dequeue(const FlowKey& flow, std::int64_t bytes) = 0;
+  virtual void fill_snapshot(PortReport& r, Tick now, Tick since) const = 0;
+  virtual void prune(Tick now, Tick retention) = 0;
+  virtual std::int64_t state_bytes() const = 0;
+  virtual TelemetryBackend backend() const = 0;
+};
+
+}  // namespace vedr::telemetry

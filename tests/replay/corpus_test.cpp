@@ -87,6 +87,57 @@ TEST_P(CorpusTest, ReplayedDiagnosisMatchesStoredExpectation) {
   EXPECT_EQ(replayed.diagnosis_digest, replayed.footer.diagnosis_digest);
 }
 
+// Sketch-lane agreement over the same golden corpus: replaying each trace
+// through the bounded sketch backend must (a) still complete cleanly, (b)
+// carry the sketch-lane marker, and (c) rank the same top culprit as the
+// exact lane whenever the exact lane implicates anyone. The lanes need not
+// agree byte-for-byte — the sketch trades per-flow exactness for memory —
+// but the headline verdict must survive the compression.
+TEST_P(CorpusTest, SketchLaneAgreesOnTopCulprit) {
+  const CorpusEntry& entry = GetParam();
+  if (common::env_str("VEDR_UPDATE_CORPUS")) GTEST_SKIP() << "regeneration pass";
+  const std::string trace_path =
+      std::string(VEDR_REPLAY_CORPUS_DIR) + "/" + entry.name + ".vtrc";
+
+  replay::TraceReader exact_reader(trace_path);
+  replay::StreamingCollector exact_collector;
+  const replay::ReplayResult exact = exact_collector.replay(exact_reader);
+  ASSERT_TRUE(exact.ok) << exact.error.str();
+  ASSERT_FALSE(exact.diagnosis.sketch_lane);
+
+  replay::TraceReader sketch_reader(trace_path);
+  replay::StreamingCollector sketch_collector;
+  net::TelemetryParams params;
+  params.backend = net::TelemetryBackend::kSketch;
+  sketch_collector.set_telemetry(params);
+  const replay::ReplayResult sketch = sketch_collector.replay(sketch_reader);
+  ASSERT_TRUE(sketch.ok) << sketch.error.str();
+  EXPECT_TRUE(sketch.diagnosis.sketch_lane);
+  // The footer digest hashes the exact-lane diagnosis; matching it from the
+  // sketch lane would mean the compressor changed nothing.
+  EXPECT_FALSE(sketch.digest_matches);
+
+  auto top_culprit = [](const core::Diagnosis& d) {
+    net::FlowKey best{};
+    double best_score = -1.0;
+    for (const auto& [flow, score] : d.contributions) {
+      if (score > best_score || (score == best_score && flow < best)) {
+        best = flow;
+        best_score = score;
+      }
+    }
+    return std::make_pair(best, best_score);
+  };
+  const auto [exact_top, exact_score] = top_culprit(exact.diagnosis);
+  if (exact_score >= 0) {
+    const auto [sketch_top, sketch_score] = top_culprit(sketch.diagnosis);
+    ASSERT_GE(sketch_score, 0.0) << entry.name << ": sketch lane implicated nobody";
+    EXPECT_EQ(sketch_top, exact_top)
+        << entry.name << ": sketch lane blamed " << sketch_top.str() << " but exact lane "
+        << exact_top.str();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllScenarios, CorpusTest, ::testing::ValuesIn(kCorpus),
                          [](const ::testing::TestParamInfo<CorpusEntry>& info) {
                            return std::string(info.param.name);

@@ -114,6 +114,90 @@ TEST(PortTelemetry, SnapshotIncludesOpenPauseInterval) {
   EXPECT_EQ(r.total_pause_time, 1000);
 }
 
+TEST(PortTelemetry, PruneDropsIdleStateWithoutChangingWindowedSnapshots) {
+  PortTelemetry t;
+  // Old co-resident pair: f1 then f2 behind it, both drained long ago.
+  t.on_enqueue(fk(1), 100, 1000);
+  t.on_enqueue(fk(2), 100, 1500);
+  t.on_dequeue(fk(1), 100);
+  t.on_dequeue(fk(2), 100);
+  // Recent activity that every windowed snapshot must keep seeing.
+  t.on_enqueue(fk(3), 100, 90000);
+  t.on_enqueue(fk(4), 100, 90500);
+
+  const std::int64_t before = t.state_bytes();
+  const auto pre = t.snapshot(PortRef{9, 0}, 100000, 50000);
+  // Retention 20000 at now=100000: cutoff 80000, far after the stale pair.
+  t.prune(100000, 20000);
+  const auto post = t.snapshot(PortRef{9, 0}, 100000, 50000);
+
+  EXPECT_LT(t.state_bytes(), before) << "prune removed no state";
+  ASSERT_EQ(pre.flows.size(), post.flows.size());
+  for (std::size_t i = 0; i < pre.flows.size(); ++i) {
+    EXPECT_EQ(pre.flows[i].flow, post.flows[i].flow);
+    EXPECT_EQ(pre.flows[i].pkts, post.flows[i].pkts);
+  }
+  ASSERT_EQ(pre.waits.size(), post.waits.size());
+  for (std::size_t i = 0; i < pre.waits.size(); ++i) {
+    EXPECT_EQ(pre.waits[i].waiter, post.waits[i].waiter);
+    EXPECT_EQ(pre.waits[i].weight, post.waits[i].weight);
+  }
+}
+
+TEST(PortTelemetry, PruneDropsClosedPauseEpisodesKeepsAccumulatedTime) {
+  PortTelemetry t;
+  t.on_pause(1000);
+  t.on_resume(2000);
+  t.on_pause(95000);  // still open across the prune
+
+  t.prune(100000, 20000);
+
+  // The stale closed episode is gone from state, but its contribution to
+  // total pause time was folded into the accumulator long before.
+  EXPECT_EQ(t.total_pause_time(100000), 1000 + 5000);
+  const auto r = t.snapshot(PortRef{9, 0}, 100000, 0);
+  ASSERT_EQ(r.pauses.size(), 1u);
+  EXPECT_EQ(r.pauses[0].start, 95000);
+  EXPECT_TRUE(t.paused_within(100000, 1000));
+}
+
+TEST(SwitchTelemetry, StateBytesSumsPortsAndShrinksOnPrune) {
+  SwitchTelemetry t(7, 4);
+  const std::int64_t empty = t.state_bytes();
+  t.port(0).on_enqueue(fk(1), 100, 1000);
+  t.port(0).on_enqueue(fk(2), 100, 1100);
+  t.port(0).on_dequeue(fk(1), 100);
+  t.port(0).on_dequeue(fk(2), 100);
+  t.port(1).on_enqueue(fk(3), 100, 1000);
+  t.port(1).on_dequeue(fk(3), 100);
+  EXPECT_GT(t.state_bytes(), empty);
+  t.prune(1000000, 1000);
+  EXPECT_EQ(t.state_bytes(), empty) << "all state was idle past retention";
+}
+
+TEST(PortTelemetry, SketchBackendReportsTruncationAndBoundedFlows) {
+  TelemetryParams p;
+  p.backend = TelemetryBackend::kSketch;
+  p.sketch_width = 64;
+  p.sketch_depth = 2;
+  p.topk = 4;
+  PortTelemetry t(p);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j <= i; ++j) t.on_enqueue(fk(i), 100, 100 * (i + 1) + j);
+  }
+  const auto r = t.snapshot(PortRef{9, 0}, 10000, 0);
+  EXPECT_LE(r.flows.size(), 4u);
+  EXPECT_TRUE(r.truncated);
+  // Exact lane on the same stream is untruncated and complete.
+  PortTelemetry exact;
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j <= i; ++j) exact.on_enqueue(fk(i), 100, 100 * (i + 1) + j);
+  }
+  const auto re = exact.snapshot(PortRef{9, 0}, 10000, 0);
+  EXPECT_EQ(re.flows.size(), 12u);
+  EXPECT_FALSE(re.truncated);
+}
+
 TEST(SwitchTelemetry, MetersPerPortPair) {
   SwitchTelemetry t(7, 4);
   t.on_forward(0, 2, 1000);

@@ -1,0 +1,273 @@
+// Property tests for the bounded sketch telemetry backend (DESIGN.md §13),
+// run side by side with an in-test exact model of the same event stream:
+//
+//   * count-min estimates never underestimate, and under the fixed row seeds
+//     the classical (e / width) * N error bound holds for the bulk of flows;
+//   * the top-k heavy-hitter heap is a superset of every flow whose true
+//     count beats the heap's minimum estimate (the strict-> insertion rule);
+//   * pair-table (space-saving) weights never underestimate and overshoot by
+//     at most total pair mass / capacity;
+//   * the whole lane is deterministic: same stream, same snapshot bytes, and
+//     same end-to-end run_case_digest under --telemetry sketch.
+//
+// The random streams use a fixed mt19937_64 seed, so every assertion is
+// reproducible — a failure is a real regression, never flake.
+#include "telemetry/sketch_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "net/routing.h"
+#include "telemetry/compressor.h"
+#include "telemetry/exact_store.h"
+#include "telemetry/recorder.h"
+
+namespace vedr::telemetry {
+namespace {
+
+FlowKey fk(int i) { return FlowKey{i, 100, static_cast<std::uint16_t>(i), 1}; }
+
+TelemetryParams sketch_params(std::int32_t width, std::int32_t depth, std::int32_t k) {
+  TelemetryParams p;
+  p.backend = TelemetryBackend::kSketch;
+  p.sketch_width = width;
+  p.sketch_depth = depth;
+  p.topk = k;
+  return p;
+}
+
+/// Exact oracle maintained alongside the store under test: per-flow packet
+/// tallies plus the same queue-ahead pair semantics the exact backend keeps
+/// (waiter gains the count of every other flow's packets ahead of it).
+struct ExactModel {
+  std::map<FlowKey, std::int64_t> pkts;
+  std::map<FlowKey, std::int64_t> bytes;
+  std::map<FlowKey, std::int64_t> in_queue;
+  std::map<std::pair<FlowKey, FlowKey>, std::int64_t> waits;
+  std::int64_t pair_mass = 0;
+
+  void enqueue(const FlowKey& f, std::int64_t size) {
+    pkts[f] += 1;
+    bytes[f] += size;
+    for (const auto& [g, cnt] : in_queue) {
+      if (g == f || cnt <= 0) continue;
+      waits[{f, g}] += cnt;
+      pair_mass += cnt;
+    }
+    in_queue[f] += 1;
+  }
+  void dequeue(const FlowKey& f) {
+    auto it = in_queue.find(f);
+    if (it == in_queue.end()) return;
+    if (--it->second <= 0) in_queue.erase(it);
+  }
+};
+
+/// Drives `store` and the oracle with an identical randomized stream: `n`
+/// flows with a heavily skewed packet budget (flow 0 dominates), enqueues
+/// interleaved with dequeues that keep the queue partially occupied.
+ExactModel drive(SketchStore& store, int n_flows, int n_events, std::uint64_t seed) {
+  ExactModel model;
+  std::mt19937_64 rng(seed);
+  // Skew: flow i gets weight ~ 1/(i+1), so low ids are the heavy hitters.
+  std::vector<double> weights(static_cast<std::size_t>(n_flows));
+  for (int i = 0; i < n_flows; ++i) weights[static_cast<std::size_t>(i)] = 1.0 / (1.0 + i);
+  std::discrete_distribution<int> pick(weights.begin(), weights.end());
+  std::vector<FlowKey> queue_fifo;
+
+  Tick now = 0;
+  for (int e = 0; e < n_events; ++e) {
+    now += 10;
+    const bool do_dequeue = !queue_fifo.empty() && (queue_fifo.size() > 24 || (e % 3 == 0));
+    if (do_dequeue) {
+      const FlowKey f = queue_fifo.front();
+      queue_fifo.erase(queue_fifo.begin());
+      store.on_dequeue(f, 1000);
+      model.dequeue(f);
+    } else {
+      const FlowKey f = fk(pick(rng));
+      store.on_enqueue(f, 1000, now);
+      model.enqueue(f, 1000);
+      queue_fifo.push_back(f);
+    }
+  }
+  return model;
+}
+
+TEST(CountMinSketch, OverestimateOnlyWithinClassicalBound) {
+  const std::int32_t width = 128;
+  const std::int32_t depth = 4;
+  CountMinSketch cm(width, depth);
+  std::map<std::uint64_t, std::int64_t> truth;
+  std::mt19937_64 rng(0xFEEDu);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t key = rng() % 600;
+    const std::int64_t delta = static_cast<std::int64_t>(rng() % 16);
+    cm.add(key, delta);
+    truth[key] += delta;
+  }
+
+  const double eps_n = (2.718281828 / width) * static_cast<double>(cm.total());
+  int within = 0;
+  for (const auto& [key, t] : truth) {
+    const std::int64_t est = cm.estimate(key);
+    ASSERT_GE(est, t) << "count-min underestimated key " << key;
+    if (static_cast<double>(est - t) <= eps_n) ++within;
+  }
+  // The (e/width)*N bound holds per query w.p. 1 - e^-depth (~98% at depth
+  // 4); under the fixed seeds this margin is deterministic.
+  EXPECT_GE(within * 10, static_cast<int>(truth.size()) * 9)
+      << "error bound violated for >10% of keys";
+}
+
+TEST(SketchStore, NeverUnderestimatesAndTopKIsSuperset) {
+  SketchStore store(sketch_params(256, 4, 16));
+  const ExactModel model = drive(store, /*n_flows=*/120, /*n_events=*/6000, 0xABCDu);
+
+  for (const auto& [f, true_pkts] : model.pkts) {
+    EXPECT_GE(store.estimate_pkts(f), true_pkts) << "pkts underestimated for " << f.str();
+    EXPECT_GE(store.estimate_bytes(f), model.bytes.at(f));
+  }
+
+  // Superset guarantee: the heap minimum only ever rises, and a flow enters
+  // whenever its estimate strictly beats it — so any flow whose TRUE count
+  // (<= its estimate) beats the final minimum estimate must be resident.
+  const std::vector<FlowKey> topk = store.topk_flows();
+  ASSERT_FALSE(topk.empty());
+  ASSERT_LE(topk.size(), 16u);
+  std::int64_t heap_min_est = std::numeric_limits<std::int64_t>::max();
+  for (const FlowKey& f : topk) heap_min_est = std::min(heap_min_est, store.estimate_pkts(f));
+  for (const auto& [f, true_pkts] : model.pkts) {
+    if (true_pkts <= heap_min_est) continue;
+    EXPECT_TRUE(std::find(topk.begin(), topk.end(), f) != topk.end())
+        << f.str() << " has true count " << true_pkts << " > heap min estimate "
+        << heap_min_est << " but was evicted from the top-k";
+  }
+  EXPECT_TRUE(store.truncated()) << "120 flows through a k=16 heap must evict";
+}
+
+TEST(SketchStore, PairWeightsOverestimateWithinMassOverCapacity) {
+  const std::int32_t k = 16;
+  TelemetryParams params = sketch_params(256, 4, k);
+  SketchStore store(params);
+  const ExactModel model = drive(store, /*n_flows=*/40, /*n_events=*/4000, 0x5EEDu);
+
+  PortReport r;
+  store.fill_snapshot(r, /*now=*/1000000, /*since=*/0);
+  ASSERT_FALSE(r.waits.empty());
+  const double slack = static_cast<double>(model.pair_mass) / params.pair_cap();
+  for (const auto& we : r.waits) {
+    const auto it = model.waits.find({we.waiter, we.ahead});
+    const std::int64_t truth = it == model.waits.end() ? 0 : it->second;
+    EXPECT_GE(we.weight, truth) << "pair weight underestimated";
+    EXPECT_LE(static_cast<double>(we.weight - truth), slack)
+        << "space-saving overshoot beyond pair_mass/capacity";
+  }
+}
+
+TEST(SketchStore, SnapshotIsCanonicallySortedAndBounded) {
+  SketchStore store(sketch_params(128, 3, 8));
+  drive(store, /*n_flows=*/60, /*n_events=*/3000, 0xC0DEu);
+  PortReport r;
+  store.fill_snapshot(r, 1000000, 0);
+  ASSERT_LE(r.flows.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(r.flows.begin(), r.flows.end(),
+                             [](const FlowEntry& a, const FlowEntry& b) {
+                               return a.flow < b.flow;
+                             }));
+  EXPECT_TRUE(std::is_sorted(r.waits.begin(), r.waits.end(),
+                             [](const WaitEntry& a, const WaitEntry& b) {
+                               if (a.waiter != b.waiter) return a.waiter < b.waiter;
+                               return a.ahead < b.ahead;
+                             }));
+  EXPECT_TRUE(r.truncated);
+}
+
+TEST(SketchStore, SameStreamSameSnapshotBytes) {
+  SketchStore a(sketch_params(256, 4, 16));
+  SketchStore b(sketch_params(256, 4, 16));
+  drive(a, 80, 5000, 0xD15Cu);
+  drive(b, 80, 5000, 0xD15Cu);
+
+  PortReport ra, rb;
+  a.fill_snapshot(ra, 1000000, 0);
+  b.fill_snapshot(rb, 1000000, 0);
+  ASSERT_EQ(ra.flows.size(), rb.flows.size());
+  for (std::size_t i = 0; i < ra.flows.size(); ++i) {
+    EXPECT_EQ(ra.flows[i].flow, rb.flows[i].flow);
+    EXPECT_EQ(ra.flows[i].pkts, rb.flows[i].pkts);
+    EXPECT_EQ(ra.flows[i].bytes, rb.flows[i].bytes);
+  }
+  ASSERT_EQ(ra.waits.size(), rb.waits.size());
+  for (std::size_t i = 0; i < ra.waits.size(); ++i) {
+    EXPECT_EQ(ra.waits[i].waiter, rb.waits[i].waiter);
+    EXPECT_EQ(ra.waits[i].ahead, rb.waits[i].ahead);
+    EXPECT_EQ(ra.waits[i].weight, rb.waits[i].weight);
+  }
+  EXPECT_EQ(a.state_bytes(), b.state_bytes());
+}
+
+TEST(ReportCompressor, DeterministicTopKAndMarker) {
+  PortReport r;
+  r.port = PortRef{3, 1};
+  for (int i = 0; i < 40; ++i) {
+    FlowEntry fe;
+    fe.flow = fk(i);
+    fe.pkts = 100 - i;  // distinct counts: selection is unambiguous
+    fe.bytes = (100 - i) * 1000;
+    r.flows.push_back(fe);
+  }
+  TelemetryParams params = sketch_params(512, 4, 8);
+  const ReportCompressor comp(params);
+  comp.compress(r);
+  ASSERT_EQ(r.flows.size(), 8u);
+  EXPECT_TRUE(r.truncated);
+  // The 8 heaviest flows (ids 0..7) survive, reported in FlowKey order.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(r.flows[static_cast<std::size_t>(i)].flow, fk(i));
+
+  SwitchReport sr;
+  sr.ports.push_back(r);
+  comp.compress(sr);
+  EXPECT_EQ(sr.backend, TelemetryBackend::kSketch);
+}
+
+TEST(SketchStore, RunCaseDigestIsRepeatableOnSketchLane) {
+  eval::RunConfig cfg;
+  cfg.netcfg.telemetry = sketch_params(128, 3, 16);
+  eval::ScenarioParams params;
+  params.scale = 1.0 / 256.0;
+  const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
+  const auto routing = net::RoutingTable::shortest_paths(topo);
+  const auto spec =
+      eval::make_scenario(eval::ScenarioType::kFlowContention, 0, topo, routing, params);
+  const std::uint64_t d1 = eval::run_case_digest(spec, eval::SystemKind::kVedrfolnir, cfg);
+  const std::uint64_t d2 = eval::run_case_digest(spec, eval::SystemKind::kVedrfolnir, cfg);
+  EXPECT_EQ(d1, d2) << "sketch lane must be deterministic run-to-run";
+}
+
+TEST(SketchStore, DiagnosisCarriesSketchLaneMarker) {
+  eval::RunConfig cfg;
+  cfg.netcfg.telemetry = sketch_params(128, 3, 16);
+  eval::ScenarioParams params;
+  params.scale = 1.0 / 256.0;
+  const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
+  const auto routing = net::RoutingTable::shortest_paths(topo);
+  const auto spec =
+      eval::make_scenario(eval::ScenarioType::kFlowContention, 0, topo, routing, params);
+  const eval::CaseResult r = eval::run_case(spec, eval::SystemKind::kVedrfolnir, cfg);
+  EXPECT_TRUE(r.diagnosis.sketch_lane);
+  EXPECT_GT(r.telemetry_state_bytes, 0);
+
+  eval::RunConfig exact_cfg;
+  const eval::CaseResult e = eval::run_case(spec, eval::SystemKind::kVedrfolnir, exact_cfg);
+  EXPECT_FALSE(e.diagnosis.sketch_lane);
+}
+
+}  // namespace
+}  // namespace vedr::telemetry

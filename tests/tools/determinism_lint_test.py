@@ -166,6 +166,40 @@ class WallClockTest(unittest.TestCase):
         self.assertEqual(run(src), [])
 
 
+class RngSeedTest(unittest.TestCase):
+    def test_random_device(self):
+        src = "std::random_device rd;\nstd::mt19937 gen(rd());\n"
+        self.assertEqual(rules_of(run(src)), ["rng-seed"])
+
+    def test_default_random_engine_and_arc4random(self):
+        self.assertEqual(
+            rules_of(run("std::default_random_engine e;\n")), ["rng-seed"]
+        )
+        self.assertEqual(rules_of(run("x = arc4random();\n")), ["rng-seed"])
+
+    def test_getrandom_and_getentropy(self):
+        src = "getrandom(buf, sizeof buf, 0);\ngetentropy(buf, 16);\n"
+        self.assertEqual(rules_of(run(src)), ["rng-seed", "rng-seed"])
+
+    def test_no_exemption_for_obs_or_serve(self):
+        # Unlike wall-clock, the daemon may not draw entropy either.
+        src = "std::random_device rd;\n"
+        self.assertEqual(rules_of(run(src, rel="src/serve/server.cpp")), ["rng-seed"])
+        self.assertEqual(rules_of(run(src, rel="src/obs/metrics.cpp")), ["rng-seed"])
+
+    def test_fixed_seed_constants_are_fine(self):
+        src = (
+            "inline constexpr std::uint64_t kSketchRowSeeds[] = {\n"
+            "    0x9E3779B97F4A7C15ULL, 0xC2B2AE3D27D4EB4FULL,\n"
+            "};\n"
+            "sim::Rng rng(case_seed);\n"
+        )
+        self.assertEqual(run(src), [])
+
+    def test_mention_in_comment_is_fine(self):
+        self.assertEqual(run("// never use std::random_device here\n"), [])
+
+
 class UninitPodTest(unittest.TestCase):
     def test_bare_scalar_fields_in_payload_struct(self):
         src = (
@@ -271,8 +305,8 @@ class HelperTest(unittest.TestCase):
         # CI and suppression comments reference these exact names.
         self.assertEqual(
             set(lint.RULE_NAMES),
-            {"unordered-iter", "pointer-key", "wall-clock", "uninit-pod",
-             "bare-suppression", "unknown-rule"},
+            {"unordered-iter", "pointer-key", "wall-clock", "rng-seed",
+             "uninit-pod", "bare-suppression", "unknown-rule"},
         )
 
 

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Exact-vs-sketch verdict agreement over recorded traces (CI gate).
+
+For each .vtrc trace given, replays it twice through ``vedr_replay`` — once on
+the exact lane, once through the bounded sketch backend — and checks that the
+compression kept the headline verdict:
+
+  * the sketch-lane JSON carries the ``"telemetry": "sketch"`` marker (and the
+    exact lane does not);
+  * when the exact lane names a top contributor, the sketch lane names the
+    same flow first (score order, flow string on ties);
+  * the sketch lane reports findings iff the exact lane does, and agrees on
+    the top finding's type and root.
+
+Byte-identity between the lanes is *not* expected — the sketch trades per-flow
+exactness for bounded memory — which is exactly why this script compares
+verdicts instead of diffing JSON. Stdlib only.
+
+Usage:
+    tools/check_sketch_agreement.py --replay build/tools/vedr_replay \\
+        tests/replay/corpus/*.vtrc [--sketch-width N] [--sketch-depth N]
+        [--sketch-k N]
+
+Exit status: 0 all traces agree, 1 disagreement or replay failure, 2 usage.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def top_contributor(diag):
+    """(flow, score) of the highest-scoring contributor, or None."""
+    best = None
+    for c in diag.get("contributors", []):
+        key = (c["score"], c["flow"])
+        if best is None or key > (best[1], best[0]):
+            best = (c["flow"], c["score"])
+    return best
+
+
+def replay_json(replay_bin, trace, sketch_args=None):
+    cmd = [replay_bin, trace, "--json"]
+    if sketch_args is not None:
+        cmd += ["--telemetry", "sketch"] + sketch_args
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{' '.join(cmd)} exited {proc.returncode}: {proc.stderr.strip()}"
+        )
+    return json.loads(proc.stdout)
+
+
+def check_trace(replay_bin, trace, sketch_args):
+    problems = []
+    exact = replay_json(replay_bin, trace)["diagnosis"]
+    sketch = replay_json(replay_bin, trace, sketch_args)["diagnosis"]
+
+    if exact.get("telemetry") == "sketch":
+        problems.append("exact lane unexpectedly carries the sketch marker")
+    if sketch.get("telemetry") != "sketch":
+        problems.append("sketch lane is missing the \"telemetry\":\"sketch\" marker")
+
+    exact_top = top_contributor(exact)
+    sketch_top = top_contributor(sketch)
+    if exact_top is not None:
+        if sketch_top is None:
+            problems.append(
+                f"exact lane blames {exact_top[0]} but sketch lane blames nobody"
+            )
+        elif sketch_top[0] != exact_top[0]:
+            problems.append(
+                f"top contributor differs: exact {exact_top[0]} vs sketch {sketch_top[0]}"
+            )
+
+    exact_findings = exact.get("findings", [])
+    sketch_findings = sketch.get("findings", [])
+    if bool(exact_findings) != bool(sketch_findings):
+        problems.append(
+            f"findings presence differs: exact {len(exact_findings)} "
+            f"vs sketch {len(sketch_findings)}"
+        )
+    elif exact_findings:
+        ef, sf = exact_findings[0], sketch_findings[0]
+        if (ef["type"], ef["root"]) != (sf["type"], sf["root"]):
+            problems.append(
+                f"top finding differs: exact {ef['type']}@{ef['root']} "
+                f"vs sketch {sf['type']}@{sf['root']}"
+            )
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("traces", nargs="+", help=".vtrc traces to check")
+    parser.add_argument("--replay", required=True, help="path to the vedr_replay binary")
+    parser.add_argument("--sketch-width", type=int, default=None)
+    parser.add_argument("--sketch-depth", type=int, default=None)
+    parser.add_argument("--sketch-k", type=int, default=None)
+    args = parser.parse_args()
+
+    sketch_args = []
+    for flag, value in (
+        ("--sketch-width", args.sketch_width),
+        ("--sketch-depth", args.sketch_depth),
+        ("--sketch-k", args.sketch_k),
+    ):
+        if value is not None:
+            sketch_args += [flag, str(value)]
+
+    failed = 0
+    for trace in args.traces:
+        try:
+            problems = check_trace(args.replay, trace, sketch_args)
+        except (RuntimeError, OSError, json.JSONDecodeError, KeyError) as e:
+            problems = [f"replay failed: {e}"]
+        if problems:
+            failed += 1
+            for p in problems:
+                print(f"DISAGREE {trace}: {p}")
+        else:
+            print(f"agree {trace}")
+
+    if failed:
+        print(f"check_sketch_agreement: {failed}/{len(args.traces)} trace(s) disagree",
+              file=sys.stderr)
+        return 1
+    print(f"check_sketch_agreement: all {len(args.traces)} trace(s) agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,15 @@ for the rule catalogue and rationale):
                    ``src/serve``: the daemon is host-side plumbing that
                    legitimately measures wall latency and paces polls — it
                    feeds metrics, never digests or the simulation.
+  rng-seed         entropy sources (std::random_device, getrandom(),
+                   arc4random(), std::default_random_engine) anywhere in
+                   ``src/``. Sketch rows, hash tables and samplers must seed
+                   from fixed compile-time constants (the kSketchRowSeeds
+                   pattern in src/telemetry/sketch_store.h) or from case ids
+                   via sim::Rng — an entropy-derived seed makes sketch
+                   contents, and therefore reports and digests, differ run
+                   to run. No exemption dirs: even host-side code has no
+                   business drawing entropy in this repo.
   uninit-pod       scalar fields without a default member initializer in
                    event/trace payload structs (names matching Event /
                    Payload / Record / Header / Footer / Envelope / Frame /
@@ -53,6 +62,7 @@ RULE_NAMES = (
     "unordered-iter",
     "pointer-key",
     "wall-clock",
+    "rng-seed",
     "uninit-pod",
     "bare-suppression",
     "unknown-rule",
@@ -85,6 +95,16 @@ WALL_CLOCK_RES = (
 #              pacing are wall-time by nature; nothing in src/serve feeds a
 #              determinism digest or the simulation clock.
 WALL_CLOCK_EXEMPT_DIRS = ("src/obs", "src/serve")
+
+# Entropy sources: unlike wall-clock there are no exempt dirs — every random
+# draw in this repo must come from sim::Rng under a caller-supplied seed, and
+# every hash-seed must be a fixed constant (kSketchRowSeeds).
+RNG_SEED_RES = (
+    re.compile(r"\bstd\s*::\s*random_device\b"),
+    re.compile(r"\bstd\s*::\s*default_random_engine\b"),
+    re.compile(r"\barc4random(?:_uniform|_buf)?\s*\("),
+    re.compile(r"\bgetentropy\s*\(|\bgetrandom\s*\("),
+)
 
 PAYLOAD_STRUCT_RE = re.compile(
     r"\bstruct\s+([A-Za-z_]\w*(?:Event|Payload|Record|Header|Footer|Envelope|Frame|Meta))\b"
@@ -259,6 +279,15 @@ def lint_text(text: str, rel: str, extra_unordered: set[str] | None = None) -> l
                          "model code must only observe sim time (obs::wall_now_ns "
                          "is the one sanctioned host-clock read)")
                     break
+
+        for pat in RNG_SEED_RES:
+            if pat.search(code):
+                emit("rng-seed",
+                     "entropy source: sketch/hash seeds must be fixed "
+                     "compile-time constants (kSketchRowSeeds) or flow from a "
+                     "caller-supplied sim::Rng seed — entropy-derived state "
+                     "diverges run to run")
+                break
 
         # --- uninit-pod: track payload struct bodies by brace depth --------
         if payload_struct is None and payload_pending is None:

@@ -3,6 +3,8 @@
 //   vedr_diagnose [--scenario contention|incast|storm|backpressure]
 //                 [--case N] [--system vedrfolnir|hawkeye-max|hawkeye-min|full]
 //                 [--scale F] [--json] [--dot PREFIX] [--record FILE.vtrc]
+//                 [--telemetry exact|sketch] [--sketch-width N]
+//                 [--sketch-depth N] [--sketch-k N]
 //                 [--obs-trace FILE.json] [--obs-metrics FILE]
 //
 // Runs one seeded case end to end and prints the diagnosis as text (default)
@@ -13,6 +15,11 @@
 // --obs-metrics writes the case's metric snapshot as Prometheus text (or
 // JSON when the path ends in .json). Both are taps: the diagnosis and its
 // exit code are identical with or without them.
+//
+// --telemetry sketch runs the fabric's collection plane on the bounded
+// count-min/top-k backend instead of the exact per-flow tables; the sketch
+// knobs size it. Incompatible with --record: traces always capture exact
+// ground truth (replay them with `vedr_replay --telemetry sketch` instead).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +30,7 @@
 #include "eval/experiment.h"
 #include "net/routing.h"
 #include "obs/cli.h"
+#include "telemetry_flags.h"
 
 namespace {
 
@@ -33,8 +41,9 @@ using namespace vedr;
                "usage: %s [--scenario contention|incast|storm|backpressure] [--case N]\n"
                "          [--system vedrfolnir|hawkeye-max|hawkeye-min|full] [--scale F]\n"
                "          [--json] [--dot PREFIX] [--record FILE.vtrc]\n"
+               "%s"
                "          [--obs-trace FILE.json] [--obs-metrics FILE]\n",
-               argv0);
+               argv0, tools::TelemetryCli::usage_line());
   std::exit(2);
 }
 
@@ -65,6 +74,7 @@ int main(int argc, char** argv) {
   std::string dot_prefix;
   std::string record_path;
   obs::ObsCli obs_opts;
+  tools::TelemetryCli telemetry_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -89,12 +99,21 @@ int main(int argc, char** argv) {
       record_path = next();
     } else if (obs_opts.parse(arg, next)) {
       // handled
+    } else if (telemetry_opts.parse(arg, next, [&] { usage(argv[0]); })) {
+      // handled
     } else {
       usage(argv[0]);
     }
   }
+  if (telemetry_opts.sketch() && !record_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --record captures exact ground truth and cannot run with "
+                 "--telemetry sketch; record exact, then `vedr_replay --telemetry sketch`\n");
+    return 2;
+  }
 
   eval::RunConfig cfg;
+  cfg.netcfg.telemetry = telemetry_opts.params();
   obs_opts.enable();
   cfg.capture_metrics = obs_opts.want_metrics();
   eval::ScenarioParams params;
@@ -137,6 +156,9 @@ int main(int argc, char** argv) {
                 static_cast<long long>(result.telemetry_bytes),
                 static_cast<long long>(result.bandwidth_bytes),
                 static_cast<long long>(result.report_count));
+    std::printf("telemetry: %s backend, %lld B switch-resident state\n",
+                telemetry_opts.sketch() ? "sketch" : "exact",
+                static_cast<long long>(result.telemetry_state_bytes));
     std::printf("\n%s", result.diagnosis.summary().c_str());
   }
 

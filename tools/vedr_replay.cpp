@@ -1,6 +1,8 @@
 // vedr_replay — offline re-diagnosis of a recorded .vtrc trace.
 //
 //   vedr_replay TRACE.vtrc [--json] [--dot PREFIX] [--verify-digest]
+//               [--telemetry exact|sketch] [--sketch-width N]
+//               [--sketch-depth N] [--sketch-k N]
 //               [--obs-trace FILE.json] [--obs-metrics FILE]
 //
 // Streams the trace through a fresh Analyzer (replay::StreamingCollector) and
@@ -12,6 +14,12 @@
 // the stream diverged from the footer's expectations. --obs-trace spans the
 // replayed diagnose phases (Perfetto JSON); --obs-metrics snapshots the
 // replay-side registry (frame/byte counters, diagnose latency).
+//
+// --telemetry sketch re-diagnoses the trace as if the switches had only the
+// bounded sketch backend's memory: every recorded (exact) switch report is
+// compressed through the count-min/top-k budget before the analyzer sees it.
+// Incompatible with --verify-digest — the footer hashes the exact-lane
+// diagnosis, so a sketch-lane digest match would be a bug, not a success.
 //
 // Exit codes: 0 success (and digest verified, when requested), 1 digest
 // mismatch, 2 usage error, 3 unreadable/corrupt trace.
@@ -25,6 +33,7 @@
 #include "obs/cli.h"
 #include "replay/collector.h"
 #include "replay/trace_reader.h"
+#include "telemetry_flags.h"
 
 namespace {
 
@@ -33,8 +42,9 @@ using namespace vedr;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s TRACE.vtrc [--json] [--dot PREFIX] [--verify-digest]\n"
+               "%s"
                "          [--obs-trace FILE.json] [--obs-metrics FILE]\n",
-               argv0);
+               argv0, tools::TelemetryCli::usage_line());
   std::exit(2);
 }
 
@@ -127,6 +137,7 @@ int main(int argc, char** argv) {
   bool as_json = false;
   bool verify_digest = false;
   obs::ObsCli obs_opts;
+  tools::TelemetryCli telemetry_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -142,6 +153,8 @@ int main(int argc, char** argv) {
       verify_digest = true;
     } else if (obs_opts.parse(arg, next)) {
       // handled
+    } else if (telemetry_opts.parse(arg, next, [&] { usage(argv[0]); })) {
+      // handled
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0]);
     } else if (trace_path.empty()) {
@@ -151,10 +164,17 @@ int main(int argc, char** argv) {
     }
   }
   if (trace_path.empty()) usage(argv[0]);
+  if (telemetry_opts.sketch() && verify_digest) {
+    std::fprintf(stderr,
+                 "error: --verify-digest checks against the exact-lane footer digest and "
+                 "cannot run with --telemetry sketch\n");
+    return 2;
+  }
 
   obs_opts.enable();
   replay::TraceReader reader(trace_path);
   replay::StreamingCollector collector;
+  if (telemetry_opts.sketch()) collector.set_telemetry(telemetry_opts.params());
   const replay::ReplayResult result = collector.replay(reader);
 
   if (!result.ok) {

@@ -3,6 +3,8 @@
 //   vedr_serve --follow FILE[=TENANT] [--follow ...]
 //              [--port N] [--port-file FILE] [--shards N] [--queue-cap N]
 //              [--policy block|drop] [--no-step-verdicts] [--no-wait-file]
+//              [--telemetry exact|sketch] [--sketch-width N]
+//              [--sketch-depth N] [--sketch-k N]
 //              [--verdicts FILE] [--metrics-out FILE] [--oneshot]
 //
 // Tails each --follow'd .vtrc file (which may still be written) into its own
@@ -19,6 +21,12 @@
 // SIGTERM/SIGINT, which triggers the clean shutdown ordering: stop tailers,
 // finalize sessions, drain the pool, stop HTTP.
 //
+// --telemetry sketch diagnoses every followed stream through the bounded
+// sketch backend (each exact recorded report is compressed to the sketch
+// memory budget before analysis). Final verdicts then report
+// digest_match:false by design — the trace footer hashes the exact-lane
+// diagnosis — so --oneshot only requires sessions to finish cleanly.
+//
 // Exit codes: 0 clean shutdown (oneshot: every session finished and its
 // digest matched), 1 a session ended in error, 2 usage, 3 startup failure.
 #include <csignal>
@@ -34,6 +42,7 @@
 #include "serve/server.h"
 #include "serve/tail_source.h"
 #include "serve/verdict.h"
+#include "telemetry_flags.h"
 
 namespace {
 
@@ -47,8 +56,9 @@ void on_signal(int) { g_signal = 1; }
                "usage: %s --follow FILE[=TENANT] [--follow ...]\n"
                "          [--port N] [--port-file FILE] [--shards N] [--queue-cap N]\n"
                "          [--policy block|drop] [--no-step-verdicts] [--no-wait-file]\n"
+               "%s"
                "          [--verdicts FILE] [--metrics-out FILE] [--oneshot]\n",
-               argv0);
+               argv0, tools::TelemetryCli::usage_line());
   std::exit(2);
 }
 
@@ -70,6 +80,7 @@ int main(int argc, char** argv) {
   serve::ServerConfig cfg;
   serve::TailConfig tail_cfg;
   bool oneshot = false;
+  tools::TelemetryCli telemetry_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -112,11 +123,14 @@ int main(int argc, char** argv) {
       metrics_out = next();
     } else if (arg == "--oneshot") {
       oneshot = true;
+    } else if (telemetry_opts.parse(arg, next, [&] { usage(argv[0]); })) {
+      // handled
     } else {
       usage(argv[0]);
     }
   }
   if (follows.empty()) usage(argv[0]);
+  cfg.session.telemetry = telemetry_opts.params();
 
   std::FILE* verdict_file = stdout;
   if (!verdicts_path.empty() && verdicts_path != "-") {
@@ -196,8 +210,10 @@ int main(int argc, char** argv) {
   if (oneshot && g_signal == 0) {
     for (const auto& s : sources) {
       const serve::Session* sess = server.find_session(s->session_id());
+      // Sketch-lane sessions never match the footer digest (it hashes the
+      // exact-lane diagnosis), so oneshot only requires a clean finish there.
       if (sess == nullptr || sess->state() != serve::SessionState::kFinished ||
-          !sess->digest_matched())
+          (!telemetry_opts.sketch() && !sess->digest_matched()))
         exit_code = 1;
     }
   }
