@@ -5,7 +5,8 @@
 //
 //   sim_throughput [--scenario contention|incast|storm|backpressure]
 //                  [--case N] [--system vedrfolnir|hawkeye-max|hawkeye-min|full]
-//                  [--scale F] [--runs N] [--smoke] [--json PATH]
+//                  [--scale F] [--runs N] [--shards N] [--k K] [--sweep]
+//                  [--smoke] [--json PATH]
 //                  [--obs-trace FILE.json] [--obs-metrics FILE]
 //
 // Prints events/sec, packets/sec, wall time, and peak RSS; --json also emits
@@ -14,6 +15,15 @@
 // turn on the observability taps during the timed runs — that is the point:
 // comparing events/sec with and without them measures the enabled-tracing
 // overhead (EXPERIMENTS.md records the budget: <5%).
+//
+// --shards N runs the case on the conservative sharded engine (DESIGN.md
+// §14) with N worker threads; --k sets the fat-tree radix. --sweep runs the
+// scaling matrix shards {1,2,4,8} x K {4,8} and emits one flat JSON field
+// set per point (k<K>_s<S>_*), plus the K=8 parallel speedup
+// (s8 vs s1). The >= 3x speedup acceptance gate is enforced only when the
+// machine has at least 8 hardware threads — on smaller runners (including
+// 1-core CI boxes) the engine's blocking barriers make extra shards pure
+// overhead, so the sweep is report-only there (gate_enforced=false).
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -22,6 +32,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -38,7 +49,7 @@ using namespace vedr;
   std::fprintf(stderr,
                "usage: %s [--scenario contention|incast|storm|backpressure] [--case N]\n"
                "          [--system vedrfolnir|hawkeye-max|hawkeye-min|full] [--scale F]\n"
-               "          [--runs N] [--smoke] [--json PATH]\n"
+               "          [--runs N] [--shards N] [--k K] [--sweep] [--smoke] [--json PATH]\n"
                "          [--obs-trace FILE.json] [--obs-metrics FILE]\n",
                argv0);
   std::exit(2);
@@ -76,6 +87,44 @@ long peak_rss_kb() {
   return ru.ru_maxrss;  // KiB on Linux
 }
 
+struct Measurement {
+  double wall = 0.0;  ///< best-of-N seconds
+  std::uint64_t events = 0;
+  std::uint64_t packets = 0;
+  std::shared_ptr<const obs::MetricsSnapshot> metrics;
+};
+
+/// Best-of-N wall time: the engine's speed is the fastest run; slower runs
+/// measure the machine, not the scheduler.
+Measurement measure(const eval::ScenarioSpec& spec, eval::SystemKind system,
+                    const eval::RunConfig& cfg, int runs, bool verbose) {
+  Measurement m;
+  for (int r = 0; r < runs; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const eval::CaseResult result = eval::run_case(spec, system, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    if (r == 0 || wall < m.wall) m.wall = wall;
+    m.events = result.sim_events;
+    m.packets = result.packets_delivered;
+    m.metrics = result.metrics;
+    if (verbose) {
+      std::printf("run %d: %.3fs  (%.3fM events, %.3fM packets)\n", r, wall,
+                  static_cast<double>(m.events) / 1e6, static_cast<double>(m.packets) / 1e6);
+    }
+  }
+  return m;
+}
+
+eval::ScenarioSpec spec_for(eval::ScenarioType scenario, int case_id, int k,
+                            const eval::RunConfig& cfg, double scale) {
+  eval::ScenarioParams params;
+  params.scale = scale;
+  const net::Topology topo = net::make_fat_tree(k, cfg.netcfg);
+  const auto routing = net::RoutingTable::shortest_paths(topo);
+  return eval::make_scenario(scenario, case_id, topo, routing, params);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,8 +132,11 @@ int main(int argc, char** argv) {
   eval::SystemKind system = eval::SystemKind::kVedrfolnir;
   int case_id = 0;
   int runs = 3;
+  int shards = 1;
+  int fat_tree_k = 4;
   double scale = 1.0 / 64.0;
   bool smoke = false;
+  bool sweep = false;
   std::string json_path;
   obs::ObsCli obs_cli;
 
@@ -106,6 +158,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--runs") {
       runs = static_cast<int>(common::parse_i64_or_die("--runs", next()));
       if (runs < 1) usage(argv[0]);
+    } else if (arg == "--shards") {
+      shards = static_cast<int>(common::parse_i64_or_die("--shards", next()));
+      if (shards < 1) usage(argv[0]);
+    } else if (arg == "--k") {
+      fat_tree_k = static_cast<int>(common::parse_i64_or_die("--k", next()));
+      if (fat_tree_k < 4 || fat_tree_k % 2 != 0) usage(argv[0]);
+    } else if (arg == "--sweep") {
+      sweep = true;
     } else if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--json") {
@@ -120,43 +180,96 @@ int main(int argc, char** argv) {
     scale = std::min(scale, 1.0 / 256.0);
     runs = 1;
   }
+  if ((sweep || shards > 1) && system != eval::SystemKind::kVedrfolnir) {
+    std::fprintf(stderr, "error: sharded runs support --system vedrfolnir only\n");
+    return 2;
+  }
 
   eval::RunConfig cfg;
   obs_cli.enable();
   cfg.capture_metrics = obs_cli.want_metrics();
-  eval::ScenarioParams params;
-  params.scale = scale;
-  const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
-  const auto routing = net::RoutingTable::shortest_paths(topo);
-  const auto spec = eval::make_scenario(scenario, case_id, topo, routing, params);
 
-  std::printf("case: %s\n", spec.str().c_str());
-  std::printf("system: %s, %d run(s), scale %g\n", eval::to_string(system), runs, scale);
+  if (sweep) {
+    // The satellite scaling matrix: shards x radix, backpressure (the
+    // heaviest scenario: the incast cascade keeps every pod busy).
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    const bool gate_enforced = hw >= 8;
+    const std::vector<int> shard_counts = {1, 2, 4, 8};
+    const std::vector<int> radixes = {4, 8};
 
-  // Best-of-N wall time: the engine's speed is the fastest run; slower runs
-  // measure the machine, not the scheduler.
-  double best_wall = 0.0;
-  std::uint64_t events = 0, packets = 0;
-  std::shared_ptr<const obs::MetricsSnapshot> metrics;
-  for (int r = 0; r < runs; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const eval::CaseResult result = eval::run_case(spec, system, cfg);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double wall = std::chrono::duration<double>(t1 - t0).count();
-    if (r == 0 || wall < best_wall) best_wall = wall;
-    events = result.sim_events;
-    packets = result.packets_delivered;
-    metrics = result.metrics;
-    std::printf("run %d: %.3fs  (%.3fM events, %.3fM packets)\n", r, wall,
-                static_cast<double>(events) / 1e6, static_cast<double>(packets) / 1e6);
+    std::printf("sweep: %s case %d, scale %g, %d run(s)/point, %d hw thread(s)%s\n",
+                scenario_slug(scenario), case_id, scale, runs, hw,
+                gate_enforced ? "" : " (speedup gate report-only)");
+    std::printf("%4s %7s %12s %14s %12s\n", "K", "shards", "wall_s", "events", "events/s");
+
+    bench::BenchReport report("sim_throughput");
+    report.field("sweep", true)
+        .field("scenario", scenario_slug(scenario))
+        .field("case_id", case_id)
+        .field("scale", scale)
+        .field("runs", runs)
+        .field("hw_threads", hw);
+
+    double wall_k8_s1 = 0.0, wall_k8_s8 = 0.0;
+    for (const int k : radixes) {
+      const eval::ScenarioSpec spec = spec_for(scenario, case_id, k, cfg, scale);
+      for (const int s : shard_counts) {
+        eval::RunConfig point_cfg = cfg;
+        point_cfg.shards = s;
+        point_cfg.fat_tree_k = k;
+        const Measurement m = measure(spec, system, point_cfg, runs, /*verbose=*/false);
+        const double eps = m.wall > 0 ? static_cast<double>(m.events) / m.wall : 0;
+        std::printf("%4d %7d %12.3f %14llu %12.0f\n", k, s, m.wall,
+                    static_cast<unsigned long long>(m.events), eps);
+        char prefix[32];
+        std::snprintf(prefix, sizeof prefix, "k%d_s%d_", k, s);
+        const std::string p(prefix);
+        report.field_fixed(p + "wall_seconds", m.wall, 6)
+            .field(p + "events", m.events)
+            .field_fixed(p + "events_per_sec", eps, 0);
+        if (k == 8 && s == 1) wall_k8_s1 = m.wall;
+        if (k == 8 && s == 8) wall_k8_s8 = m.wall;
+      }
+    }
+
+    const double speedup = wall_k8_s8 > 0 ? wall_k8_s1 / wall_k8_s8 : 0;
+    const bool sweep_ok = !gate_enforced || speedup >= 3.0;
+    std::printf("K=8 speedup (shards 8 vs 1): %.2fx%s\n", speedup,
+                gate_enforced ? (sweep_ok ? "  (gate >= 3x: PASS)" : "  (gate >= 3x: FAIL)")
+                              : "  (gate not enforced: < 8 hw threads)");
+
+    report.field_fixed("speedup_k8", speedup, 3)
+        .field("gate_enforced", gate_enforced)
+        .field("sweep_ok", sweep_ok)
+        .field("peak_rss_kb", static_cast<std::int64_t>(peak_rss_kb()));
+    if (!json_path.empty()) {
+      if (!report.write(json_path)) return 2;
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    if (!obs_cli.finish(nullptr, {{"bench", "sim_throughput"},
+                                  {"scenario", scenario_slug(scenario)},
+                                  {"system", eval::to_string(system)}})) {
+      return 2;
+    }
+    return sweep_ok ? 0 : 1;
   }
 
-  const double events_per_sec = best_wall > 0 ? static_cast<double>(events) / best_wall : 0;
-  const double packets_per_sec = best_wall > 0 ? static_cast<double>(packets) / best_wall : 0;
+  cfg.shards = shards;
+  cfg.fat_tree_k = fat_tree_k;
+  const eval::ScenarioSpec spec = spec_for(scenario, case_id, fat_tree_k, cfg, scale);
+
+  std::printf("case: %s\n", spec.str().c_str());
+  std::printf("system: %s, %d run(s), scale %g, %d shard(s), k=%d\n", eval::to_string(system),
+              runs, scale, shards, fat_tree_k);
+
+  const Measurement m = measure(spec, system, cfg, runs, /*verbose=*/true);
+
+  const double events_per_sec = m.wall > 0 ? static_cast<double>(m.events) / m.wall : 0;
+  const double packets_per_sec = m.wall > 0 ? static_cast<double>(m.packets) / m.wall : 0;
   const long rss_kb = peak_rss_kb();
   std::printf("events/sec:  %.0f\n", events_per_sec);
   std::printf("packets/sec: %.0f\n", packets_per_sec);
-  std::printf("wall:        %.3fs (best of %d)\n", best_wall, runs);
+  std::printf("wall:        %.3fs (best of %d)\n", m.wall, runs);
   std::printf("peak RSS:    %ld KiB\n", rss_kb);
 
   if (!json_path.empty()) {
@@ -166,9 +279,11 @@ int main(int argc, char** argv) {
         .field("case_id", case_id)
         .field("scale", scale)
         .field("runs", runs)
-        .field("events", events)
-        .field("packets", packets)
-        .field_fixed("wall_seconds", best_wall, 6)
+        .field("shards", shards)
+        .field("fat_tree_k", fat_tree_k)
+        .field("events", m.events)
+        .field("packets", m.packets)
+        .field_fixed("wall_seconds", m.wall, 6)
         .field_fixed("events_per_sec", events_per_sec, 0)
         .field_fixed("packets_per_sec", packets_per_sec, 0)
         .field("peak_rss_kb", static_cast<std::int64_t>(rss_kb));
@@ -176,9 +291,9 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", json_path.c_str());
   }
 
-  if (!obs_cli.finish(metrics.get(), {{"bench", "sim_throughput"},
-                                      {"scenario", scenario_slug(scenario)},
-                                      {"system", eval::to_string(system)}})) {
+  if (!obs_cli.finish(m.metrics.get(), {{"bench", "sim_throughput"},
+                                        {"scenario", scenario_slug(scenario)},
+                                        {"system", eval::to_string(system)}})) {
     return 2;
   }
   return 0;

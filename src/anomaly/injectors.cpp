@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/check.h"
 #include "net/host.h"
 #include "net/switch.h"
 #include "obs/log.h"
@@ -13,7 +14,10 @@ void inject_flow(net::Network& net, const InjectedFlow& flow,
   VEDR_LOG_DEBUG("anomaly", "inject flow %s: %lld bytes at t=%lld", flow.key.str().c_str(),
                  static_cast<long long>(flow.bytes), static_cast<long long>(flow.start));
   net.host(flow.key.dst).expect_flow(flow.key, flow.bytes);
-  net.sim().schedule_at(flow.start, [&net, flow, cb = std::move(on_complete)] {
+  // Schedule on the domain that owns the source host so the trigger (and the
+  // flow state it creates) stays on that domain's simulator (serial: the one
+  // simulator — identical behavior).
+  net.sim_of(flow.key.src).schedule_at(flow.start, [&net, flow, cb = std::move(on_complete)] {
     net.host(flow.key.src).start_flow(
         flow.key, flow.bytes,
         [cb](const net::FlowKey&, Tick t) {
@@ -32,6 +36,9 @@ net::PortId port_towards(const net::Topology& topo, NodeId from, NodeId to) {
 void inject_routing_loop(net::Network& net, NodeId dst, NodeId a, NodeId b, Tick at) {
   VEDR_LOG_DEBUG("anomaly", "inject routing loop %d<->%d for dst %d at t=%lld", a, b, dst,
                  static_cast<long long>(at));
+  // The routing table is shared across domains; mutating it mid-run from one
+  // domain would race with every other domain's forwarding decisions.
+  VEDR_CHECK(!net.sharded(), "routing-loop injection is serial-only");
   const net::PortId a_to_b = port_towards(net.topology(), a, b);
   const net::PortId b_to_a = port_towards(net.topology(), b, a);
   net.sim().schedule_at(at, [&net, dst, a, b, a_to_b, b_to_a] {
@@ -62,9 +69,10 @@ void inject_storm(net::Network& net, const StormSpec& storm) {
                  storm.port.str().c_str(), static_cast<long long>(storm.start),
                  static_cast<long long>(storm.duration));
   net::Switch& sw = net.switch_at(storm.port.node);
-  net.sim().schedule_event_at(storm.start, sim::EventKind::kInjectorTrigger,
-                              {&sw, static_cast<std::uint64_t>(storm.duration),
-                               static_cast<std::uint64_t>(storm.port.port)});
+  net.sim_of(storm.port.node)
+      .schedule_event_at(storm.start, sim::EventKind::kInjectorTrigger,
+                         {&sw, static_cast<std::uint64_t>(storm.duration),
+                          static_cast<std::uint64_t>(storm.port.port)});
 }
 
 }  // namespace vedr::anomaly

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "net/host.h"
 #include "obs/trace.h"
+#include "sim/shard.h"
 
 namespace vedr::collective {
 
@@ -23,7 +24,7 @@ std::uint64_t step_span_id(int flow, int step) {
 
 CollectiveRunner::CollectiveRunner(net::Network& net, CollectivePlan plan)
     : net_(net), plan_(std::move(plan)) {
-  net_.sim().set_handler(sim::EventKind::kCollectiveStart, &on_collective_start);
+  net_.set_handler_all(sim::EventKind::kCollectiveStart, &on_collective_start);
   const int flows = plan_.num_flows();
   records_.resize(static_cast<std::size_t>(flows));
   recv_done_.resize(static_cast<std::size_t>(flows));
@@ -54,21 +55,31 @@ CollectiveRunner::CollectiveRunner(net::Network& net, CollectivePlan plan)
 }
 
 void CollectiveRunner::start(Tick at) {
+  VEDR_CHECK(!net_.sharded(), "sharded runs must call on_start() before the engine starts");
   net_.sim().schedule_event_at(at, sim::EventKind::kCollectiveStart, {this, 0, 0});
 }
 
 void CollectiveRunner::on_start() {
   start_time_ = net_.sim().now();
   // Register every expected receive up front; the plan is known before
-  // execution (§III-B: steps are predefined prior to execution).
+  // execution (§III-B: steps are predefined prior to execution). Each
+  // registration and first send runs scoped to the acting host's domain so
+  // sharded runs land flow state and tx events on the right simulator
+  // (serial: domain 0 throughout, a no-op).
   for (int f = 0; f < plan_.num_flows(); ++f) {
     for (const StepSpec& s : plan_.steps_of_flow(f)) {
+      sim::ShardScope scope(net_.domain_of(s.dst));
       net_.host(s.dst).expect_flow(
           plan_.key_for(f, s.step), s.bytes,
           [this, f, step = s.step](const net::FlowKey&, Tick t) { on_recv_done(f, step, t); });
     }
   }
-  for (int f = 0; f < plan_.num_flows(); ++f) try_start_send(f, 0);
+  for (int f = 0; f < plan_.num_flows(); ++f) {
+    const auto& steps = plan_.steps_of_flow(f);
+    if (steps.empty()) continue;  // receive-only rank (e.g. broadcast leaf)
+    sim::ShardScope scope(net_.domain_of(steps.front().src));
+    try_start_send(f, 0);
+  }
 }
 
 void CollectiveRunner::try_start_send(int flow, int step) {
@@ -93,6 +104,13 @@ void CollectiveRunner::try_start_send(int flow, int step) {
       !recv_done_[static_cast<std::size_t>(s.dep_flow)][static_cast<std::size_t>(s.dep_step)])
     return;
 
+  // Domain confinement: every mutation of this flow's state happens on the
+  // domain that owns its source host. Sends are triggered either from that
+  // host's own completion path or from a receive at that very host (the
+  // dependency's destination is the waiter's source), so this holds for
+  // every plan shape the repo builds; the assert enforces it under TSan.
+  VEDR_ASSERT(!net_.sharded() || net_.domain_of(s.src) == sim::current_domain(),
+              "cross-domain send start would race");
   send_started_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step)] = true;
   r.start_time = net_.sim().now();
   if (obs::trace_enabled()) {
@@ -123,10 +141,10 @@ void CollectiveRunner::on_send_done(int flow, int step, Tick t) {
     records_[static_cast<std::size_t>(flow)][static_cast<std::size_t>(step + 1)].prev_done_time =
         t;
   }
-  ++completed_transfers_;
+  const int completed = 1 + completed_transfers_.fetch_add(1, std::memory_order_relaxed);
   if (on_step_complete_) on_step_complete_(r);
   try_start_send(flow, step + 1);
-  if (done()) {
+  if (completed == plan_.total_transfers()) {
     finish_time_ = t;
     if (on_finished_) on_finished_(t);
   }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -41,7 +42,10 @@ class CollectiveRunner {
 
   CollectiveRunner(net::Network& net, CollectivePlan plan);
 
-  /// Schedules the op to begin at absolute time `at`.
+  /// Schedules the op to begin at absolute time `at`. Serial engine only;
+  /// a sharded run calls on_start() directly before the engine starts (the
+  /// trampoline would fire mid-window on one domain while other domains'
+  /// hosts are being touched).
   void start(Tick at = 0);
 
   void set_on_step_start(StepStartFn fn) { on_step_start_ = std::move(fn); }
@@ -49,7 +53,9 @@ class CollectiveRunner {
   void set_on_finished(DoneFn fn) { on_finished_ = std::move(fn); }
 
   const CollectivePlan& plan() const { return plan_; }
-  bool done() const { return completed_transfers_ == plan_.total_transfers(); }
+  bool done() const {
+    return completed_transfers_.load(std::memory_order_relaxed) == plan_.total_transfers();
+  }
   Tick finish_time() const { return finish_time_; }
   Tick start_time() const { return start_time_; }
 
@@ -68,6 +74,8 @@ class CollectiveRunner {
   // --- event-dispatch entry point (kCollectiveStart trampoline only) -------
 
   /// The scheduled start time arrived: register receives and launch step 0.
+  /// Sharded runs call this directly (before engine.run(), no workers yet);
+  /// each host's registration happens under its own domain's ShardScope.
   void on_start();
 
  private:
@@ -84,7 +92,12 @@ class CollectiveRunner {
   StepStartFn on_step_start_;
   StepDoneFn on_step_complete_;
   DoneFn on_finished_;
-  int completed_transfers_ = 0;
+  /// All other runner state is host-affine (a flow's records, gates, and
+  /// queues are only touched from the domain owning the host that acts on
+  /// them — asserted in try_start_send); this counter is the one cell every
+  /// domain increments, so it alone is atomic. The unique thread whose
+  /// increment reaches the total writes finish_time_ and fires on_finished_.
+  std::atomic<int> completed_transfers_{0};
   Tick start_time_ = sim::kNever;
   Tick finish_time_ = sim::kNever;
 };

@@ -9,6 +9,7 @@
 #include "common/dense_map.h"
 #include "common/thread_annotations.h"
 #include "core/diagnosis.h"
+#include "core/ingest.h"
 #include "core/intern.h"
 #include "core/provenance_graph.h"
 #include "common/tap.h"
@@ -47,7 +48,7 @@ namespace vedr::core {
 /// intern tables, and scratch buffers are unsynchronized by design). The
 /// streaming daemon (ROADMAP item 3) runs one Analyzer per tenant shard;
 /// concurrency lives in the shard executor, never inside the analyzer.
-class VEDR_SINGLE_THREADED Analyzer : public telemetry::ReportSink {
+class VEDR_SINGLE_THREADED Analyzer : public IngestSink, public telemetry::ReportSink {
  public:
   Analyzer(const net::Topology* topo, const collective::CollectivePlan* plan);
 
@@ -60,10 +61,10 @@ class VEDR_SINGLE_THREADED Analyzer : public telemetry::ReportSink {
 
   // --- ingestion -------------------------------------------------------------
 
-  void add_step_record(const collective::StepRecord& r);
+  void add_step_record(const collective::StepRecord& r) override;
   /// Associates a poll id with (flow, step) so the triggered switch reports
   /// land in the right per-step provenance graph.
-  void register_poll(std::uint64_t poll_id, int flow, int step);
+  void register_poll(std::uint64_t poll_id, int flow, int step) override;
   void on_switch_report(const telemetry::SwitchReport& report) override;
 
   /// Drops all ingested state (records, polls, graphs) but keeps the intern

@@ -1,0 +1,40 @@
+#include "core/ingest.h"
+
+#include <algorithm>
+
+#include "core/analyzer.h"
+
+namespace vedr::core {
+
+void DomainIngestBuffer::replay_into(
+    const std::vector<std::unique_ptr<DomainIngestBuffer>>& buffers, Analyzer& analyzer) {
+  struct Keyed {
+    Tick time;
+    int domain;
+    std::uint64_t seq;
+    const Item* item;
+  };
+  std::vector<Keyed> merged;
+  std::size_t total = 0;
+  for (const auto& b : buffers) total += b->items_.size();
+  merged.reserve(total);
+  for (const auto& b : buffers)
+    for (const Item& it : b->items_) merged.push_back({it.time, b->domain_, it.seq, &it});
+  std::sort(merged.begin(), merged.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.domain != b.domain) return a.domain < b.domain;
+    return a.seq < b.seq;
+  });
+  for (const Keyed& k : merged) {
+    if (const auto* r = std::get_if<collective::StepRecord>(&k.item->payload)) {
+      analyzer.add_step_record(*r);
+    } else if (const auto* p = std::get_if<PollReg>(&k.item->payload)) {
+      analyzer.register_poll(p->poll_id, p->flow, p->step);
+    } else {
+      analyzer.on_switch_report(std::get<telemetry::SwitchReport>(k.item->payload));
+    }
+  }
+  for (const auto& b : buffers) b->items_.clear();
+}
+
+}  // namespace vedr::core

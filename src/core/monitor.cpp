@@ -17,10 +17,10 @@ void on_step_poll(const sim::EventPayload& p) {
 
 }  // namespace
 
-Monitor::Monitor(net::Network& net, const collective::CollectivePlan& plan, Analyzer& analyzer,
+Monitor::Monitor(net::Network& net, const collective::CollectivePlan& plan, IngestSink& ingest,
                  net::NodeId host, DetectionConfig cfg)
-    : net_(net), plan_(plan), analyzer_(analyzer), host_(host), cfg_(cfg) {
-  net_.sim().set_handler(sim::EventKind::kStepPoll, &on_step_poll);
+    : net_(net), plan_(plan), ingest_(ingest), host_(host), cfg_(cfg) {
+  net_.set_handler_all(sim::EventKind::kStepPoll, &on_step_poll);
   flow_index_ = plan_.flow_of_host(host);
   rtt_hist_ = net_.stats().hist_cell("monitor.rtt_ns");
 }
@@ -83,7 +83,7 @@ void Monitor::on_step_complete(const collective::StepRecord& r) {
   if (r.flow_index != flow_index_) return;
   // Report the step record (5-tuple, volume, timings, wait source) to the
   // analyzer (§III-C1 "performance recording").
-  analyzer_.add_step_record(r);
+  ingest_.add_step_record(r);
   if (cfg_.adaptive_transfer) send_notification(r);
   if (r.step == current_step_) {
     trigger_.disarm();
@@ -144,7 +144,7 @@ void Monitor::trigger_poll(const net::FlowKey& key) {
   VEDR_INSTANT("diag", "poll_trigger", net_.sim().now(), poll_id);
   if (tap_ != nullptr)
     tap_->on_poll_trigger(net_.sim().now(), host_, key, poll_id, current_step_);
-  analyzer_.register_poll(poll_id, flow_index_, current_step_);
+  ingest_.register_poll(poll_id, flow_index_, current_step_);
 
   net::Packet pkt;
   pkt.type = net::PacketType::kPoll;

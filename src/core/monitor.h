@@ -4,8 +4,9 @@
 
 #include "collective/plan.h"
 #include "collective/runner.h"
-#include "core/analyzer.h"
 #include "core/detection.h"
+#include "core/ingest.h"
+#include "common/tap.h"
 #include "net/network.h"
 #include "net/packet.h"
 
@@ -16,9 +17,12 @@ namespace vedr::core {
 /// budgeted + evenly-spaced detection triggers, transfers leftover budget
 /// to the waiting host via notification packets on step completion, and
 /// reports step performance records to the analyzer.
+///
+/// Reports flow through an IngestSink: the analyzer itself in serial runs,
+/// or the host's domain staging buffer in sharded runs (DESIGN.md §14).
 class Monitor {
  public:
-  Monitor(net::Network& net, const collective::CollectivePlan& plan, Analyzer& analyzer,
+  Monitor(net::Network& net, const collective::CollectivePlan& plan, IngestSink& ingest,
           net::NodeId host, DetectionConfig cfg);
 
   /// Runner fan-in (wired by the Vedrfolnir facade).
@@ -53,7 +57,7 @@ class Monitor {
 
   net::Network& net_;
   const collective::CollectivePlan& plan_;
-  Analyzer& analyzer_;
+  IngestSink& ingest_;
   net::NodeId host_;
   int flow_index_ = -1;
   DetectionConfig cfg_;

@@ -1,18 +1,40 @@
 #include "core/vedrfolnir.h"
 
+#include "common/check.h"
 #include "net/host.h"
+#include "sim/shard.h"
 
 namespace vedr::core {
 
 Vedrfolnir::Vedrfolnir(net::Network& net, collective::CollectiveRunner& runner,
                        VedrfolnirConfig cfg)
     : net_(net), runner_(runner), analyzer_(&net.topology(), &runner.plan()) {
-  net_.set_report_sink(&analyzer_);
   analyzer_.set_trace_tap(cfg.trace);
   analyzer_.set_stats(&net_.stats());
+  if (net_.sharded()) {
+    // Trace recording serializes the whole ingestion stream inline; that is
+    // a serial-lane feature (record/replay digests are pinned against the
+    // serial engine anyway).
+    VEDR_CHECK(cfg.trace == nullptr, "trace taps are serial-only; run with --shards 1");
+    buffers_.reserve(static_cast<std::size_t>(net_.num_domains()));
+    for (int d = 0; d < net_.num_domains(); ++d) {
+      buffers_.push_back(std::make_unique<DomainIngestBuffer>(net_.domain_sim(d), d));
+      net_.set_domain_report_sink(d, buffers_.back().get());
+    }
+  } else {
+    net_.set_report_sink(&analyzer_);
+  }
 
   for (net::NodeId host : runner_.plan().participants()) {
-    auto mon = std::make_unique<Monitor>(net_, runner_.plan(), analyzer_, host, cfg.detection);
+    // Scope construction to the host's domain: the monitor interns its stats
+    // cells into the domain-local registry it will write from the domain's
+    // worker (serial: domain 0, a no-op).
+    sim::ShardScope scope(net_.domain_of(host));
+    IngestSink& sink = net_.sharded()
+                           ? static_cast<IngestSink&>(
+                                 *buffers_[static_cast<std::size_t>(net_.domain_of(host))])
+                           : static_cast<IngestSink&>(analyzer_);
+    auto mon = std::make_unique<Monitor>(net_, runner_.plan(), sink, host, cfg.detection);
     mon->set_trace_tap(cfg.trace);
     Monitor* m = mon.get();
     net_.host(host).set_rtt_listener(
@@ -32,6 +54,16 @@ Vedrfolnir::Vedrfolnir(net::Network& net, collective::CollectiveRunner& runner,
     auto it = monitors_.find(r.src);
     if (it != monitors_.end()) it->second->on_step_complete(r);
   });
+}
+
+Diagnosis Vedrfolnir::diagnose() {
+  if (net_.sharded() && !ingest_merged_) {
+    // One-shot merge: the engine has joined its workers by the time the
+    // caller asks for a diagnosis, so the buffers are quiescent.
+    DomainIngestBuffer::replay_into(buffers_, analyzer_);
+    ingest_merged_ = true;
+  }
+  return analyzer_.diagnose();
 }
 
 int Vedrfolnir::total_polls() const {

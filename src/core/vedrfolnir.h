@@ -6,6 +6,7 @@
 #include "collective/runner.h"
 #include "core/analyzer.h"
 #include "core/detection.h"
+#include "core/ingest.h"
 #include "core/monitor.h"
 #include "net/network.h"
 
@@ -27,12 +28,18 @@ struct VedrfolnirConfig {
 ///   runner.start(0);
 ///   sim.run();
 ///   Diagnosis d = v.diagnose();
+///
+/// On a sharded Network (DESIGN.md §14) the wiring changes shape, not
+/// semantics: each domain's monitors and switches feed a per-domain
+/// DomainIngestBuffer instead of the analyzer, and diagnose() first merges
+/// the buffers in (time, domain, seq) order into the single-threaded
+/// analyzer. Trace taps are serial-only.
 class Vedrfolnir {
  public:
   Vedrfolnir(net::Network& net, collective::CollectiveRunner& runner,
              VedrfolnirConfig cfg = {});
 
-  Diagnosis diagnose() { return analyzer_.diagnose(); }
+  Diagnosis diagnose();
   Analyzer& analyzer() { return analyzer_; }
   Monitor& monitor_of(net::NodeId host) { return *monitors_.at(host); }
 
@@ -43,6 +50,9 @@ class Vedrfolnir {
   net::Network& net_;
   collective::CollectiveRunner& runner_;
   Analyzer analyzer_;
+  /// Sharded runs only: one staging buffer per domain, merged at diagnose().
+  std::vector<std::unique_ptr<DomainIngestBuffer>> buffers_;
+  bool ingest_merged_ = false;
   std::unordered_map<net::NodeId, std::unique_ptr<Monitor>> monitors_;
 };
 

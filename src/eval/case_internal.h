@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "collective/plan.h"
+#include "common/digest.h"
+#include "eval/experiment.h"
+#include "net/network.h"
+
+namespace vedr::eval::detail {
+
+/// Ground-truth verification shared by the serial and sharded case runners:
+/// which injected flows actually queued ahead of collective packets
+/// somewhere in the fabric, read omnisciently from switch state post-run.
+std::vector<net::FlowKey> verified_contenders(net::Network& network,
+                                              const collective::CollectivePlan& plan,
+                                              const ScenarioSpec& spec,
+                                              double min_weight = 8.0);
+
+/// Whether the injected PFC actually halted collective traffic (omniscient
+/// ground truth, like verified_contenders).
+bool pfc_impacted_collective(net::Network& network, const collective::CollectivePlan& plan,
+                             const ScenarioSpec& spec);
+
+/// Folds every diagnosis-visible case output into `digest` — the shared
+/// tail of both determinism lanes (serial and sharded).
+void fold_case_outputs(common::Digest& digest, const CaseResult& result);
+
+/// The sharded-engine case runner (Vedrfolnir only; see RunConfig::shards).
+/// Falls back to the serial run_case when the topology cannot be
+/// partitioned into more than one domain.
+CaseResult run_case_sharded(const ScenarioSpec& spec, const RunConfig& cfg);
+
+}  // namespace vedr::eval::detail

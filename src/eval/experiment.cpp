@@ -9,6 +9,7 @@
 #include "collective/runner.h"
 #include "common/digest.h"
 #include "common/worker_pool.h"
+#include "eval/case_internal.h"
 #include "core/json_export.h"
 #include "core/vedrfolnir.h"
 #include "net/network.h"
@@ -23,7 +24,7 @@
 
 namespace vedr::eval {
 
-namespace {
+namespace detail {
 
 /// Ground-truth verification (see score_case): which injected flows
 /// actually queued ahead of collective packets somewhere in the fabric,
@@ -31,13 +32,15 @@ namespace {
 std::vector<net::FlowKey> verified_contenders(net::Network& network,
                                               const collective::CollectivePlan& plan,
                                               const ScenarioSpec& spec,
-                                              double min_weight = 8.0) {
+                                              double min_weight) {
   std::unordered_set<net::FlowKey, net::FlowKeyHash> cc;
   for (int f = 0; f < plan.num_flows(); ++f)
     for (const auto& s : plan.steps_of_flow(f)) cc.insert(plan.key_for(f, s.step));
 
   std::unordered_set<net::FlowKey, net::FlowKeyHash> found;
-  const sim::Tick now = network.sim().now();
+  // latest_now(): in a sharded run each domain's clock stops at its own
+  // last event, so the fabric-wide "end of run" is the max (serial: == now).
+  const sim::Tick now = network.latest_now();
   for (net::NodeId sw_id : network.switches()) {
     const net::Switch& sw = network.switch_at(sw_id);
     for (net::PortId p = 0; p < sw.num_ports(); ++p) {
@@ -66,7 +69,7 @@ bool pfc_impacted_collective(net::Network& network, const collective::Collective
   std::unordered_set<net::FlowKey, net::FlowKeyHash> cc;
   for (int f = 0; f < plan.num_flows(); ++f)
     for (const auto& s : plan.steps_of_flow(f)) cc.insert(plan.key_for(f, s.step));
-  const sim::Tick now = network.sim().now();
+  const sim::Tick now = network.latest_now();
   const sim::Tick slack = 100 * sim::kMicrosecond;
 
   auto cc_at_port_during = [&](const net::PortRef& port, sim::Tick t0, sim::Tick t1) {
@@ -117,7 +120,23 @@ bool pfc_impacted_collective(net::Network& network, const collective::Collective
   return true;
 }
 
-}  // namespace
+void fold_case_outputs(common::Digest& digest, const CaseResult& result) {
+  // Fold every output a consumer of the diagnosis could observe.
+  digest.mix(std::string_view(result.outcome.label()));
+  digest.mix(result.cc_completed);
+  digest.mix(result.cc_time);
+  digest.mix(result.sim_events);
+  digest.mix(result.telemetry_bytes);
+  digest.mix(result.bandwidth_bytes);
+  digest.mix(result.poll_bytes);
+  digest.mix(result.notify_bytes);
+  digest.mix(result.report_count);
+  digest.mix(std::string_view(core::json::diagnosis_to_json(result.diagnosis)));
+  for (const auto& [flow, score] : result.diagnosis.contributions)
+    digest.mix(flow.hash()).mix(score);
+}
+
+}  // namespace detail
 
 const char* to_string(SystemKind s) {
   switch (s) {
@@ -130,6 +149,14 @@ const char* to_string(SystemKind s) {
 }
 
 CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig& cfg) {
+  if (cfg.shards > 1) {
+    VEDR_CHECK(system == SystemKind::kVedrfolnir,
+               "sharded runs support the Vedrfolnir system only");
+    VEDR_CHECK(cfg.tracer == nullptr && cfg.trace_writer == nullptr,
+               "sharded runs take per-domain tracers (domain_tracer_factory), not a "
+               "global tracer or trace writer");
+    return detail::run_case_sharded(spec, cfg);
+  }
   VEDR_SPAN("eval", "run_case");
   CaseResult result;
   result.scenario = spec.type;
@@ -137,7 +164,7 @@ CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig
   result.case_id = spec.case_id;
 
   sim::Simulator sim;
-  const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
+  const net::Topology topo = net::make_fat_tree(cfg.fat_tree_k, cfg.netcfg);
   net::Network network(sim, topo, cfg.netcfg);
   if (cfg.tracer != nullptr) network.set_tracer(cfg.tracer);
   if (cfg.trace_writer != nullptr) network.set_telemetry_tap(cfg.trace_writer);
@@ -196,10 +223,10 @@ CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig
       break;
   }
   if (spec.type == ScenarioType::kFlowContention || spec.type == ScenarioType::kIncast) {
-    const auto verified = verified_contenders(network, runner.plan(), spec);
+    const auto verified = detail::verified_contenders(network, runner.plan(), spec);
     result.outcome = score_case(spec, result.diagnosis, &verified);
   } else {
-    const bool impacted = pfc_impacted_collective(network, runner.plan(), spec);
+    const bool impacted = detail::pfc_impacted_collective(network, runner.plan(), spec);
     result.outcome = score_case(spec, result.diagnosis, nullptr, &impacted);
   }
 
@@ -247,7 +274,7 @@ CaseResult record_case(const ScenarioSpec& spec, SystemKind system, const RunCon
   env.scenario = static_cast<replay::RecordedScenario>(spec.type);
   env.case_id = spec.case_id;
   env.seed = spec.seed;
-  env.fat_tree_k = 4;  // must match run_case's make_fat_tree call
+  env.fat_tree_k = cfg.fat_tree_k;  // must match run_case's make_fat_tree call
   env.horizon = spec.horizon;
   env.participants = spec.participants;
   env.cc_step_bytes = spec.cc_step_bytes;
@@ -276,40 +303,66 @@ CaseResult record_case(const ScenarioSpec& spec, SystemKind system, const RunCon
   return result;
 }
 
+namespace {
+
+/// The packet-event fold shared by both digest lanes.
+void mix_trace_event(common::Digest& digest, const net::TraceEvent& ev) {
+  digest.mix(static_cast<std::uint64_t>(ev.kind))
+      .mix(ev.time)
+      .mix(ev.node)
+      .mix(ev.port)
+      .mix(static_cast<std::uint64_t>(ev.pkt_type))
+      .mix(ev.flow.hash())
+      .mix(ev.seq)
+      .mix(ev.size);
+}
+
+}  // namespace
+
 std::uint64_t run_case_digest(const ScenarioSpec& spec, SystemKind system, RunConfig cfg) {
+  if (cfg.shards > 1) {
+    // The parallel lane: one streaming digest per domain (a domain's packet
+    // events are totally ordered by its own simulator), combined in domain
+    // order, then the shared output fold. Pinned separately from the serial
+    // lane, and identical for any shard count — the domain decomposition is
+    // a pure function of the topology.
+    struct DomainLane {
+      common::Digest digest;
+      net::PacketTracer tracer{1};
+    };
+    std::vector<std::unique_ptr<DomainLane>> lanes;
+    cfg.domain_tracer_factory = [&lanes](int domain, int num_domains) {
+      (void)num_domains;
+      VEDR_CHECK_EQ(static_cast<std::size_t>(domain), lanes.size(),
+                    "domains must be attached in order");
+      lanes.push_back(std::make_unique<DomainLane>());
+      DomainLane& lane = *lanes.back();
+      lane.tracer.set_sink(
+          [&lane](const net::TraceEvent& ev) { mix_trace_event(lane.digest, ev); });
+      return &lane.tracer;
+    };
+
+    const CaseResult result = run_case(spec, system, cfg);
+
+    common::Digest digest;
+    digest.mix(static_cast<std::uint64_t>(lanes.size()));
+    for (const auto& lane : lanes) digest.mix(lane->digest.value());
+    detail::fold_case_outputs(digest, result);
+    return digest.value();
+  }
+
   common::Digest digest;
 
   // Stream every packet event into the digest as it happens: capacity 1 keeps
   // the tracer's ring buffer from holding the (possibly multi-million-event)
   // stream in memory.
   net::PacketTracer tracer(1);
-  tracer.set_sink([&digest](const net::TraceEvent& ev) {
-    digest.mix(static_cast<std::uint64_t>(ev.kind))
-        .mix(ev.time)
-        .mix(ev.node)
-        .mix(ev.port)
-        .mix(static_cast<std::uint64_t>(ev.pkt_type))
-        .mix(ev.flow.hash())
-        .mix(ev.seq)
-        .mix(ev.size);
-  });
+  tracer.set_sink([&digest](const net::TraceEvent& ev) { mix_trace_event(digest, ev); });
   cfg.tracer = &tracer;
 
   const CaseResult result = run_case(spec, system, cfg);
 
-  // Fold every output a consumer of the diagnosis could observe.
-  digest.mix(std::string_view(result.outcome.label()));
-  digest.mix(result.cc_completed);
-  digest.mix(result.cc_time);
-  digest.mix(result.sim_events);
-  digest.mix(result.telemetry_bytes);
-  digest.mix(result.bandwidth_bytes);
-  digest.mix(result.poll_bytes);
-  digest.mix(result.notify_bytes);
-  digest.mix(result.report_count);
-  digest.mix(std::string_view(core::json::diagnosis_to_json(result.diagnosis)));
-  for (const auto& [flow, score] : result.diagnosis.contributions)
-    digest.mix(flow.hash()).mix(score);
+  detail::fold_case_outputs(digest, result);
   return digest.value();
 }
 
@@ -317,7 +370,7 @@ std::vector<CaseResult> run_scenario_suite(ScenarioType type, int n_cases, Syste
                                            const RunConfig& cfg, const ScenarioParams& params,
                                            int threads) {
   // Scenario generation only needs a topology + routing, shared read-only.
-  const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
+  const net::Topology topo = net::make_fat_tree(cfg.fat_tree_k, cfg.netcfg);
   const net::RoutingTable routing = net::RoutingTable::shortest_paths(topo);
 
   std::vector<ScenarioSpec> specs;

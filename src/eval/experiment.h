@@ -56,6 +56,20 @@ struct RunConfig {
   /// owns a fresh Network — and therefore a fresh registry — so per-case
   /// snapshots never bleed across the suite. Observation only.
   bool capture_metrics = false;
+  /// Worker threads for the sharded engine (DESIGN.md §14). 1 (default)
+  /// runs the serial engine, byte-identical to the pre-sharding code. N > 1
+  /// runs the conservative parallel engine: Vedrfolnir system only, and
+  /// incompatible with `tracer`/`trace_writer` (attach per-domain tracers
+  /// via domain_tracer_factory instead). Results are identical for any
+  /// N >= 2 — the domain decomposition is fixed by the topology; N only
+  /// picks how many threads execute it.
+  int shards = 1;
+  /// Radix of the fat-tree fabric run_case builds (the paper's K).
+  int fat_tree_k = 4;
+  /// Sharded runs only: called once per domain on the main thread before
+  /// the engine starts, to attach a per-domain packet tracer (the parallel
+  /// digest lane). Return nullptr for no tracer on that domain.
+  std::function<net::PacketTracer*(int domain, int num_domains)> domain_tracer_factory;
 };
 
 /// One case's complete result: verdict, overheads, and timing.
@@ -87,7 +101,8 @@ struct CaseResult {
 
 /// Builds the paper's fabric, runs one case under one system, diagnoses,
 /// and scores it. Fully self-contained (fresh simulator per call) and
-/// thread-safe to run concurrently.
+/// thread-safe to run concurrently. With cfg.shards > 1 the case runs on
+/// the sharded engine (see RunConfig::shards for the constraints).
 CaseResult run_case(const ScenarioSpec& spec, SystemKind system, const RunConfig& cfg = {});
 
 /// Runs one case with a replay::TraceWriter attached and writes the complete

@@ -1,0 +1,93 @@
+#include <algorithm>
+#include <memory>
+
+#include "anomaly/injectors.h"
+#include "collective/runner.h"
+#include "common/check.h"
+#include "core/vedrfolnir.h"
+#include "eval/case_internal.h"
+#include "net/network.h"
+#include "net/shard.h"
+#include "net/switch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/sharded_engine.h"
+
+namespace vedr::eval::detail {
+
+/// The sharded mirror of run_case (Vedrfolnir system only): same fabric,
+/// same collective, same injections, but the event loop is the conservative
+/// parallel engine over the topology's pod domains (DESIGN.md §14). The
+/// result is deterministic and identical for every cfg.shards >= 2; it is a
+/// separate lane from the serial engine's pinned digests.
+CaseResult run_case_sharded(const ScenarioSpec& spec, const RunConfig& cfg) {
+  VEDR_SPAN("eval", "run_case_sharded");
+  CaseResult result;
+  result.scenario = spec.type;
+  result.system = SystemKind::kVedrfolnir;
+  result.case_id = spec.case_id;
+
+  const net::Topology topo = net::make_fat_tree(cfg.fat_tree_k, cfg.netcfg);
+  const net::ShardPlan plan = net::ShardPlan::for_topology(topo);
+  if (!plan.parallel()) {
+    // The partitioner could not split this fabric (shouldn't happen for a
+    // fat-tree, but the contract is graceful): run the serial engine.
+    RunConfig serial = cfg;
+    serial.shards = 1;
+    return run_case(spec, SystemKind::kVedrfolnir, serial);
+  }
+
+  // Workers beyond the domain count would idle; the engine clamps too, but
+  // clamping here keeps engine introspection (num_workers) honest.
+  const int workers = std::min(cfg.shards, plan.num_domains);
+  sim::ShardedEngine engine(plan.num_domains, plan.lookahead, workers);
+  net::Network network(engine, plan, topo, cfg.netcfg);
+  if (cfg.domain_tracer_factory) {
+    for (int d = 0; d < plan.num_domains; ++d)
+      network.set_domain_tracer(d, cfg.domain_tracer_factory(d, plan.num_domains));
+  }
+
+  auto plan_cc = collective::CollectivePlan::ring(0, collective::OpType::kAllGather,
+                                                  spec.participants, spec.cc_step_bytes);
+  collective::CollectiveRunner runner(network, std::move(plan_cc));
+  core::Vedrfolnir vedr(network, runner,
+                        core::VedrfolnirConfig{cfg.detection, /*trace=*/nullptr});
+
+  for (const auto& f : spec.bg_flows) anomaly::inject_flow(network, f);
+  for (const auto& s : spec.storms) anomaly::inject_storm(network, s);
+
+  // Direct start (t = 0 on every domain's clock) instead of the serial
+  // kCollectiveStart trampoline: registration must happen before any worker
+  // thread exists, because it touches hosts across every domain.
+  runner.on_start();
+  engine.run(spec.horizon * 4);
+  network.merge_domain_stats();
+
+  result.cc_completed = runner.done();
+  result.cc_time = runner.done() ? runner.finish_time() - runner.start_time() : 0;
+  result.sim_events = engine.events_executed();
+  result.packets_delivered = network.packets_delivered();
+  result.diagnosis = vedr.diagnose();
+
+  if (spec.type == ScenarioType::kFlowContention || spec.type == ScenarioType::kIncast) {
+    const auto verified = verified_contenders(network, runner.plan(), spec);
+    result.outcome = score_case(spec, result.diagnosis, &verified);
+  } else {
+    const bool impacted = pfc_impacted_collective(network, runner.plan(), spec);
+    result.outcome = score_case(spec, result.diagnosis, nullptr, &impacted);
+  }
+
+  const auto& stats = network.stats();  // domain 0 holds the merged registry
+  result.telemetry_bytes = stats.counter("overhead.telemetry_bytes");
+  result.bandwidth_bytes = stats.counter("overhead.bandwidth_bytes");
+  result.poll_bytes = stats.counter("overhead.poll_bytes");
+  result.notify_bytes = stats.counter("overhead.notify_bytes");
+  result.report_count = stats.counter("overhead.report_count");
+  for (net::NodeId sw_id : network.switches())
+    result.telemetry_state_bytes += network.switch_at(sw_id).telem().state_bytes();
+  if (cfg.capture_metrics)
+    result.metrics = std::make_shared<const obs::MetricsSnapshot>(obs::snapshot(stats));
+  return result;
+}
+
+}  // namespace vedr::eval::detail

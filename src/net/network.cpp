@@ -1,26 +1,74 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "net/events.h"
 #include "net/host.h"
 #include "net/switch.h"
+#include "sim/sharded_engine.h"
 
 namespace vedr::net {
 
 Network::Network(sim::Simulator& sim, const Topology& topo, NetConfig cfg, DcqcnParams dcqcn)
-    : sim_(sim),
-      cfg_(cfg),
+    : cfg_(cfg),
       dcqcn_(dcqcn),
       topo_(topo),
-      routing_(RoutingTable::shortest_paths(topo)) {
+      routing_(RoutingTable::shortest_paths(topo)),
+      pool_(1) {
   dcqcn_.line_rate_gbps = cfg_.link_gbps;
   swift_.line_rate_gbps = cfg_.link_gbps;
-  register_net_event_handlers(sim_);
-  sim_.set_stats(&stats_);  // kernel self-observation (sim.dispatch_ns)
+  auto ctx = std::make_unique<DomainCtx>();
+  ctx->sim = &sim;
+  ctx->stats = std::make_unique<sim::StatsRegistry>();
+  ctxs_.push_back(std::move(ctx));
+  register_net_event_handlers(sim);
+  sim.set_stats(ctxs_[0]->stats.get());  // kernel self-observation (sim.dispatch_ns)
+  init_devices();
+}
+
+Network::Network(sim::ShardedEngine& engine, const ShardPlan& plan, const Topology& topo,
+                 NetConfig cfg, DcqcnParams dcqcn)
+    : cfg_(cfg),
+      dcqcn_(dcqcn),
+      topo_(topo),
+      routing_(RoutingTable::shortest_paths(topo)),
+      sharded_(true),
+      plan_(plan),
+      engine_(&engine),
+      pool_(plan.num_domains) {
+  VEDR_CHECK(plan_.parallel(), "sharded Network needs a parallel ShardPlan");
+  VEDR_CHECK(plan_.num_domains == engine.num_domains(),
+             "ShardPlan and ShardedEngine disagree on domain count");
+  VEDR_CHECK(plan_.lookahead > 0 && engine.lookahead() <= plan_.lookahead,
+             "engine lookahead exceeds the plan's cross-domain minimum");
+  VEDR_CHECK(plan_.domain_of.size() == topo_.size(), "ShardPlan built for another topology");
+  dcqcn_.line_rate_gbps = cfg_.link_gbps;
+  swift_.line_rate_gbps = cfg_.link_gbps;
+  handoffs_ = std::make_unique<HandoffMatrix>(plan_.num_domains);
+  ctxs_.reserve(static_cast<std::size_t>(plan_.num_domains));
+  for (int d = 0; d < plan_.num_domains; ++d) {
+    auto ctx = std::make_unique<DomainCtx>();
+    ctx->sim = &engine.domain(d);
+    ctx->stats = std::make_unique<sim::StatsRegistry>();
+    register_net_event_handlers(*ctx->sim);
+    ctx->sim->set_stats(ctx->stats.get());
+    ctxs_.push_back(std::move(ctx));
+  }
+  init_devices();
+  engine.set_drain_hook([this](int d) { drain_domain(d); });
+  engine.set_flush_hook([this](int d) { pool_.flush_returns(d); });
+}
+
+void Network::init_devices() {
   devices_.reserve(topo_.size());
   for (std::size_t i = 0; i < topo_.size(); ++i) {
     const NodeId id = static_cast<NodeId>(i);
+    // Construct each device scoped to its domain so constructor-time stats
+    // interning (queue cells, monitor cells) lands in the domain-local
+    // registry the device will write at runtime. Serial: domain 0, a no-op.
+    sim::ShardScope scope(domain_of(id));
     if (topo_.is_host(id)) {
       devices_.push_back(std::make_unique<Host>(*this, id));
     } else {
@@ -31,7 +79,50 @@ Network::Network(sim::Simulator& sim, const Topology& topo, NetConfig cfg, Dcqcn
 }
 
 Network::~Network() {
-  sim_.set_stats(nullptr);  // stats_ dies with us; drop the kernel's interned cell
+  if (engine_ != nullptr) {
+    // The engine may outlive us (it is constructed first); detach the hooks
+    // that capture `this`.
+    engine_->set_drain_hook(nullptr);
+    engine_->set_flush_hook(nullptr);
+  }
+  for (auto& c : ctxs_) c->sim->set_stats(nullptr);  // registries die with us
+}
+
+void Network::set_handler_all(sim::EventKind kind, sim::EventHandler fn) {
+  for (auto& c : ctxs_) c->sim->set_handler(kind, fn);
+}
+
+void Network::merge_domain_stats() {
+  for (std::size_t d = 1; d < ctxs_.size(); ++d)
+    ctxs_[0]->stats->merge_from(*ctxs_[d]->stats);
+}
+
+Tick Network::latest_now() const {
+  Tick latest = 0;
+  for (const auto& c : ctxs_) latest = std::max(latest, c->sim->now());
+  return latest;
+}
+
+void Network::set_tracer(PacketTracer* tracer) {
+  VEDR_CHECK(!sharded_ || tracer == nullptr,
+             "a single tracer would race across domains; use set_domain_tracer");
+  for (auto& c : ctxs_) c->tracer = tracer;
+}
+
+void Network::drain_domain(int domain) {
+  // Runs on the domain's worker with ShardScope(domain) active, after the
+  // window-B barrier — every producer's flush of the previous window is
+  // visible. Reclaim returned pool slots first, then merge inbound handoffs
+  // (sorted by the (arrival, src, seq) contract) into this domain's queue.
+  pool_.drain_returns(domain);
+  DomainCtx& c = *ctxs_[static_cast<std::size_t>(domain)];
+  c.scratch.clear();
+  if (handoffs_->drain(domain, c.scratch) == 0) return;
+  for (const Handoff& h : c.scratch) {
+    Device* dev = devices_[static_cast<std::size_t>(h.node)].get();
+    c.sim->schedule_event_at(h.arrival, sim::EventKind::kPacketDelivery,
+                             {dev, h.ref, static_cast<std::uint64_t>(h.port)});
+  }
 }
 
 Host& Network::host(NodeId id) {
@@ -55,10 +146,23 @@ void Network::deliver(NodeId from, PortId out_port, Packet pkt) {
 void Network::deliver_ref(NodeId from, PortId out_port, PacketRef ref) {
   const PortRef peer = topo_.peer(from, out_port);
   const Tick delay = topo_.port(from, out_port).delay;
-  ++packets_delivered_;
+  const std::size_t ci = ctx_index();
+  DomainCtx& c = *ctxs_[ci];
+  ++c.packets_delivered;
+  if (sharded_) {
+    const int dst = plan_.domain_of[static_cast<std::size_t>(peer.node)];
+    if (dst != static_cast<int>(ci)) {
+      // Cross-domain: ride the handoff matrix; the destination merges it at
+      // its next window boundary. The conservative window guarantees the
+      // arrival time is at or beyond every in-flight window's end.
+      handoffs_->push(static_cast<int>(ci), dst, c.sim->now() + delay, peer.node, peer.port,
+                      ref);
+      return;
+    }
+  }
   Device* dev = devices_.at(static_cast<std::size_t>(peer.node)).get();
-  sim_.schedule_event_in(delay, sim::EventKind::kPacketDelivery,
-                         {dev, ref, static_cast<std::uint64_t>(peer.port)});
+  c.sim->schedule_event_in(delay, sim::EventKind::kPacketDelivery,
+                           {dev, ref, static_cast<std::uint64_t>(peer.port)});
 }
 
 void Network::deliver_pfc(NodeId from, PortId out_port, Priority prio, bool pause) {
@@ -66,7 +170,7 @@ void Network::deliver_pfc(NodeId from, PortId out_port, Priority prio, bool paus
   pkt.type = PacketType::kPfcPause;
   pkt.prio = Priority::kControl;
   pkt.size = cfg_.control_pkt_bytes;
-  pkt.sent_time = sim_.now();
+  pkt.sent_time = sim().now();
   pkt.meta = PauseInfo{prio, pause};
   deliver(from, out_port, std::move(pkt));
 }

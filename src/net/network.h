@@ -8,13 +8,19 @@
 #include "net/dcqcn.h"
 #include "net/packet_pool.h"
 #include "net/routing.h"
+#include "net/shard.h"
 #include "net/topology.h"
 #include "net/trace.h"
 #include "net/types.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 #include "common/tap.h"
 #include "telemetry/records.h"
+
+namespace vedr::sim {
+class ShardedEngine;
+}  // namespace vedr::sim
 
 namespace vedr::net {
 
@@ -24,16 +30,34 @@ class Switch;
 /// The assembled fabric: devices wired per a Topology, a shared routing
 /// table, link-level delivery, and the hooks the diagnosis plane uses
 /// (stats registry, report sink).
+///
+/// Two execution shapes share this class (DESIGN.md §14):
+///   - Serial (the first constructor): one Simulator drives everything;
+///     behavior and digests are byte-identical to the pre-sharding engine.
+///   - Sharded (the ShardedEngine constructor): the fabric is partitioned
+///     into the plan's domains; every domain gets its own Simulator, stats
+///     registry, tracer slot, report sink, and delivery counter, resolved
+///     through sim::current_domain() so device code is shard-oblivious.
+///     Deliveries whose endpoint lives in another domain travel through the
+///     HandoffMatrix and are merged at window boundaries in
+///     (time, src domain, seq) order.
 class Network {
  public:
   Network(sim::Simulator& sim, const Topology& topo, NetConfig cfg = {},
           DcqcnParams dcqcn = {});
+  /// Sharded shape: `plan` must be a parallel plan for `topo` (ShardPlan
+  /// with num_domains matching engine.num_domains() and a positive
+  /// lookahead). Installs itself as the engine's boundary hooks.
+  Network(sim::ShardedEngine& engine, const ShardPlan& plan, const Topology& topo,
+          NetConfig cfg = {}, DcqcnParams dcqcn = {});
   ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  sim::Simulator& sim() { return sim_; }
+  /// The calling context's simulator: the single serial simulator, or the
+  /// current shard's (per sim::current_domain()) in the sharded shape.
+  sim::Simulator& sim() { return *ctxs_[ctx_index()]->sim; }
   const NetConfig& config() const { return cfg_; }
   const DcqcnParams& dcqcn_params() const { return dcqcn_; }
   const SwiftParams& swift_params() const { return swift_; }
@@ -41,7 +65,36 @@ class Network {
   const Topology& topology() const { return topo_; }
   RoutingTable& routing() { return routing_; }
   const RoutingTable& routing() const { return routing_; }
-  sim::StatsRegistry& stats() { return stats_; }
+  /// The calling context's stats registry (domain-local when sharded; call
+  /// merge_domain_stats() after the run to collapse them for readers).
+  sim::StatsRegistry& stats() { return *ctxs_[ctx_index()]->stats; }
+
+  // --- sharding ------------------------------------------------------------
+
+  int num_domains() const { return static_cast<int>(ctxs_.size()); }
+  bool sharded() const { return sharded_; }
+  int domain_of(NodeId node) const {
+    return sharded_ ? plan_.domain_of[static_cast<std::size_t>(node)] : 0;
+  }
+  /// The simulator that owns `node` — injectors schedule against this so a
+  /// trigger fires on the domain that executes the device (serial: the one
+  /// simulator, making this a strict generalization of sim()).
+  sim::Simulator& sim_of(NodeId node) {
+    return *ctxs_[static_cast<std::size_t>(domain_of(node))]->sim;
+  }
+  /// Domain d's simulator (serial: d must be 0).
+  sim::Simulator& domain_sim(int d) { return *ctxs_.at(static_cast<std::size_t>(d))->sim; }
+  /// Registers a typed-event handler on every domain's simulator (serial:
+  /// exactly one). Components that dispatch through typed events must use
+  /// this instead of sim().set_handler so their events fire on any domain.
+  void set_handler_all(sim::EventKind kind, sim::EventHandler fn);
+  /// Folds every domain's registry into domain 0's (which the main thread
+  /// reads through stats()). Call after the engine has joined its workers.
+  void merge_domain_stats();
+  /// Latest simulated time across domains (== sim().now() when serial).
+  /// Post-run scoring reads this: domain clocks stop at their own last
+  /// event, so no single domain's now() bounds the whole run.
+  Tick latest_now() const;
 
   Host& host(NodeId id);
   Switch& switch_at(NodeId id);
@@ -49,13 +102,24 @@ class Network {
   std::vector<NodeId> hosts() const { return topo_.hosts(); }
   std::vector<NodeId> switches() const { return topo_.switches(); }
 
-  /// Where switch controllers send telemetry reports (the analyzer).
-  void set_report_sink(telemetry::ReportSink* sink) { sink_ = sink; }
-  telemetry::ReportSink* report_sink() { return sink_; }
+  /// Where switch controllers send telemetry reports (the analyzer). Sets
+  /// every domain's sink; use set_domain_report_sink for per-domain fan-in.
+  void set_report_sink(telemetry::ReportSink* sink) {
+    for (auto& c : ctxs_) c->sink = sink;
+  }
+  void set_domain_report_sink(int domain, telemetry::ReportSink* sink) {
+    ctxs_.at(static_cast<std::size_t>(domain))->sink = sink;
+  }
+  telemetry::ReportSink* report_sink() { return ctxs_[ctx_index()]->sink; }
 
   /// Optional packet tracer for debugging; nullptr (default) costs nothing.
-  void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
-  PacketTracer* tracer() { return tracer_; }
+  /// Serial-only — a single tracer would race across domain workers; the
+  /// sharded digest lane attaches one tracer per domain instead.
+  void set_tracer(PacketTracer* tracer);
+  void set_domain_tracer(int domain, PacketTracer* tracer) {
+    ctxs_.at(static_cast<std::size_t>(domain))->tracer = tracer;
+  }
+  PacketTracer* tracer() { return ctxs_[ctx_index()]->tracer; }
 
   /// Attaches an observation-only telemetry tap to every switch's recorder
   /// (pause causes, TTL drops) — the switch-side leg of trace recording.
@@ -68,15 +132,20 @@ class Network {
 
   /// Pooled delivery: same contract, but the packet already lives in this
   /// network's pool and travels as a slot index — the steady-state path,
-  /// with no Packet copy and no allocation.
+  /// with no Packet copy and no allocation. Cross-domain deliveries ride
+  /// the handoff matrix and materialize at the next window boundary.
   void deliver_ref(NodeId from, PortId out_port, PacketRef ref);
 
-  /// In-flight packet storage. See PacketPool's aliasing rule: `at()`
-  /// references die at the next `acquire()`.
+  /// In-flight packet storage (shared across domains; see PacketPool's
+  /// sharding contract).
   PacketPool& pool() { return pool_; }
 
   /// Frames handed to the link layer since construction (all types).
-  std::uint64_t packets_delivered() const { return packets_delivered_; }
+  std::uint64_t packets_delivered() const {
+    std::uint64_t n = 0;
+    for (const auto& c : ctxs_) n += c->packets_delivered;
+    return n;
+  }
 
   /// Out-of-band PFC frame on the reverse wire (never queued).
   void deliver_pfc(NodeId from, PortId out_port, Priority prio, bool pause);
@@ -95,18 +164,39 @@ class Network {
   Tick ideal_fct(const FlowKey& flow, std::int64_t bytes) const;
 
  private:
-  sim::Simulator& sim_;
+  /// Everything that must be domain-local so worker threads never share a
+  /// mutable cell: the domain's simulator, registry, observation hooks, the
+  /// delivery counter, and drain scratch. Cache-line aligned so adjacent
+  /// domains' counters don't false-share.
+  struct alignas(64) DomainCtx {
+    sim::Simulator* sim = nullptr;
+    std::unique_ptr<sim::StatsRegistry> stats;
+    telemetry::ReportSink* sink = nullptr;
+    PacketTracer* tracer = nullptr;
+    std::uint64_t packets_delivered = 0;
+    std::vector<Handoff> scratch;  ///< boundary drain buffer, reused
+  };
+
+  std::size_t ctx_index() const {
+    return sharded_ ? static_cast<std::size_t>(sim::current_domain()) : 0;
+  }
+  void init_devices();
+  /// Engine drain hook: reclaim returned pool slots, then merge inbound
+  /// handoffs (sorted) into this domain's queue.
+  void drain_domain(int domain);
+
   NetConfig cfg_;
   DcqcnParams dcqcn_;
   SwiftParams swift_;
   Topology topo_;
   RoutingTable routing_;
-  sim::StatsRegistry stats_;
+  bool sharded_ = false;
+  ShardPlan plan_;
+  sim::ShardedEngine* engine_ = nullptr;
+  std::vector<std::unique_ptr<DomainCtx>> ctxs_;
+  std::unique_ptr<HandoffMatrix> handoffs_;
   PacketPool pool_;
   std::vector<std::unique_ptr<Device>> devices_;
-  telemetry::ReportSink* sink_ = nullptr;
-  PacketTracer* tracer_ = nullptr;
-  std::uint64_t packets_delivered_ = 0;
 };
 
 }  // namespace vedr::net

@@ -1,0 +1,142 @@
+#include "net/shard.h"
+
+#include <algorithm>
+#include <limits>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace vedr::net {
+
+namespace {
+
+/// Parses the pod index out of make_fat_tree's node names ("h2.1.0",
+/// "edge2.1", "agg2.0"); returns -1 for core switches ("core3") and
+/// anything unrecognized.
+int pod_of_name(std::string_view name, bool* recognized, bool* is_core) {
+  *recognized = false;
+  *is_core = false;
+  std::string_view rest;
+  if (name.substr(0, 4) == "core") {
+    *recognized = true;
+    *is_core = true;
+    return -1;
+  } else if (name.substr(0, 4) == "edge") {
+    rest = name.substr(4);
+  } else if (name.substr(0, 3) == "agg") {
+    rest = name.substr(3);
+  } else if (name.substr(0, 1) == "h") {
+    rest = name.substr(1);
+  } else {
+    return -1;
+  }
+  int pod = 0;
+  bool any = false;
+  for (const char c : rest) {
+    if (c == '.') break;
+    if (c < '0' || c > '9') return -1;
+    pod = pod * 10 + (c - '0');
+    any = true;
+  }
+  if (!any) return -1;
+  *recognized = true;
+  return pod;
+}
+
+}  // namespace
+
+ShardPlan ShardPlan::single(const Topology& topo) {
+  ShardPlan plan;
+  plan.num_domains = 1;
+  plan.domain_of.assign(topo.size(), 0);
+  plan.lookahead = 0;
+  return plan;
+}
+
+ShardPlan ShardPlan::for_topology(const Topology& topo) {
+  ShardPlan plan;
+  plan.domain_of.assign(topo.size(), -1);
+  int max_pod = -1;
+  bool any_core = false;
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    bool recognized = false, is_core = false;
+    const int pod = pod_of_name(topo.node(static_cast<NodeId>(i)).name, &recognized, &is_core);
+    if (!recognized || (!is_core && pod < 0)) return single(topo);  // not a fat-tree
+    plan.domain_of[i] = is_core ? -2 : pod;  // core resolved after max_pod is known
+    if (!is_core) max_pod = std::max(max_pod, pod);
+    any_core |= is_core;
+  }
+  if (max_pod < 1 || !any_core) return single(topo);  // needs >= 2 pods + a core layer
+  const int core_domain = max_pod + 1;
+  for (auto& d : plan.domain_of)
+    if (d == -2) d = core_domain;
+  plan.num_domains = core_domain + 1;
+
+  // Conservative lookahead: the minimum propagation delay over links whose
+  // endpoints live in different domains. In a pod-partitioned fat-tree only
+  // agg<->core links cross, but the scan is general and doubles as a
+  // validation pass: a zero-delay cross link would break the window
+  // invariant, so it degrades the plan to serial instead.
+  Tick min_cross = std::numeric_limits<Tick>::max();
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    const auto& node = topo.node(static_cast<NodeId>(i));
+    for (const auto& p : node.ports) {
+      if (plan.domain_of[i] == plan.domain_of[static_cast<std::size_t>(p.peer)]) continue;
+      min_cross = std::min(min_cross, p.delay);
+    }
+  }
+  if (min_cross == std::numeric_limits<Tick>::max() || min_cross <= 0) return single(topo);
+  plan.lookahead = min_cross;
+  return plan;
+}
+
+HandoffMatrix::HandoffMatrix(int num_domains) : num_domains_(num_domains) {
+  VEDR_CHECK(num_domains >= 1, "handoff matrix needs at least one domain");
+  rings_.resize(static_cast<std::size_t>(num_domains) * static_cast<std::size_t>(num_domains));
+  for (auto& r : rings_) r = std::make_unique<common::SpscRing<Handoff>>(1024);
+  seq_rows_.reserve(static_cast<std::size_t>(num_domains));
+  for (int s = 0; s < num_domains; ++s) {
+    seq_rows_.push_back(std::make_unique<SeqRow>());
+    seq_rows_.back()->next_seq.assign(static_cast<std::size_t>(num_domains), 0);
+  }
+}
+
+void HandoffMatrix::push(int src_domain, int dst_domain, Tick arrival, NodeId node,
+                         PortId port, PacketRef ref) {
+  SeqRow& row = *seq_rows_[static_cast<std::size_t>(src_domain)];
+  Handoff h;
+  h.arrival = arrival;
+  h.seq = row.next_seq[static_cast<std::size_t>(dst_domain)]++;
+  h.src_domain = static_cast<std::uint16_t>(src_domain);
+  h.node = node;
+  h.port = port;
+  h.ref = ref;
+  ++row.pushed;
+  rings_[index(src_domain, dst_domain)]->push(h);
+}
+
+std::size_t HandoffMatrix::drain(int dst_domain, std::vector<Handoff>& out) {
+  const std::size_t before = out.size();
+  for (int src = 0; src < num_domains_; ++src) {
+    if (src == dst_domain) continue;
+    rings_[index(src, dst_domain)]->drain_into(out);
+  }
+  // The cross-shard ordering contract: merged handoffs apply in
+  // (arrival time, source domain, per-pair sequence) order, so the schedule
+  // a destination sees is independent of worker count and thread timing.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end(),
+            [](const Handoff& a, const Handoff& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              if (a.src_domain != b.src_domain) return a.src_domain < b.src_domain;
+              return a.seq < b.seq;
+            });
+  return out.size() - before;
+}
+
+std::uint64_t HandoffMatrix::total() const {
+  std::uint64_t n = 0;
+  for (const auto& row : seq_rows_) n += row->pushed;
+  return n;
+}
+
+}  // namespace vedr::net

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/spsc_ring.h"
+#include "common/thread_annotations.h"
+#include "net/packet_pool.h"
+#include "net/topology.h"
+#include "net/types.h"
+
+namespace vedr::net {
+
+/// Deterministic domain decomposition of a fabric for the sharded engine
+/// (DESIGN.md §14): which logical domain each node belongs to, and the
+/// conservative lookahead those domains can run ahead of each other.
+///
+/// The decomposition is a pure function of the topology — never of the
+/// worker count — so the parallel lane's digest is identical for any
+/// `--shards N`: N only chooses how many threads execute the fixed domains.
+/// For a K-ary fat-tree the decomposition is one domain per pod (hosts +
+/// edge + aggregation switches) plus one domain for the core layer; the
+/// only cross-domain links are then agg<->core, and the lookahead is their
+/// minimum propagation delay.
+struct ShardPlan {
+  int num_domains = 1;
+  std::vector<int> domain_of;  ///< node id -> domain id
+  Tick lookahead = 0;          ///< min delay over cross-domain links (0 if none)
+
+  /// Pod-based plan for a fat-tree built by make_fat_tree(). For any other
+  /// topology (no "h<pod>."/"edge"/"agg"/"core" node names) returns the
+  /// trivial single-domain plan — callers should then run the serial engine.
+  static ShardPlan for_topology(const Topology& topo);
+
+  /// The trivial plan: every node in domain 0 (serial shape).
+  static ShardPlan single(const Topology& topo);
+
+  bool parallel() const { return num_domains > 1; }
+};
+
+/// One cross-domain packet delivery awaiting the window boundary.
+struct Handoff {
+  Tick arrival = 0;          ///< absolute delivery time at the destination
+  std::uint64_t seq = 0;     ///< per-(src,dst) monotonic sequence
+  std::uint16_t src_domain = 0;
+  NodeId node = kInvalidNode;  ///< destination device
+  PortId port = kInvalidPort;  ///< ingress port at the destination
+  PacketRef ref = 0;           ///< pooled slot, ownership travels with it
+};
+
+/// All pairwise handoff lanes between D domains: a lock-free SPSC ring per
+/// ordered (src, dst) pair plus producer-owned sequence counters. Producers
+/// push eagerly during their window; each consumer drains at its window
+/// boundary and sorts by (arrival, src domain, seq) — the documented
+/// cross-shard ordering contract that makes the merge independent of worker
+/// scheduling.
+class HandoffMatrix {
+ public:
+  explicit HandoffMatrix(int num_domains);
+
+  /// Producer side (src domain's worker): assigns the pair sequence number
+  /// and publishes. Never blocks, never drops (ring spill under a mutex).
+  void push(int src_domain, int dst_domain, Tick arrival, NodeId node, PortId port,
+            PacketRef ref);
+
+  /// Consumer side (dst domain's worker, at its window boundary): drains
+  /// every inbound lane into `out` and sorts by (arrival, src, seq).
+  /// Returns the number of handoffs drained.
+  std::size_t drain(int dst_domain, std::vector<Handoff>& out);
+
+  /// Total handoffs pushed (quiesced introspection for tests/bench).
+  std::uint64_t total() const;
+
+ private:
+  std::size_t index(int src, int dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(num_domains_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  int num_domains_;
+  std::vector<std::unique_ptr<common::SpscRing<Handoff>>> rings_;  ///< [src*D + dst]
+  /// Producer-owned counters, cache-line padded per src domain.
+  struct alignas(64) SeqRow {
+    std::vector<std::uint64_t> next_seq;  ///< per dst
+    std::uint64_t pushed = 0;
+  };
+  std::vector<std::unique_ptr<SeqRow>> seq_rows_;  ///< [src]
+};
+
+}  // namespace vedr::net

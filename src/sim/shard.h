@@ -1,0 +1,43 @@
+#pragma once
+
+namespace vedr::sim {
+
+/// Thread-local shard (domain) identity for the sharded engine.
+///
+/// Components that are shard-aware (Network's per-domain contexts, the
+/// shared PacketPool's per-shard free lists) resolve "which domain am I
+/// running in?" through this value instead of threading a domain id through
+/// every call signature — the serial engine's call graph stays byte-for-byte
+/// identical, because on a never-sharded thread the value is always 0.
+///
+/// The engine's worker threads set it with ShardScope around every domain's
+/// event window and boundary hook. Pre-run bootstrap code that constructs
+/// per-domain state from the main thread (device construction, monitor
+/// wiring, collective start) uses ShardScope the same way; nesting restores
+/// the previous value, so scopes compose.
+namespace internal {
+inline thread_local int tls_domain = 0;
+}  // namespace internal
+
+/// The domain the calling thread is currently executing on behalf of
+/// (0 on any thread outside a ShardScope — in particular, always 0 for the
+/// serial engine).
+inline int current_domain() { return internal::tls_domain; }
+
+/// RAII domain marker. Cheap enough for per-event-window use: two
+/// thread-local stores.
+class ShardScope {
+ public:
+  explicit ShardScope(int domain) : prev_(internal::tls_domain) {
+    internal::tls_domain = domain;
+  }
+  ~ShardScope() { internal::tls_domain = prev_; }
+
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+}  // namespace vedr::sim

@@ -67,6 +67,10 @@ class Simulator {
   bool step();
 
   bool idle() const { return queue_.empty(); }
+  /// Time of the earliest pending event; kNever when idle. The sharded
+  /// engine's window scheduler reads this at barrier quiesce points to pick
+  /// the next conservative window start.
+  Tick next_event_time() const { return queue_.next_time(); }
   std::uint64_t events_executed() const { return executed_; }
 
   /// Attaches a stats registry for kernel self-observation (currently a

@@ -24,6 +24,22 @@ class VEDR_THREAD_COMPATIBLE Summary {
     max_ = n_ == 1 ? x : std::max(max_, x);
   }
 
+  /// Folds another summary in as if its samples had been add()ed here —
+  /// count/sum/sum_sq are additive, min/max combine. Order-independent, so
+  /// per-domain summaries merge to the same result for any domain count.
+  void merge(const Summary& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    n_ += other.n_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
   std::uint64_t count() const { return n_; }
   double sum() const { return sum_; }
   double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
@@ -123,6 +139,21 @@ class StatsRegistry {
   std::map<std::string, obs::Histogram> hists() const VEDR_EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
     return hists_;
+  }
+
+  /// Folds every counter, summary, and histogram of `other` into this
+  /// registry (counters add, summaries/histograms merge). Used by the
+  /// sharded engine to collapse per-domain registries into one after the
+  /// workers have joined; both registries must be quiescent (no live cell
+  /// writers — see the interned-cell contract above).
+  void merge_from(const StatsRegistry& other) VEDR_EXCLUDES(mu_) {
+    const auto counters = other.counters();
+    const auto summaries = other.summaries();
+    const auto hists = other.hists();
+    common::MutexLock lock(mu_);
+    for (const auto& [name, v] : counters) counters_[name] += v;
+    for (const auto& [name, s] : summaries) summaries_[name].merge(s);
+    for (const auto& [name, h] : hists) hists_[name].merge(h);
   }
 
   /// Invalidates every previously interned cell pointer; callers must

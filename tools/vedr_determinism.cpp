@@ -2,7 +2,13 @@
 //
 //   vedr_determinism [--scenario contention|incast|storm|backpressure]
 //                    [--case N] [--system vedrfolnir|hawkeye-max|hawkeye-min|full]
-//                    [--scale F] [--runs N] [--obs-trace FILE.json]
+//                    [--scale F] [--runs N] [--shards N] [--k K]
+//                    [--obs-trace FILE.json]
+//
+// --shards 1 (default) runs the serial engine: its four scenario digests are
+// pinned and must never change. --shards N>1 runs the conservative sharded
+// engine (Vedrfolnir only) — a separate digest lane whose value is identical
+// for every N>=2, which CI checks by diffing --shards 2 against --shards 4.
 //
 // Each run folds the complete packet-event stream plus every diagnosis-visible
 // output into a 64-bit digest (eval::run_case_digest). All runs of the same
@@ -35,7 +41,7 @@ using namespace vedr;
   std::fprintf(stderr,
                "usage: %s [--scenario contention|incast|storm|backpressure] [--case N]\n"
                "          [--system vedrfolnir|hawkeye-max|hawkeye-min|full] [--scale F]\n"
-               "          [--runs N] [--obs-trace FILE.json]\n",
+               "          [--runs N] [--shards N] [--k K] [--obs-trace FILE.json]\n",
                argv0);
   std::exit(2);
 }
@@ -63,6 +69,8 @@ int main(int argc, char** argv) {
   eval::SystemKind system = eval::SystemKind::kVedrfolnir;
   int case_id = 0;
   int runs = 2;
+  int shards = 1;
+  int fat_tree_k = 4;
   double scale = 1.0 / 64.0;
   std::string obs_trace_path;
 
@@ -84,6 +92,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--runs") {
       runs = static_cast<int>(common::parse_i64_or_die("--runs", next()));
       if (runs < 2) usage(argv[0]);
+    } else if (arg == "--shards") {
+      shards = static_cast<int>(common::parse_i64_or_die("--shards", next()));
+      if (shards < 1) usage(argv[0]);
+    } else if (arg == "--k") {
+      fat_tree_k = static_cast<int>(common::parse_i64_or_die("--k", next()));
+      if (fat_tree_k < 4 || fat_tree_k % 2 != 0) usage(argv[0]);
     } else if (arg == "--obs-trace") {
       obs_trace_path = next();
     } else {
@@ -97,14 +111,21 @@ int main(int argc, char** argv) {
   }
 
   eval::RunConfig cfg;
+  cfg.shards = shards;
+  cfg.fat_tree_k = fat_tree_k;
+  if (shards > 1 && system != eval::SystemKind::kVedrfolnir) {
+    std::fprintf(stderr, "--shards > 1 supports --system vedrfolnir only\n");
+    return 2;
+  }
   eval::ScenarioParams params;
   params.scale = scale;
-  const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
+  const net::Topology topo = net::make_fat_tree(fat_tree_k, cfg.netcfg);
   const auto routing = net::RoutingTable::shortest_paths(topo);
   const auto spec = eval::make_scenario(scenario, case_id, topo, routing, params);
 
   std::printf("case: %s\n", spec.str().c_str());
-  std::printf("system: %s, %d runs\n", eval::to_string(system), runs);
+  std::printf("system: %s, %d runs, %d shards, k=%d\n", eval::to_string(system), runs, shards,
+              fat_tree_k);
 
   std::vector<std::uint64_t> digests;
   digests.reserve(static_cast<std::size_t>(runs));

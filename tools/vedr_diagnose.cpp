@@ -2,7 +2,8 @@
 //
 //   vedr_diagnose [--scenario contention|incast|storm|backpressure]
 //                 [--case N] [--system vedrfolnir|hawkeye-max|hawkeye-min|full]
-//                 [--scale F] [--json] [--dot PREFIX] [--record FILE.vtrc]
+//                 [--scale F] [--shards N] [--k K]
+//                 [--json] [--dot PREFIX] [--record FILE.vtrc]
 //                 [--telemetry exact|sketch] [--sketch-width N]
 //                 [--sketch-depth N] [--sketch-k N]
 //                 [--obs-trace FILE.json] [--obs-metrics FILE]
@@ -40,6 +41,7 @@ using namespace vedr;
   std::fprintf(stderr,
                "usage: %s [--scenario contention|incast|storm|backpressure] [--case N]\n"
                "          [--system vedrfolnir|hawkeye-max|hawkeye-min|full] [--scale F]\n"
+               "          [--shards N] [--k K]\n"
                "          [--json] [--dot PREFIX] [--record FILE.vtrc]\n"
                "%s"
                "          [--obs-trace FILE.json] [--obs-metrics FILE]\n",
@@ -69,6 +71,8 @@ int main(int argc, char** argv) {
   eval::ScenarioType scenario = eval::ScenarioType::kFlowContention;
   eval::SystemKind system = eval::SystemKind::kVedrfolnir;
   int case_id = 0;
+  int shards = 1;
+  int fat_tree_k = 4;
   double scale = 1.0 / 64.0;
   bool as_json = false;
   std::string dot_prefix;
@@ -91,6 +95,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--scale") {
       scale = common::parse_f64_or_die("--scale", next());
       if (scale <= 0) usage(argv[0]);
+    } else if (arg == "--shards") {
+      shards = static_cast<int>(common::parse_i64_or_die("--shards", next()));
+      if (shards < 1) usage(argv[0]);
+    } else if (arg == "--k") {
+      fat_tree_k = static_cast<int>(common::parse_i64_or_die("--k", next()));
+      if (fat_tree_k < 4 || fat_tree_k % 2 != 0) usage(argv[0]);
     } else if (arg == "--json") {
       as_json = true;
     } else if (arg == "--dot") {
@@ -111,14 +121,24 @@ int main(int argc, char** argv) {
                  "--telemetry sketch; record exact, then `vedr_replay --telemetry sketch`\n");
     return 2;
   }
+  if (shards > 1 && system != eval::SystemKind::kVedrfolnir) {
+    std::fprintf(stderr, "error: --shards > 1 supports --system vedrfolnir only\n");
+    return 2;
+  }
+  if (shards > 1 && !record_path.empty()) {
+    std::fprintf(stderr, "error: --record is serial-only; drop --shards\n");
+    return 2;
+  }
 
   eval::RunConfig cfg;
   cfg.netcfg.telemetry = telemetry_opts.params();
+  cfg.shards = shards;
+  cfg.fat_tree_k = fat_tree_k;
   obs_opts.enable();
   cfg.capture_metrics = obs_opts.want_metrics();
   eval::ScenarioParams params;
   params.scale = scale;
-  const net::Topology topo = net::make_fat_tree(4, cfg.netcfg);
+  const net::Topology topo = net::make_fat_tree(fat_tree_k, cfg.netcfg);
   const auto routing = net::RoutingTable::shortest_paths(topo);
   const auto spec = eval::make_scenario(scenario, case_id, topo, routing, params);
 
