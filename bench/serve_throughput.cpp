@@ -14,12 +14,17 @@
 //
 // Gates (exit 1 on violation) with the default lossy policy:
 //   * zero records dropped at the default queue bound,
-//   * every session finishes with its footer digest matched.
+//   * every session finishes with its footer digest matched,
+//   * the live windowed p99 (serve.window.step_diagnose_p99_ns over 60s, the
+//     number an operator reads off /metrics) agrees with the lifetime p99
+//     within one log2 bucket — catching any drift between the windowed ring
+//     and the registry histogram fed by the same diagnose calls.
 // Reports sustained records/s and verdicts/s plus the p50/p99 per-step
 // diagnose latency, and writes the standard BENCH_serve.json record.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -27,6 +32,7 @@
 
 #include "bench_util.h"
 #include "common/env.h"
+#include "obs/trace.h"  // wall_now_ns
 #include "replay/trace_reader.h"
 #include "serve/server.h"
 #include "serve/verdict.h"
@@ -194,6 +200,16 @@ int main(int argc, char** argv) {
     diagnose_calls = hist->second.count();
   }
 
+  // Windowed-vs-lifetime agreement: a bench run fits inside the 60s window,
+  // so the rolling p99 must land in the same log2 bucket (+/- 1 for samples
+  // straddling an interval boundary mid-scrape) as the lifetime one.
+  const obs::Histogram win_hist = server.live_metrics().step_diagnose_ns.window(
+      serve::LiveMetrics::kWindowsNs[1], obs::wall_now_ns());
+  const std::int64_t win_p99_ns = win_hist.value_at_quantile(0.99);
+  const bool windowed_ok =
+      diagnose_calls == 0 ||
+      std::abs(obs::Histogram::bucket_of(win_p99_ns) - obs::Histogram::bucket_of(p99_ns)) <= 1;
+
   bool all_ok = true;
   for (const std::uint64_t sid : session_ids) {
     const serve::Session* s = server.find_session(sid);
@@ -218,6 +234,8 @@ int main(int argc, char** argv) {
               static_cast<double>(verdicts) / wall_s,
               static_cast<unsigned long long>(diagnose_calls),
               static_cast<long long>(p50_ns), static_cast<long long>(p99_ns));
+  std::printf("windowed p99 (60s): %lld ns  [%s lifetime bucket]\n",
+              static_cast<long long>(win_p99_ns), windowed_ok ? "within one" : "OFF");
   std::printf("queue: dropped %lld  blocked %lld  high watermark %lld\n",
               static_cast<long long>(dropped), static_cast<long long>(blocked),
               static_cast<long long>(high_watermark));
@@ -237,6 +255,8 @@ int main(int argc, char** argv) {
       .field("step_diagnoses", static_cast<std::int64_t>(diagnose_calls))
       .field("step_diagnose_p50_ns", p50_ns)
       .field("step_diagnose_p99_ns", p99_ns)
+      .field("windowed_p99_ns", win_p99_ns)
+      .field("windowed_p99_ok", windowed_ok)
       .field("queue_dropped", dropped)
       .field("queue_blocked", blocked)
       .field("queue_high_watermark", high_watermark)
@@ -247,6 +267,13 @@ int main(int argc, char** argv) {
   if (dropped != 0) {
     std::fprintf(stderr, "gate: %lld records dropped at queue bound %zu\n",
                  static_cast<long long>(dropped), cfg.session.queue_capacity);
+    return 1;
+  }
+  if (!windowed_ok) {
+    std::fprintf(stderr,
+                 "gate: windowed p99 %lld ns disagrees with lifetime p99 %lld ns "
+                 "by more than one log2 bucket\n",
+                 static_cast<long long>(win_p99_ns), static_cast<long long>(p99_ns));
     return 1;
   }
   return all_ok ? 0 : 1;

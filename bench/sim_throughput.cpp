@@ -5,8 +5,8 @@
 //
 //   sim_throughput [--scenario contention|incast|storm|backpressure]
 //                  [--case N] [--system vedrfolnir|hawkeye-max|hawkeye-min|full]
-//                  [--scale F] [--runs N] [--shards N] [--k K] [--sweep]
-//                  [--smoke] [--json PATH]
+//                  [--scale F] [--runs N] [--shards N] [--shard-report]
+//                  [--k K] [--sweep] [--smoke] [--json PATH]
 //                  [--obs-trace FILE.json] [--obs-metrics FILE]
 //
 // Prints events/sec, packets/sec, wall time, and peak RSS; --json also emits
@@ -24,6 +24,12 @@
 // machine has at least 8 hardware threads — on smaller runners (including
 // 1-core CI boxes) the engine's blocking barriers make extra shards pure
 // overhead, so the sweep is report-only there (gate_enforced=false).
+//
+// --shard-report (with --shards >= 2) prints the engine's introspection
+// table after the timed runs: per-worker barrier-wait ratios, per-domain
+// event distributions, handoff-lane spills. It turns on per-window wall
+// timing inside the workers, so don't compare its events/sec against an
+// untimed run — use it to see WHERE a sharded run waits, not how fast it is.
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -40,6 +46,7 @@
 #include "eval/experiment.h"
 #include "net/routing.h"
 #include "obs/metrics.h"
+#include "sim/shard_report.h"
 
 namespace {
 
@@ -92,6 +99,7 @@ struct Measurement {
   std::uint64_t events = 0;
   std::uint64_t packets = 0;
   std::shared_ptr<const obs::MetricsSnapshot> metrics;
+  std::shared_ptr<const sim::ShardReport> shard_report;  ///< last run's
 };
 
 /// Best-of-N wall time: the engine's speed is the fastest run; slower runs
@@ -108,6 +116,7 @@ Measurement measure(const eval::ScenarioSpec& spec, eval::SystemKind system,
     m.events = result.sim_events;
     m.packets = result.packets_delivered;
     m.metrics = result.metrics;
+    m.shard_report = result.shard_report;
     if (verbose) {
       std::printf("run %d: %.3fs  (%.3fM events, %.3fM packets)\n", r, wall,
                   static_cast<double>(m.events) / 1e6, static_cast<double>(m.packets) / 1e6);
@@ -133,6 +142,7 @@ int main(int argc, char** argv) {
   int case_id = 0;
   int runs = 3;
   int shards = 1;
+  bool shard_report = false;
   int fat_tree_k = 4;
   double scale = 1.0 / 64.0;
   bool smoke = false;
@@ -161,6 +171,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--shards") {
       shards = static_cast<int>(common::parse_i64_or_die("--shards", next()));
       if (shards < 1) usage(argv[0]);
+    } else if (arg == "--shard-report") {
+      shard_report = true;
     } else if (arg == "--k") {
       fat_tree_k = static_cast<int>(common::parse_i64_or_die("--k", next()));
       if (fat_tree_k < 4 || fat_tree_k % 2 != 0) usage(argv[0]);
@@ -184,10 +196,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: sharded runs support --system vedrfolnir only\n");
     return 2;
   }
+  if (shard_report && (shards < 2 || sweep)) {
+    std::fprintf(stderr, "error: --shard-report requires --shards >= 2 (and no --sweep)\n");
+    return 2;
+  }
 
   eval::RunConfig cfg;
   obs_cli.enable();
   cfg.capture_metrics = obs_cli.want_metrics();
+  cfg.capture_shard_report = shard_report;
 
   if (sweep) {
     // The satellite scaling matrix: shards x radix, backpressure (the
@@ -271,6 +288,8 @@ int main(int argc, char** argv) {
   std::printf("packets/sec: %.0f\n", packets_per_sec);
   std::printf("wall:        %.3fs (best of %d)\n", m.wall, runs);
   std::printf("peak RSS:    %ld KiB\n", rss_kb);
+  if (shard_report && m.shard_report != nullptr)
+    std::printf("\n%s", m.shard_report->table().c_str());
 
   if (!json_path.empty()) {
     bench::BenchReport report("sim_throughput");

@@ -145,6 +145,19 @@ class BoundedQueue {
     return s;
   }
 
+  /// Read-and-reset the high watermark: returns the peak size observed since
+  /// the previous call, then re-seeds the watermark with the *current* size
+  /// (not zero — the occupancy that exists right now was observed). Windowed
+  /// gauges call this once per roll tick so each window reports its own peak
+  /// instead of the lifetime one. Producers racing the reset are safe: their
+  /// max-update runs under the same lock.
+  std::size_t take_high_watermark() VEDR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    const std::size_t peak = stats_.high_watermark;
+    stats_.high_watermark = items_.size();
+    return peak;
+  }
+
  private:
   const std::size_t capacity_;
   mutable Mutex mu_;

@@ -25,9 +25,13 @@ std::string CheckContext::str() const {
 
 namespace {
 
+std::atomic<CheckObserver> g_observer{nullptr};
+std::atomic<CheckAbortHook> g_abort_hook{nullptr};
+
 [[noreturn]] void abort_handler(const CheckContext& ctx) {
   std::fprintf(stderr, "%s\n", ctx.str().c_str());
   std::fflush(stderr);
+  if (CheckAbortHook hook = g_abort_hook.load(std::memory_order_acquire)) hook(ctx);
   std::abort();
 }
 
@@ -46,6 +50,14 @@ CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
                             std::memory_order_acq_rel);
 }
 
+CheckObserver set_check_observer(CheckObserver observer) {
+  return g_observer.exchange(observer, std::memory_order_acq_rel);
+}
+
+CheckAbortHook set_check_abort_hook(CheckAbortHook hook) {
+  return g_abort_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
 ScopedThrowOnCheckFailure::ScopedThrowOnCheckFailure()
     : previous_(set_check_failure_handler(throw_handler)) {}
 
@@ -59,6 +71,7 @@ void check_failed(const char* file, int line, const char* expr, const std::strin
   ctx.line = line;
   ctx.expr = expr;
   ctx.message = message;
+  if (CheckObserver obs = g_observer.load(std::memory_order_acquire)) obs(ctx);
   g_handler.load(std::memory_order_acquire)(ctx);
   // A user-installed handler must not return; guarantee [[noreturn]] anyway.
   std::abort();

@@ -54,6 +54,22 @@ using CheckFailureHandler = void (*)(const CheckContext&);
 
 CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
 
+/// Observer invoked on every check failure *before* the failure handler runs
+/// (including the throwing test handler), so an external recorder — the obs
+/// flight recorder — can capture the context even when the failure is caught.
+/// Must return; must not throw. nullptr clears. Returns the previous observer.
+using CheckObserver = void (*)(const CheckContext&);
+
+CheckObserver set_check_observer(CheckObserver observer);
+
+/// Hook invoked by the *default abort handler* immediately before abort(),
+/// after the context is printed — the flight recorder dumps its ring here so
+/// a production crash leaves a post-mortem record. Not called on the throwing
+/// test path. Must return; must not throw. nullptr clears. Returns previous.
+using CheckAbortHook = void (*)(const CheckContext&);
+
+CheckAbortHook set_check_abort_hook(CheckAbortHook hook);
+
 /// RAII: while alive, failed checks throw CheckFailure instead of aborting,
 /// so unit tests can assert an invariant fires without a death test (which
 /// interacts poorly with sanitizer runtimes).

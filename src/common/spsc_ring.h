@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/check.h"
@@ -53,6 +54,7 @@ class SpscRing {
     if (tail - head >= buf_.size()) {
       head_cache_ = head_.load(std::memory_order_acquire);
       if (tail - head_cache_ >= buf_.size()) {
+        spills_.fetch_add(1, std::memory_order_relaxed);
         MutexLock lock(overflow_mu_);
         overflow_.push_back(std::move(v));
         return;
@@ -60,6 +62,7 @@ class SpscRing {
     }
     buf_[tail & mask_] = std::move(v);
     tail_.store(tail + 1, std::memory_order_release);
+    note_occupancy(tail + 1 - head_cache_);
   }
 
   /// Consumer side: appends every available element (ring first, then the
@@ -96,7 +99,31 @@ class SpscRing {
 
   std::size_t capacity() const { return buf_.size(); }
 
+  /// Times push() found the ring full and spilled to the overflow vector
+  /// (cumulative; each spill is one element, not one epoch). A nonzero count
+  /// means the ring is undersized for the traffic — the shard report surfaces
+  /// this per handoff lane.
+  std::uint64_t spills() const { return spills_.load(std::memory_order_relaxed); }
+
+  /// Read-and-reset the ring-occupancy high watermark (peak `tail - head`
+  /// observed at push since the last call; an *upper bound*, since the
+  /// producer's view of head may be stale). Callable from any thread
+  /// concurrently with the producer: the producer's CAS-max retries past a
+  /// racing exchange(0), so a later-higher peak is never lost — this is the
+  /// property the concurrent reset-vs-producer unit test pins down.
+  std::size_t take_watermark() { return watermark_.exchange(0, std::memory_order_relaxed); }
+
+  /// Current watermark without resetting (end-of-run reports).
+  std::size_t watermark() const { return watermark_.load(std::memory_order_relaxed); }
+
  private:
+  void note_occupancy(std::size_t occ) {
+    std::size_t cur = watermark_.load(std::memory_order_relaxed);
+    while (occ > cur &&
+           !watermark_.compare_exchange_weak(cur, occ, std::memory_order_relaxed)) {
+    }
+  }
+
   std::vector<T> buf_;
   std::size_t mask_ = 0;
   /// Producer-owned cache of head_ so the fast path reads one shared atomic
@@ -106,6 +133,9 @@ class SpscRing {
   alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer position
   Mutex overflow_mu_;
   std::vector<T> overflow_ VEDR_GUARDED_BY(overflow_mu_);
+  /// Introspection taps (never read by the transfer path itself).
+  std::atomic<std::uint64_t> spills_{0};
+  std::atomic<std::size_t> watermark_{0};
 };
 
 }  // namespace vedr::common

@@ -24,6 +24,10 @@ namespace vedr::obs {
 struct MetricsSnapshot;
 }
 
+namespace vedr::sim {
+struct ShardReport;
+}
+
 namespace vedr::eval {
 
 enum class SystemKind : std::uint8_t {
@@ -70,6 +74,11 @@ struct RunConfig {
   /// the engine starts, to attach a per-domain packet tracer (the parallel
   /// digest lane). Return nullptr for no tracer on that domain.
   std::function<net::PacketTracer*(int domain, int num_domains)> domain_tracer_factory;
+  /// Sharded runs only: collect the end-of-run ShardReport (barrier-wait
+  /// timing per worker, per-domain events/window, handoff lane stats) into
+  /// CaseResult::shard_report. Enables the engine's wall-clock timing lane;
+  /// observation only — digests are unaffected.
+  bool capture_shard_report = false;
 };
 
 /// One case's complete result: verdict, overheads, and timing.
@@ -97,6 +106,8 @@ struct CaseResult {
   /// Set iff RunConfig::capture_metrics: the case's full metric snapshot
   /// (shared so CaseResult stays cheap to copy through the suite plumbing).
   std::shared_ptr<const obs::MetricsSnapshot> metrics;
+  /// Set iff RunConfig::capture_shard_report on a sharded run.
+  std::shared_ptr<const sim::ShardReport> shard_report;
 };
 
 /// Builds the paper's fabric, runs one case under one system, diagnoses,

@@ -41,6 +41,7 @@ CaseResult run_case_sharded(const ScenarioSpec& spec, const RunConfig& cfg) {
   // clamping here keeps engine introspection (num_workers) honest.
   const int workers = std::min(cfg.shards, plan.num_domains);
   sim::ShardedEngine engine(plan.num_domains, plan.lookahead, workers);
+  if (cfg.capture_shard_report) engine.set_collect_timing(true);
   net::Network network(engine, plan, topo, cfg.netcfg);
   if (cfg.domain_tracer_factory) {
     for (int d = 0; d < plan.num_domains; ++d)
@@ -87,6 +88,12 @@ CaseResult run_case_sharded(const ScenarioSpec& spec, const RunConfig& cfg) {
     result.telemetry_state_bytes += network.switch_at(sw_id).telem().state_bytes();
   if (cfg.capture_metrics)
     result.metrics = std::make_shared<const obs::MetricsSnapshot>(obs::snapshot(stats));
+  if (cfg.capture_shard_report) {
+    auto report = std::make_shared<sim::ShardReport>();
+    engine.fill_report(*report);
+    network.fill_shard_report(*report);
+    result.shard_report = std::move(report);
+  }
   return result;
 }
 

@@ -103,6 +103,13 @@ Tick Network::latest_now() const {
   return latest;
 }
 
+void Network::fill_shard_report(sim::ShardReport& out) const {
+  out.lanes.clear();
+  if (handoffs_ == nullptr) return;
+  for (const auto& l : handoffs_->lane_stats())
+    out.lanes.push_back({l.src, l.dst, l.pushed, l.spills, l.ring_peak});
+}
+
 void Network::set_tracer(PacketTracer* tracer) {
   VEDR_CHECK(!sharded_ || tracer == nullptr,
              "a single tracer would race across domains; use set_domain_tracer");

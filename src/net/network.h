@@ -20,6 +20,7 @@
 
 namespace vedr::sim {
 class ShardedEngine;
+struct ShardReport;
 }  // namespace vedr::sim
 
 namespace vedr::net {
@@ -95,6 +96,10 @@ class Network {
   /// Post-run scoring reads this: domain clocks stop at their own last
   /// event, so no single domain's now() bounds the whole run.
   Tick latest_now() const;
+  /// Fills the handoff-lane section of a ShardReport (pushed / spills /
+  /// ring peak per active (src,dst) pair). Engine sections are filled by
+  /// ShardedEngine::fill_report. Quiesced (post-run) only; no-op when serial.
+  void fill_shard_report(sim::ShardReport& out) const;
 
   Host& host(NodeId id);
   Switch& switch_at(NodeId id);

@@ -139,4 +139,19 @@ std::uint64_t HandoffMatrix::total() const {
   return n;
 }
 
+std::vector<HandoffMatrix::LaneStats> HandoffMatrix::lane_stats() const {
+  std::vector<LaneStats> out;
+  for (int src = 0; src < num_domains_; ++src) {
+    const SeqRow& row = *seq_rows_[static_cast<std::size_t>(src)];
+    for (int dst = 0; dst < num_domains_; ++dst) {
+      if (src == dst) continue;
+      const std::uint64_t pushed = row.next_seq[static_cast<std::size_t>(dst)];
+      if (pushed == 0) continue;
+      const auto& ring = *rings_[index(src, dst)];
+      out.push_back({src, dst, pushed, ring.spills(), ring.watermark()});
+    }
+  }
+  return out;
+}
+
 }  // namespace vedr::net

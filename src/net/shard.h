@@ -73,6 +73,19 @@ class HandoffMatrix {
   /// Total handoffs pushed (quiesced introspection for tests/bench).
   std::uint64_t total() const;
 
+  /// One entry per ordered (src, dst) pair that carried at least one handoff:
+  /// handoffs pushed (the producer-owned per-pair sequence doubles as the
+  /// count), ring overflow spills, and the ring-occupancy peak. Quiesced
+  /// introspection for the shard report.
+  struct LaneStats {
+    int src = 0;
+    int dst = 0;
+    std::uint64_t pushed = 0;
+    std::uint64_t spills = 0;
+    std::size_t ring_peak = 0;
+  };
+  std::vector<LaneStats> lane_stats() const;
+
  private:
   std::size_t index(int src, int dst) const {
     return static_cast<std::size_t>(src) * static_cast<std::size_t>(num_domains_) +

@@ -12,6 +12,7 @@
 #include <map>
 #include <string>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -40,8 +41,11 @@ struct ObsCli {
   bool want_metrics() const { return !metrics_path.empty(); }
 
   /// Turns on the requested taps. Call before the run so every span/sample
-  /// from the first event lands in the buffers.
+  /// from the first event lands in the buffers. Also installs the flight
+  /// recorder's check hooks — any tool observing a run should dump the ring
+  /// when a CHECK kills it.
   void enable() const {
+    flight_install_check_hooks();
     if (want_trace()) trace_enable();
     if (want_metrics()) metrics_enable();
   }

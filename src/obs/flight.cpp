@@ -1,0 +1,122 @@
+#include "obs/flight.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/json.h"
+#include "obs/trace.h"  // wall_now_ns
+
+namespace vedr::obs {
+
+namespace {
+
+constexpr std::size_t kCapacity = 512;
+
+/// The recorder: one process-global mutex-guarded ring. Leaked (like the
+/// trace registry) because events can arrive from threads that outlive
+/// static destructors.
+struct Recorder {
+  common::Mutex mu;
+  FlightEvent slots[kCapacity] VEDR_GUARDED_BY(mu);
+  std::uint64_t recorded VEDR_GUARDED_BY(mu) = 0;
+};
+
+Recorder& recorder() {
+  static Recorder* r = new Recorder;
+  return *r;
+}
+
+void copy_truncated(char* dst, std::size_t cap, const char* src) {
+  std::snprintf(dst, cap, "%s", src != nullptr ? src : "");
+}
+
+void check_observer(const common::CheckContext& ctx) {
+  // Strip the directory so the fixed-width msg keeps the interesting part.
+  const char* file = ctx.file;
+  if (const char* slash = std::strrchr(file, '/')) file = slash + 1;
+  flight_record("check", "%s:%d %s%s%s", file, ctx.line, ctx.expr,
+                ctx.message.empty() ? "" : " — ", ctx.message.c_str());
+}
+
+void check_abort_dump(const common::CheckContext& /*ctx*/) {
+  flight_dump_stderr("CHECK failure (aborting)");
+}
+
+}  // namespace
+
+void flight_vrecord(const char* cat, const char* fmt, std::va_list ap) {
+  FlightEvent ev;
+  ev.wall_ns = wall_now_ns();
+  copy_truncated(ev.cat, sizeof ev.cat, cat);
+  std::vsnprintf(ev.msg, sizeof ev.msg, fmt, ap);
+
+  Recorder& r = recorder();
+  common::MutexLock lock(r.mu);
+  ev.seq = ++r.recorded;
+  r.slots[(ev.seq - 1) % kCapacity] = ev;
+}
+
+void flight_record(const char* cat, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  flight_vrecord(cat, fmt, ap);
+  va_end(ap);
+}
+
+std::uint64_t flight_recorded() {
+  Recorder& r = recorder();
+  common::MutexLock lock(r.mu);
+  return r.recorded;
+}
+
+std::size_t flight_capacity() { return kCapacity; }
+
+void flight_reset() {
+  Recorder& r = recorder();
+  common::MutexLock lock(r.mu);
+  r.recorded = 0;
+  for (auto& s : r.slots) s = FlightEvent{};
+}
+
+std::string flight_json() {
+  Recorder& r = recorder();
+  common::MutexLock lock(r.mu);
+  const std::uint64_t n = r.recorded < kCapacity ? r.recorded : kCapacity;
+
+  std::string out;
+  JsonWriter w(&out);
+  w.begin_object();
+  w.kv("recorded", r.recorded);
+  w.kv("capacity", static_cast<std::uint64_t>(kCapacity));
+  w.kv("dropped", r.recorded - n);
+  w.key("events");
+  w.begin_array();
+  for (std::uint64_t i = r.recorded - n; i != r.recorded; ++i) {
+    const FlightEvent& ev = r.slots[i % kCapacity];
+    w.begin_object();
+    w.kv("seq", ev.seq);
+    w.kv("wall_ns", ev.wall_ns);
+    w.kv("cat", ev.cat);
+    w.kv("msg", ev.msg);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out;
+}
+
+void flight_dump_stderr(const char* reason) {
+  const std::string json = flight_json();
+  std::fprintf(stderr, "=== flight recorder dump: %s ===\n%s\n", reason, json.c_str());
+  std::fflush(stderr);
+}
+
+void flight_install_check_hooks() {
+  common::set_check_observer(check_observer);
+  common::set_check_abort_hook(check_abort_dump);
+}
+
+}  // namespace vedr::obs

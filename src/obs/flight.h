@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace vedr::obs {
+
+/// Always-on flight recorder (DESIGN.md §15): a bounded ring of recent
+/// structured events — verdicts, queue drops and high-watermarks, session
+/// open/close, rate-limited-log suppression summaries, CHECK context — kept
+/// cheap enough to leave on in production and dumped when something goes
+/// wrong: on CHECK failure (abort path), on SIGQUIT, and live via the
+/// `/debug/flight` endpoint in vedr_serve.
+///
+/// Unlike the span tracer this is not hot-path telemetry: events arrive at
+/// human rates (per step, per session, per incident), so a single
+/// mutex-guarded ring of fixed POD slots is both simple and cheap. Nothing
+/// here feeds back into model state — the recorder is a tap, never a
+/// participant.
+
+/// One ring slot. Fixed-size so recording never allocates; formatted text is
+/// truncated, not split.
+struct FlightEvent {
+  std::uint64_t seq = 0;      ///< monotone sequence number (1-based)
+  std::uint64_t wall_ns = 0;  ///< obs::wall_now_ns() at record time
+  char cat[16] = {0};         ///< short category: "verdict", "queue", "check", ...
+  char msg[112] = {0};        ///< formatted message, truncated to fit
+};
+
+/// Append one event (printf-style). Always on; callers on genuinely hot paths
+/// must pre-aggregate (e.g. one "queue" event per high-watermark epoch, not
+/// one per push).
+void flight_record(const char* cat, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// va_list flavour for wrappers.
+void flight_vrecord(const char* cat, const char* fmt, std::va_list ap);
+
+/// Total events ever recorded (recorded - min(recorded, capacity) were
+/// overwritten).
+std::uint64_t flight_recorded();
+
+std::size_t flight_capacity();
+
+/// Clear the ring and the sequence counter (tests).
+void flight_reset();
+
+/// JSON dump, oldest event first:
+///   {"recorded":N,"capacity":C,"dropped":D,
+///    "events":[{"seq":..,"wall_ns":..,"cat":"..","msg":".."},...]}
+std::string flight_json();
+
+/// Dump flight_json() to stderr, prefixed by a one-line reason. Used from the
+/// CHECK abort path and the SIGQUIT handler's main-loop follow-up; safe to
+/// call at any time (not async-signal-safe — signal handlers should set a
+/// flag and let the main loop call this).
+void flight_dump_stderr(const char* reason);
+
+/// Install the common::check hooks so every CHECK failure records a "check"
+/// flight event and the abort path dumps the ring to stderr before dying.
+/// Idempotent; called by ObsCli::enable, serve::Server, and tests. Kept
+/// explicit (not a static initializer) so the common layer stays free of any
+/// obs dependency.
+void flight_install_check_hooks();
+
+}  // namespace vedr::obs

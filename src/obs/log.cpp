@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/flight.h"
 #include "obs/trace.h"  // wall_now_ns
 
 namespace vedr::obs {
@@ -92,6 +93,10 @@ void log_write(LogSite& site, LogLevel lvl, const char* comp, const char* file, 
     std::fprintf(stderr, "level=%s comp=%s src=%s:%d msg=\"%s\" (%llu suppressed)\n",
                  to_string(lvl), comp, basename_of(file), line, msg,
                  static_cast<unsigned long long>(suppressed));
+    // Rate-limit storms are exactly the kind of signal a post-mortem needs:
+    // one flight event per suppression epoch, never one per dropped line.
+    flight_record("log", "%s:%d suppressed %llu lines (comp=%s)", basename_of(file), line,
+                  static_cast<unsigned long long>(suppressed), comp);
   } else {
     std::fprintf(stderr, "level=%s comp=%s src=%s:%d msg=\"%s\"\n", to_string(lvl), comp,
                  basename_of(file), line, msg);

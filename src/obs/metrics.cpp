@@ -31,11 +31,11 @@ std::string label_block(const std::map<std::string, std::string>& labels,
   for (const auto& [k, v] : labels) {
     if (!first) out += ',';
     first = false;
-    out += sanitize(k) + "=\"" + v + "\"";
+    out += sanitize(k) + "=\"" + escape_label_value(v) + "\"";
   }
   if (!extra_key.empty()) {
     if (!first) out += ',';
-    out += extra_key + "=\"" + extra_val + "\"";
+    out += extra_key + "=\"" + escape_label_value(extra_val) + "\"";
   }
   out += "}";
   return out;
@@ -62,6 +62,20 @@ MetricsSnapshot snapshot(const sim::StatsRegistry& stats) {
   return snap;
 }
 
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string to_prometheus(const MetricsSnapshot& snap,
                           const std::map<std::string, std::string>& labels) {
   std::string out;
@@ -71,6 +85,27 @@ std::string to_prometheus(const MetricsSnapshot& snap,
     const std::string m = "vedr_" + sanitize(name);
     out += "# TYPE " + m + " counter\n";
     append_line(out, m, lb, static_cast<double>(value));
+  }
+
+  // Gauge series grouped by name (the exposition format wants one TYPE line
+  // and consecutive samples per metric), preserving first-appearance order.
+  {
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<const GaugeSeries*>> by_name;
+    for (const auto& g : snap.gauges) {
+      auto [it, inserted] = by_name.try_emplace(g.name);
+      if (inserted) order.push_back(g.name);
+      it->second.push_back(&g);
+    }
+    for (const auto& name : order) {
+      const std::string m = "vedr_" + sanitize(name);
+      out += "# TYPE " + m + " gauge\n";
+      for (const GaugeSeries* g : by_name[name]) {
+        std::map<std::string, std::string> merged = labels;
+        for (const auto& [k, v] : g->labels) merged[k] = v;
+        append_line(out, m, label_block(merged), g->value);
+      }
+    }
   }
 
   for (const auto& [name, s] : snap.summaries) {
@@ -151,6 +186,20 @@ std::string to_json(const MetricsSnapshot& snap) {
     w.end_object();
   }
   w.end_object();
+
+  w.key("gauges");
+  w.begin_array();
+  for (const auto& g : snap.gauges) {
+    w.begin_object();
+    w.kv("name", g.name);
+    w.key("labels");
+    w.begin_object();
+    for (const auto& [k, v] : g.labels) w.kv(k, v);
+    w.end_object();
+    w.kv("value", g.value);
+    w.end_object();
+  }
+  w.end_array();
 
   w.end_object();
   return out;

@@ -168,6 +168,11 @@ void instant(const char* cat, const char* name, std::int64_t sim_ns, std::uint64
   record('i', cat, name, 0, sim_ns, arg);
 }
 
+void record_manual(const TraceEvent& ev) {
+  if (!trace_enabled()) return;
+  buffer_for_thread().record(ev);
+}
+
 TraceStats trace_stats() {
   Registry& r = registry();
   common::MutexLock lock(r.mu);

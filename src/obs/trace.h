@@ -81,6 +81,13 @@ void async_end(const char* cat, const char* name, std::uint64_t id, std::int64_t
                std::uint64_t arg = 0);
 void instant(const char* cat, const char* name, std::int64_t sim_ns, std::uint64_t arg = 0);
 
+/// Records a fully-populated event verbatim (no-op while disabled). This is
+/// the backdating hook for tail-based sampling: a retained slow step emits
+/// its 'b'/'e' async pair with wall_ns stamped from measurements taken
+/// *before* the retain decision was possible. `cat`/`name` must still be
+/// literals — the ring stores pointers.
+void record_manual(const TraceEvent& ev);
+
 struct TraceStats {
   std::uint64_t written = 0;  ///< total events recorded (including overwritten)
   std::uint64_t dropped = 0;  ///< events overwritten by ring wrap

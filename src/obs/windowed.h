@@ -1,0 +1,234 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/histogram.h"
+
+namespace vedr::obs {
+
+/// Windowed metrics (DESIGN.md §15): recent-window rates and quantiles for
+/// the always-on service surface, where the lifetime aggregates in
+/// StatsRegistry answer "since boot" but not "right now".
+///
+/// All three primitives share one model: a fixed ring of per-interval delta
+/// slots keyed by the *absolute* interval index (now_ns / interval_ns). A
+/// write lands in the slot for its interval, lazily evicting whatever stale
+/// interval occupied that ring position; a window query merges every slot
+/// whose interval falls inside the requested lookback. There is no required
+/// roller thread — slots self-advance on write and queries simply skip stale
+/// slots — but a periodic roller is how gauges get per-window peaks sampled
+/// into the ring (see serve::Server's window roller).
+///
+/// Threading: every operation takes the internal mutex. These are cold-path
+/// structures by contract (one write per diagnose step / roll tick, one read
+/// per scrape) — never feed them from the per-packet simulation hot loop.
+/// Safe for any number of writers + scrapers + rollers; verified by the TSan
+/// stress lane.
+
+/// Ring of per-interval Histogram deltas; window(w) merges the intervals
+/// covering the last `w` nanoseconds (reusing Histogram::merge), so a scrape
+/// can ask for rolling p50/p99 over 10s and 60s from one structure.
+class WindowedHistogram {
+ public:
+  /// `interval_ns` is the delta granularity, `intervals` the ring depth; the
+  /// longest answerable window is interval_ns * intervals. Defaults hold 128s
+  /// of 1s deltas — enough for the 10s and 60s serve windows with slack.
+  explicit WindowedHistogram(std::uint64_t interval_ns = 1'000'000'000,
+                             int intervals = 128)
+      : interval_ns_(interval_ns), intervals_(intervals) {
+    VEDR_CHECK(interval_ns > 0, "windowed interval must be positive");
+    VEDR_CHECK(intervals >= 2, "windowed ring needs at least two intervals");
+    slots_ = new Slot[static_cast<std::size_t>(intervals)];
+  }
+  ~WindowedHistogram() { delete[] slots_; }
+
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  std::uint64_t interval_ns() const { return interval_ns_; }
+  int intervals() const { return intervals_; }
+
+  void record(std::int64_t v, std::uint64_t now_ns) VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    slot_for(now_ns / interval_ns_).hist.add(v);
+  }
+
+  /// Merge of every interval overlapping (now - window_ns, now]: the current
+  /// (partial) interval plus ceil(window/interval) - 1 full ones. Stale ring
+  /// positions (evicted or never written) contribute nothing, so a quiet
+  /// stream ages out of the window instead of haunting it.
+  Histogram window(std::uint64_t window_ns, std::uint64_t now_ns) const VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    Histogram out;
+    const std::uint64_t cur = now_ns / interval_ns_;
+    std::uint64_t span = (window_ns + interval_ns_ - 1) / interval_ns_;
+    if (span == 0) span = 1;
+    if (span > static_cast<std::uint64_t>(intervals_)) span = static_cast<std::uint64_t>(intervals_);
+    for (std::uint64_t back = 0; back < span; ++back) {
+      if (back > cur) break;  // before t=0
+      const std::uint64_t idx = cur - back;
+      const Slot& s = slots_[static_cast<std::size_t>(idx % static_cast<std::uint64_t>(intervals_))];
+      if (s.index == idx) out.merge(s.hist);
+    }
+    return out;
+  }
+
+  /// Total samples currently retained anywhere in the ring (tests/gauges).
+  std::uint64_t retained_count() const VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    std::uint64_t n = 0;
+    for (int i = 0; i < intervals_; ++i)
+      if (slots_[i].index != kUnused) n += slots_[i].hist.count();
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t kUnused = ~std::uint64_t{0};
+
+  struct Slot {
+    std::uint64_t index = kUnused;  ///< absolute interval index, kUnused = empty
+    Histogram hist;
+  };
+
+  Slot& slot_for(std::uint64_t idx) VEDR_REQUIRES(mu_) {
+    Slot& s = slots_[static_cast<std::size_t>(idx % static_cast<std::uint64_t>(intervals_))];
+    if (s.index != idx) {  // lazily evict the stale interval at this position
+      s.hist.reset();
+      s.index = idx;
+    }
+    return s;
+  }
+
+  const std::uint64_t interval_ns_;
+  const int intervals_;
+  mutable common::Mutex mu_;
+  Slot* slots_ VEDR_GUARDED_BY(mu_);
+};
+
+/// Ring of per-interval event counts; rate_per_sec(w) is the recent-window
+/// throughput (records/s, verdicts/s) the lifetime counters cannot answer.
+class WindowedRate {
+ public:
+  explicit WindowedRate(std::uint64_t interval_ns = 1'000'000'000, int intervals = 128)
+      : interval_ns_(interval_ns), intervals_(intervals) {
+    VEDR_CHECK(interval_ns > 0, "windowed interval must be positive");
+    VEDR_CHECK(intervals >= 2, "windowed ring needs at least two intervals");
+    slots_ = new Slot[static_cast<std::size_t>(intervals)];
+  }
+  ~WindowedRate() { delete[] slots_; }
+
+  WindowedRate(const WindowedRate&) = delete;
+  WindowedRate& operator=(const WindowedRate&) = delete;
+
+  void add(std::uint64_t n, std::uint64_t now_ns) VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    const std::uint64_t idx = now_ns / interval_ns_;
+    Slot& s = slots_[static_cast<std::size_t>(idx % static_cast<std::uint64_t>(intervals_))];
+    if (s.index != idx) {
+      s.count = 0;
+      s.index = idx;
+    }
+    s.count += n;
+  }
+
+  std::uint64_t sum_in_window(std::uint64_t window_ns, std::uint64_t now_ns) const
+      VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    std::uint64_t total = 0;
+    const std::uint64_t cur = now_ns / interval_ns_;
+    std::uint64_t span = (window_ns + interval_ns_ - 1) / interval_ns_;
+    if (span == 0) span = 1;
+    if (span > static_cast<std::uint64_t>(intervals_)) span = static_cast<std::uint64_t>(intervals_);
+    for (std::uint64_t back = 0; back < span; ++back) {
+      if (back > cur) break;
+      const std::uint64_t idx = cur - back;
+      const Slot& s = slots_[static_cast<std::size_t>(idx % static_cast<std::uint64_t>(intervals_))];
+      if (s.index == idx) total += s.count;
+    }
+    return total;
+  }
+
+  /// Window sum divided by the window length. The denominator is the full
+  /// window even when the process is younger than it — early rates read low
+  /// rather than spiking, which is the right bias for alerting.
+  double rate_per_sec(std::uint64_t window_ns, std::uint64_t now_ns) const {
+    if (window_ns == 0) return 0.0;
+    return static_cast<double>(sum_in_window(window_ns, now_ns)) /
+           (static_cast<double>(window_ns) / 1e9);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t index = ~std::uint64_t{0};
+    std::uint64_t count = 0;
+  };
+
+  const std::uint64_t interval_ns_;
+  const int intervals_;
+  mutable common::Mutex mu_;
+  Slot* slots_ VEDR_GUARDED_BY(mu_);
+};
+
+/// Ring of per-interval maxima; window max gives per-window peak gauges
+/// (queue-depth high watermarks sampled each roll tick and reset at the
+/// source via take_high_watermark — DESIGN.md §15).
+class WindowedMax {
+ public:
+  explicit WindowedMax(std::uint64_t interval_ns = 1'000'000'000, int intervals = 128)
+      : interval_ns_(interval_ns), intervals_(intervals) {
+    VEDR_CHECK(interval_ns > 0, "windowed interval must be positive");
+    VEDR_CHECK(intervals >= 2, "windowed ring needs at least two intervals");
+    slots_ = new Slot[static_cast<std::size_t>(intervals)];
+  }
+  ~WindowedMax() { delete[] slots_; }
+
+  WindowedMax(const WindowedMax&) = delete;
+  WindowedMax& operator=(const WindowedMax&) = delete;
+
+  void record(std::int64_t v, std::uint64_t now_ns) VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    const std::uint64_t idx = now_ns / interval_ns_;
+    Slot& s = slots_[static_cast<std::size_t>(idx % static_cast<std::uint64_t>(intervals_))];
+    if (s.index != idx) {
+      s.max = v;
+      s.index = idx;
+    } else if (v > s.max) {
+      s.max = v;
+    }
+  }
+
+  /// Max over the covered intervals; 0 when no interval in the window holds a
+  /// sample (peak gauges are non-negative by convention).
+  std::int64_t window_max(std::uint64_t window_ns, std::uint64_t now_ns) const
+      VEDR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    std::int64_t best = 0;
+    const std::uint64_t cur = now_ns / interval_ns_;
+    std::uint64_t span = (window_ns + interval_ns_ - 1) / interval_ns_;
+    if (span == 0) span = 1;
+    if (span > static_cast<std::uint64_t>(intervals_)) span = static_cast<std::uint64_t>(intervals_);
+    for (std::uint64_t back = 0; back < span; ++back) {
+      if (back > cur) break;
+      const std::uint64_t idx = cur - back;
+      const Slot& s = slots_[static_cast<std::size_t>(idx % static_cast<std::uint64_t>(intervals_))];
+      if (s.index == idx && s.max > best) best = s.max;
+    }
+    return best;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t index = ~std::uint64_t{0};
+    std::int64_t max = 0;
+  };
+
+  const std::uint64_t interval_ns_;
+  const int intervals_;
+  mutable common::Mutex mu_;
+  Slot* slots_ VEDR_GUARDED_BY(mu_);
+};
+
+}  // namespace vedr::obs

@@ -1,14 +1,28 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "core/json_export.h"
+#include "obs/flight.h"
+#include "obs/trace.h"  // wall_now_ns
+
+#ifndef VEDR_VERSION
+#define VEDR_VERSION "dev"
+#endif
 
 namespace vedr::serve {
 
 Server::Server(const ServerConfig& cfg, VerdictSink* sink)
-    : cfg_(cfg), sink_(sink), pool_(cfg.shards) {}
+    : cfg_(cfg), sink_(sink), pool_(cfg.shards),
+      tail_(cfg.tail_quantile, cfg.tail_min_count),
+      start_wall_ns_(obs::wall_now_ns()) {
+  // From here on a CHECK failure anywhere in the process dumps the flight
+  // ring to stderr before aborting (idempotent if already installed).
+  obs::flight_install_check_hooks();
+  if (cfg_.roll_interval_ns > 0) roller_ = std::thread([this] { roller_loop(); });
+}
 
 Server::~Server() { shutdown(); }
 
@@ -18,9 +32,13 @@ std::uint64_t Server::open_session(const std::string& tenant) {
   // Shard by id, not tenant hash: ids are dense, so sessions spread evenly.
   const std::size_t shard = static_cast<std::size_t>(id) %
                             static_cast<std::size_t>(pool_.shards());
-  sessions_.emplace(id, std::make_unique<Session>(id, tenant, shard, cfg_.session));
+  auto s = std::make_unique<Session>(id, tenant, shard, cfg_.session);
+  s->set_live_metrics(&live_, &tail_);
+  sessions_.emplace(id, std::move(s));
   ++open_count_;
   stats_.add_counter("serve.sessions_opened");
+  obs::flight_record("session", "open id=%llu tenant=%s shard=%zu",
+                     static_cast<unsigned long long>(id), tenant.c_str(), shard);
   return id;
 }
 
@@ -86,8 +104,57 @@ void Server::shutdown() {
     // so the drain below still ingests everything already accepted.
     for (auto& [id, s] : sessions_) s->abort_queue();
   }
+  // Stop the roller outside mu_ — it may be inside poll_windows() holding it.
+  {
+    common::MutexLock lock(roller_mu_);
+    roller_stop_ = true;
+    roller_cv_.notify_all();
+  }
+  if (roller_.joinable()) roller_.join();
   pool_.drain();
   pool_.stop();
+}
+
+void Server::roller_loop() {
+  const auto interval = std::chrono::nanoseconds(cfg_.roll_interval_ns);
+  for (;;) {
+    {
+      common::MutexLock lock(roller_mu_);
+      if (roller_stop_) return;
+      roller_cv_.wait_for(roller_mu_, interval);
+      if (roller_stop_) return;
+    }
+    poll_windows();
+  }
+}
+
+void Server::poll_windows() {
+  const std::uint64_t now = obs::wall_now_ns();
+  common::MutexLock lock(mu_);
+  for (const auto& [id, s] : sessions_) {
+    // Drop deltas first (a session can drop and finish between two ticks).
+    const std::uint64_t dropped = s->queue_stats().dropped;
+    std::uint64_t& last = last_dropped_[id];
+    if (dropped > last) {
+      obs::flight_record("queue", "dropped %llu records: session=%llu tenant=%s total=%llu",
+                         static_cast<unsigned long long>(dropped - last),
+                         static_cast<unsigned long long>(id), s->tenant().c_str(),
+                         static_cast<unsigned long long>(dropped));
+      last = dropped;
+    }
+    if (s->state() != SessionState::kActive) continue;  // finished queues are empty
+    const std::size_t cap = s->config().queue_capacity;
+    const std::size_t peak = s->take_queue_high_watermark();
+    live_.queue_depth.record(static_cast<std::int64_t>(peak), now);
+    live_.queue_depth_peak.record(static_cast<std::int64_t>(peak), now);
+    if (cap > 0 && peak * 10 >= cap * 9)
+      obs::flight_record("queue", "near capacity: session=%llu tenant=%s peak=%zu cap=%zu",
+                         static_cast<unsigned long long>(id), s->tenant().c_str(), peak, cap);
+  }
+}
+
+double Server::uptime_seconds() const {
+  return static_cast<double>(obs::wall_now_ns() - start_wall_ns_) / 1e9;
 }
 
 bool Server::healthy() const {
@@ -129,6 +196,16 @@ obs::MetricsSnapshot Server::metrics_snapshot() const {
   snap.counters["serve.frames_ingested"] = static_cast<std::int64_t>(frames);
   snap.counters["serve.verdicts_emitted"] = static_cast<std::int64_t>(verdicts);
   snap.counters["serve.telemetry_sketch_sessions"] = sketch_sessions;
+  snap.counters["serve.tail_considered"] =
+      static_cast<std::int64_t>(tail_.considered());
+
+  const std::uint64_t now = obs::wall_now_ns();
+  live_.append_gauges(snap, now);
+  snap.gauges.push_back({"serve.tail.threshold_ns", {},
+                         static_cast<double>(tail_.threshold_ns(now))});
+  snap.gauges.push_back({"uptime_seconds", {}, uptime_seconds()});
+  snap.gauges.push_back(
+      {"build_info", {{"version", VEDR_VERSION}, {"compiler", __VERSION__}}, 1.0});
   return snap;
 }
 

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -19,6 +20,15 @@ namespace vedr::serve {
 struct ServerConfig {
   int shards = 2;          ///< shard workers (sessions hash onto these)
   SessionConfig session;   ///< per-session queue bound / overflow policy
+  /// Window roller cadence: every tick samples per-session queue peaks into
+  /// the windowed gauges and folds drop deltas into the flight recorder.
+  /// 0 disables the roller thread (tests drive poll_windows() by hand).
+  std::uint64_t roll_interval_ns = LiveMetrics::kIntervalNs;
+  /// Tail-based trace sampling rule (see TailSampler): retain steps whose
+  /// diagnose latency reaches this rolling quantile, once the 60s window
+  /// holds at least tail_min_count samples.
+  double tail_quantile = 0.99;
+  std::uint64_t tail_min_count = 32;
 };
 
 /// The serve daemon's core: many tenant sessions multiplexed onto a sharded
@@ -86,15 +96,30 @@ class Server {
   sim::StatsRegistry& stats() { return stats_; }
   bool healthy() const VEDR_EXCLUDES(mu_);
   /// Keyed registry snapshot plus live aggregates over every session's queue
-  /// (depth, drops, blocks, high watermark) and state counts.
+  /// (depth, drops, blocks, high watermark) and state counts, plus the
+  /// windowed gauges (10s/60s quantiles/rates), uptime, and build info.
   obs::MetricsSnapshot metrics_snapshot() const VEDR_EXCLUDES(mu_);
   std::string prometheus() const;
   /// /sessions body: one JSON object per session with ingest/queue counters.
   std::string sessions_json() const VEDR_EXCLUDES(mu_);
 
+  /// The windowed surface (shared with every session) and the tail sampler.
+  LiveMetrics& live_metrics() { return live_; }
+  const TailSampler& tail_sampler() const { return tail_; }
+
+  /// One window-roller tick: samples every session queue's read-and-reset
+  /// high watermark into the windowed depth gauges, and emits flight events
+  /// for fresh drops / near-capacity peaks. The roller thread calls this
+  /// every roll_interval_ns; tests call it directly (roll_interval_ns = 0).
+  void poll_windows() VEDR_EXCLUDES(mu_);
+
+  /// Seconds since construction (the vedr_uptime_seconds gauge).
+  double uptime_seconds() const;
+
  private:
   void schedule_pump(Session* s);
   void pump_task(Session* s);
+  void roller_loop();
 
   const ServerConfig cfg_;
   VerdictSink* const sink_;
@@ -103,12 +128,25 @@ class Server {
   sim::StatsRegistry stats_;
   common::WorkerPool pool_;
 
+  LiveMetrics live_;
+  TailSampler tail_;
+  const std::uint64_t start_wall_ns_;
+
   mutable common::Mutex mu_;
   std::condition_variable_any finished_cv_;
   std::map<std::uint64_t, std::unique_ptr<Session>> sessions_ VEDR_GUARDED_BY(mu_);
   std::uint64_t next_id_ VEDR_GUARDED_BY(mu_) = 1;
   std::size_t open_count_ VEDR_GUARDED_BY(mu_) = 0;  ///< sessions still kActive
   bool shutdown_ VEDR_GUARDED_BY(mu_) = false;
+  /// Drop count per session at the previous roll tick — poll_windows emits a
+  /// flight event only for the delta, not once per tick forever after.
+  std::map<std::uint64_t, std::uint64_t> last_dropped_ VEDR_GUARDED_BY(mu_);
+
+  // Window roller (runs only when cfg.roll_interval_ns > 0).
+  common::Mutex roller_mu_;
+  std::condition_variable_any roller_cv_;
+  bool roller_stop_ VEDR_GUARDED_BY(roller_mu_) = false;
+  std::thread roller_;
 };
 
 }  // namespace vedr::serve

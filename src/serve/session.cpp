@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/json_export.h"
+#include "obs/flight.h"
 #include "obs/trace.h"  // wall_now_ns
 
 namespace vedr::serve {
@@ -29,7 +30,15 @@ PumpResult Session::pump(VerdictSink& sink, sim::StatsRegistry& stats) {
     // The footer is structurally the last frame; stop slicing and finalize.
     if (collector_.have_footer()) break;
   }
-  if (n > 0) emit_step_verdicts(sink, stats);
+  if (n > 0) {
+    // Windowed ingest rates: one add per pump batch, never per record.
+    if (live_ != nullptr) {
+      const std::uint64_t now = obs::wall_now_ns();
+      live_->records.add(static_cast<std::uint64_t>(n), now);
+      live_->record_tenant_records(tenant_, static_cast<std::uint64_t>(n), now);
+    }
+    emit_step_verdicts(sink, stats);
+  }
 
   // Finalize once the stream is complete (footer ingested, queue drained) or
   // the transport gave up (error / shutdown) with nothing left to ingest.
@@ -59,8 +68,33 @@ void Session::emit_step_verdicts(VerdictSink& sink, sim::StatsRegistry& stats) {
 
   const std::uint64_t t0 = obs::wall_now_ns();
   const core::Diagnosis d = collector_.diagnose();
-  stats.observe("serve.step_diagnose_ns",
-                static_cast<std::int64_t>(obs::wall_now_ns() - t0));
+  const std::uint64_t t1 = obs::wall_now_ns();
+  const auto latency_ns = static_cast<std::int64_t>(t1 - t0);
+  stats.observe("serve.step_diagnose_ns", latency_ns);
+  if (live_ != nullptr) live_->step_diagnose_ns.record(latency_ns, t1);
+  if (tail_ != nullptr && tail_->consider(latency_ns, t1)) {
+    // Tail retain: this diagnose sits at/above the rolling quantile. Keep
+    // full detail — a flight event plus a backdated span pair covering the
+    // actual diagnose interval (record_manual stamps t0/t1, not "now").
+    stats.add_counter("serve.tail_retained");
+    obs::flight_record("tail", "slow diagnose: session=%llu tenant=%s steps<=%d lat=%lldns",
+                       static_cast<unsigned long long>(id_), tenant_.c_str(), closed,
+                       static_cast<long long>(latency_ns));
+    if (obs::trace_enabled()) {
+      obs::TraceEvent b;
+      b.wall_ns = t0;
+      b.cat = "serve";
+      b.name = "slow_step_diagnose";
+      b.id = id_;
+      b.arg = static_cast<std::uint64_t>(latency_ns);
+      b.phase = 'b';
+      obs::TraceEvent e = b;
+      e.wall_ns = t1;
+      e.phase = 'e';
+      obs::record_manual(b);
+      obs::record_manual(e);
+    }
+  }
 
   for (int s = last_closed_step_ + 1; s <= closed; ++s) {
     std::string line = "{\"type\":\"step\",\"session\":" + std::to_string(id_) +
@@ -82,6 +116,9 @@ void Session::emit_step_verdicts(VerdictSink& sink, sim::StatsRegistry& stats) {
     verdicts_.fetch_add(1, std::memory_order_relaxed);
     stats.add_counter("serve.step_verdicts");
   }
+  if (live_ != nullptr && closed > last_closed_step_)
+    live_->verdicts.add(static_cast<std::uint64_t>(closed - last_closed_step_),
+                        obs::wall_now_ns());
   last_closed_step_ = closed;
   steps_closed_.store(closed, std::memory_order_relaxed);
 }
@@ -122,6 +159,11 @@ void Session::finish(VerdictSink& sink, sim::StatsRegistry& stats) {
   state_.store(static_cast<std::uint8_t>(r.ok ? SessionState::kFinished
                                               : SessionState::kError),
                std::memory_order_release);
+  if (live_ != nullptr) live_->verdicts.add(1, obs::wall_now_ns());
+  obs::flight_record("session", "close id=%llu tenant=%s state=%s digest_match=%d frames=%llu",
+                     static_cast<unsigned long long>(id_), tenant_.c_str(),
+                     r.ok ? "finished" : "error", r.digest_matches ? 1 : 0,
+                     static_cast<unsigned long long>(r.stats.frames));
 }
 
 }  // namespace vedr::serve

@@ -8,6 +8,7 @@
 #include "common/thread_annotations.h"
 #include "replay/collector.h"
 #include "replay/trace_reader.h"
+#include "serve/live_metrics.h"
 #include "serve/verdict.h"
 #include "sim/stats.h"
 
@@ -116,6 +117,9 @@ class Session {
   }
   common::QueueStats queue_stats() const { return queue_.stats(); }
   bool queue_empty() const { return queue_.empty(); }
+  /// Read-and-reset queue-depth peak since the previous call (the server's
+  /// window roller samples this once per tick into the windowed gauges).
+  std::size_t take_queue_high_watermark() { return queue_.take_high_watermark(); }
   std::uint64_t frames_ingested() const { return frames_.load(std::memory_order_relaxed); }
   /// Highest step already covered by an emitted verdict (-1: none yet).
   int steps_closed() const { return steps_closed_.load(std::memory_order_relaxed); }
@@ -128,6 +132,14 @@ class Session {
   /// Server scheduling slot: set when a pump task is queued for this session
   /// so at most one is ever pending (per-shard FIFO keeps pumps serial).
   std::atomic<bool>& pump_pending() { return pump_pending_; }
+
+  /// Attaches the server's windowed-metric surface and tail sampler (both
+  /// optional, both outliving the session). Called once, right after
+  /// construction and before any pump — never mid-stream.
+  void set_live_metrics(LiveMetrics* live, TailSampler* tail) {
+    live_ = live;
+    tail_ = tail;
+  }
 
  private:
   struct IngestItem {
@@ -154,6 +166,8 @@ class Session {
   replay::StreamingCollector collector_;
   int last_closed_step_ = -1;
   std::uint64_t bytes_seen_ = 0;
+  LiveMetrics* live_ = nullptr;  ///< server-owned; written only via pump
+  TailSampler* tail_ = nullptr;
 
   // Written by the transport before the input_closed_ release-store; read by
   // the shard worker after the acquire-load.

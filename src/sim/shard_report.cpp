@@ -1,0 +1,67 @@
+#include "sim/shard_report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace vedr::sim {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+double to_ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+std::string ShardReport::table() const {
+  std::string out;
+  out += "shard report\n";
+  appendf(out, "  windows=%llu idle_gap_jumps=%llu idle_gap_ticks=%llu events=%llu\n",
+          static_cast<unsigned long long>(windows),
+          static_cast<unsigned long long>(idle_gap_jumps),
+          static_cast<unsigned long long>(idle_gap_ticks),
+          static_cast<unsigned long long>(total_events()));
+
+  if (!workers.empty()) {
+    appendf(out, "  worker  busy_ms  barrierA_ms  barrierB_ms  wait_ratio\n");
+    for (const auto& w : workers) {
+      appendf(out, "  %6d  %7.2f  %11.2f  %11.2f  %9.1f%%\n", w.id, to_ms(w.busy_ns),
+              to_ms(w.barrier_a_wait_ns), to_ms(w.barrier_b_wait_ns),
+              100.0 * w.barrier_wait_ratio());
+    }
+    if (!timing) out += "  (timing not collected: wall-clock columns are zero)\n";
+  }
+
+  if (!domains.empty()) {
+    appendf(out, "  domain  events      ev/window_p50  ev/window_p99\n");
+    for (const auto& d : domains) {
+      appendf(out, "  %6d  %-10llu  %13lld  %13lld\n", d.id,
+              static_cast<unsigned long long>(d.events),
+              static_cast<long long>(d.events_per_window.value_at_quantile(0.5)),
+              static_cast<long long>(d.events_per_window.value_at_quantile(0.99)));
+    }
+  }
+
+  if (!lanes.empty()) {
+    appendf(out, "  lane(src->dst)  pushed      spills    ring_peak\n");
+    for (const auto& l : lanes) {
+      appendf(out, "  %6d -> %-4d  %-10llu  %-8llu  %9zu\n", l.src, l.dst,
+              static_cast<unsigned long long>(l.pushed),
+              static_cast<unsigned long long>(l.spills), l.ring_peak);
+    }
+    appendf(out, "  total handoffs spilled: %llu\n",
+            static_cast<unsigned long long>(total_spills()));
+  }
+  return out;
+}
+
+}  // namespace vedr::sim

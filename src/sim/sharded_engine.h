@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/shard.h"
+#include "sim/shard_report.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -79,6 +80,20 @@ class ShardedEngine {
   /// Windows synchronized so far (introspection for tests/bench).
   std::uint64_t windows() const { return windows_; }
 
+  /// Collect wall-clock barrier/busy timing per worker during run(). Off by
+  /// default: the engine then reads no clock at all, keeping the default
+  /// overhead at zero. The counter-only introspection (events per window,
+  /// idle gaps) is always on — it reads nothing but state the engine already
+  /// has. Neither mode feeds back into event order: digests are identical
+  /// with timing on or off.
+  void set_collect_timing(bool on) { collect_timing_ = on; }
+  bool collect_timing() const { return collect_timing_; }
+
+  /// Fills the engine-owned sections of a ShardReport (windows, idle gaps,
+  /// per-worker barrier timing, per-domain events). Call only while no run()
+  /// is in flight; lanes are the network layer's business.
+  void fill_report(ShardReport& out) const;
+
  private:
   void worker_loop(int w);
   void on_sync();  ///< barrier A completion: window selection / termination
@@ -89,14 +104,33 @@ class ShardedEngine {
   std::function<void(int)> drain_hook_;
   std::function<void(int)> flush_hook_;
 
+  /// Introspection accumulators, each written only by its owning worker
+  /// during run() and read quiesced afterwards; padded so adjacent workers'
+  /// counters never false-share.
+  struct alignas(64) WorkerStats {
+    std::uint64_t barrier_a_wait_ns = 0;
+    std::uint64_t barrier_b_wait_ns = 0;
+    std::uint64_t busy_ns = 0;
+  };
+  struct alignas(64) DomainStats {
+    std::uint64_t events = 0;
+    obs::Histogram events_per_window;
+  };
+  std::vector<WorkerStats> worker_stats_;
+  std::vector<DomainStats> domain_stats_;
+  bool collect_timing_ = false;
+
   // Window state. Written only inside barrier A's completion function, which
   // the barrier runs exactly once per phase while every worker is parked and
   // sequences before any of them resume — so plain members are race-free
   // (the barrier's own synchronization carries the happens-before edges).
   Tick until_ = 0;
+  Tick window_start_ = 0;
   Tick window_end_ = 0;
   bool done_ = false;
   std::uint64_t windows_ = 0;
+  std::uint64_t idle_gap_jumps_ = 0;
+  std::uint64_t idle_gap_ticks_ = 0;
 
   std::barrier<std::function<void()>> sync_barrier_;
   std::barrier<> flush_barrier_;

@@ -7,16 +7,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/spsc_ring.h"
 #include "eval/experiment.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/windowed.h"
 #include "sim/stats.h"
 
 namespace vedr {
@@ -181,6 +185,96 @@ TEST(TsanStress, CheckFailuresAcrossThreads) {
   }
   for (auto& th : pool) th.join();
   EXPECT_EQ(caught.load(), kThreads * 200);
+}
+
+// --- windowed metrics -------------------------------------------------------
+
+TEST(TsanStress, WindowedMetricsWritersScrapersRoller) {
+  // 1ms intervals on a small ring so real wall time rolls slots constantly:
+  // writers, a scraper, and a roller all hit the same rings at once — the
+  // serve daemon's scrape-while-recording shape (DESIGN.md §15).
+  constexpr std::uint64_t kMs = 1'000'000ULL;
+  obs::WindowedHistogram hist(kMs, 16);
+  obs::WindowedRate rate(kMs, 16);
+  obs::WindowedMax peak(kMs, 16);
+  constexpr int kOps = 5000;
+
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads + 2);
+  std::atomic<bool> done{false};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&hist, &rate, &peak, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::uint64_t now = obs::wall_now_ns();
+        hist.record(i % 1024, now);
+        rate.add(1, now);
+        peak.record(static_cast<std::int64_t>(t * kOps + i), now);
+      }
+    });
+  }
+  // The scraper: window merges and rate math while writers are live. Results
+  // are inherently racy snapshots; the invariant is internal consistency.
+  pool.emplace_back([&hist, &rate, &peak, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::uint64_t now = obs::wall_now_ns();
+      const obs::Histogram w = hist.window(10 * kMs, now);
+      EXPECT_GE(w.value_at_quantile(0.99), w.value_at_quantile(0.5));
+      (void)rate.rate_per_sec(10 * kMs, now);
+      EXPECT_GE(peak.window_max(16 * kMs, now), 0);
+    }
+  });
+  // The "roller": retained-sample accounting alongside eviction-by-write —
+  // never more samples alive in the ring than were ever recorded.
+  pool.emplace_back([&hist, &done] {
+    while (!done.load(std::memory_order_acquire))
+      EXPECT_LE(hist.retained_count(), static_cast<std::uint64_t>(kThreads) * kOps);
+  });
+  for (int t = 0; t < kThreads; ++t) pool[static_cast<std::size_t>(t)].join();
+  done.store(true, std::memory_order_release);
+  pool[kThreads].join();
+  pool[kThreads + 1].join();
+
+  // Lossless over the whole run: a wide window (ring depth) after quiesce
+  // holds at most everything, and a count query right now can only have lost
+  // samples to eviction, never duplicated them.
+  const std::uint64_t now = obs::wall_now_ns();
+  EXPECT_LE(hist.window(16 * kMs, now).count(),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_LE(rate.sum_in_window(16 * kMs, now),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+// --- SPSC ring watermark ----------------------------------------------------
+
+TEST(TsanStress, SpscRingWatermarkResetVsProducer) {
+  // One producer fills the ring (no consumer, so occupancy climbs
+  // monotonically to exactly kPushes) while a sampler thread hammers the
+  // read-and-reset watermark. The CAS-max in note_occupancy must retry past
+  // each racing exchange(0): the max over everything the sampler took plus
+  // the final residue equals the true peak — no sample of a later-higher
+  // occupancy may be lost to a reset.
+  constexpr std::size_t kPushes = 800;
+  common::SpscRing<int> ring(1024);
+  ASSERT_GE(ring.capacity(), kPushes) << "test requires zero spills";
+
+  std::atomic<bool> producer_done{false};
+  std::size_t max_seen = 0;
+  std::thread sampler([&ring, &producer_done, &max_seen] {
+    while (!producer_done.load(std::memory_order_acquire)) {
+      const std::size_t w = ring.take_watermark();
+      if (w > max_seen) max_seen = w;
+    }
+  });
+  for (std::size_t i = 0; i < kPushes; ++i) ring.push(static_cast<int>(i));
+  producer_done.store(true, std::memory_order_release);
+  sampler.join();
+
+  const std::size_t residue = ring.take_watermark();
+  EXPECT_EQ(std::max(max_seen, residue), kPushes)
+      << "a reset raced a higher peak out of existence";
+  EXPECT_EQ(ring.spills(), 0u);
+  std::vector<int> out;
+  EXPECT_EQ(ring.drain_into(out), kPushes);
 }
 
 // --- eval suite work queue --------------------------------------------------

@@ -1,0 +1,111 @@
+// Flight recorder coverage (DESIGN.md §15): bounded ring semantics, the JSON
+// dump schema, the CHECK-failure observer hook, and the rate-limited-log
+// suppression summary event.
+#include "obs/flight.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/check.h"
+#include "obs/log.h"
+
+namespace vedr::obs {
+namespace {
+
+TEST(Flight, RecordsAndRendersJson) {
+  flight_reset();
+  flight_record("test", "hello %d", 42);
+  flight_record("queue", "drop session=%d", 7);
+  EXPECT_EQ(flight_recorded(), 2u);
+
+  const std::string json = flight_json();
+  EXPECT_NE(json.find("\"recorded\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"capacity\":512"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"msg\":\"hello 42\""), std::string::npos) << json;
+  EXPECT_NE(json.find("drop session=7"), std::string::npos) << json;
+  // Oldest first: the first event's seq precedes the second's in the dump.
+  EXPECT_LT(json.find("hello 42"), json.find("drop session=7"));
+  flight_reset();
+  EXPECT_EQ(flight_recorded(), 0u);
+}
+
+TEST(Flight, RingIsBoundedAndKeepsTheNewest) {
+  flight_reset();
+  const std::size_t cap = flight_capacity();
+  for (std::size_t i = 0; i < cap + 100; ++i)
+    flight_record("wrap", "event %zu", i);
+  EXPECT_EQ(flight_recorded(), cap + 100);
+
+  const std::string json = flight_json();
+  EXPECT_NE(json.find("\"dropped\":100"), std::string::npos) << "oldest 100 overwritten";
+  // Event 99 was overwritten; event 100 is the oldest survivor.
+  EXPECT_EQ(json.find("\"msg\":\"event 99\""), std::string::npos);
+  EXPECT_NE(json.find("\"msg\":\"event 100\""), std::string::npos);
+  char newest[64];
+  std::snprintf(newest, sizeof newest, "\"msg\":\"event %zu\"", cap + 99);
+  EXPECT_NE(json.find(newest), std::string::npos);
+  flight_reset();
+}
+
+TEST(Flight, TruncatesLongMessagesInsteadOfSplitting) {
+  flight_reset();
+  const std::string big(500, 'x');
+  flight_record("big", "%s", big.c_str());
+  EXPECT_EQ(flight_recorded(), 1u);
+  const std::string json = flight_json();
+  EXPECT_NE(json.find("xxx"), std::string::npos);
+  EXPECT_LT(json.size(), 600u) << "a 500-char payload must truncate to the slot width";
+  flight_reset();
+}
+
+TEST(Flight, CheckFailureRecordsContextViaTheObserverHook) {
+  flight_install_check_hooks();
+  flight_reset();
+  common::ScopedThrowOnCheckFailure throw_scope;
+  bool caught = false;
+  try {
+    VEDR_CHECK(1 == 2, "flight context message");
+  } catch (const common::CheckFailure&) {
+    caught = true;
+  }
+  ASSERT_TRUE(caught);
+  // The observer ran before the (throwing) handler and captured site + text.
+  const std::string json = flight_json();
+  EXPECT_NE(json.find("\"cat\":\"check\""), std::string::npos) << json;
+  EXPECT_NE(json.find("flight_test.cpp"), std::string::npos) << json;
+  EXPECT_NE(json.find("flight context message"), std::string::npos) << json;
+  flight_reset();
+}
+
+TEST(Flight, LogSuppressionEpochRecordsOneSummaryEvent) {
+  flight_reset();
+  set_log_threshold(LogLevel::kError);  // keep the flood off stderr
+
+  LogSite site;  // a private call site, fully under test control
+  // Fill the rate window and then some: kMaxPerSecond lines pass, 5 suppress
+  // (the flood runs in well under the 1s window, so no mid-flood reset).
+  for (std::uint32_t i = 0; i < kMaxPerSecond + 5; ++i)
+    log_write(site, LogLevel::kError, "test", __FILE__, __LINE__, "flood %u", i);
+  EXPECT_EQ(flight_recorded(), 0u) << "suppressing alone must not spam the ring";
+
+  // Backdate the window start so the next line sees an expired window: it
+  // emits, carries the suppression summary, and records exactly one "log"
+  // flight event for the whole epoch.
+  site.window_start_ns.store(1);
+  log_write(site, LogLevel::kError, "test", __FILE__, __LINE__, "after the storm");
+  EXPECT_EQ(flight_recorded(), 1u);
+  const std::string json = flight_json();
+  EXPECT_NE(json.find("\"cat\":\"log\""), std::string::npos) << json;
+  EXPECT_NE(json.find("suppressed 5 lines"), std::string::npos) << json;
+  EXPECT_NE(json.find("comp=test"), std::string::npos) << json;
+
+  set_log_threshold(LogLevel::kInfo);
+  flight_reset();
+}
+
+}  // namespace
+}  // namespace vedr::obs

@@ -116,7 +116,53 @@ TEST(JsonExport, RendersCountersSummariesAndHistograms) {
 
 TEST(JsonExport, EmptySnapshotIsStillAnObject) {
   const std::string json = to_json(MetricsSnapshot{});
-  EXPECT_EQ(json, "{\"counters\":{},\"summaries\":{},\"hists\":{}}");
+  EXPECT_EQ(json, "{\"counters\":{},\"summaries\":{},\"hists\":{},\"gauges\":[]}");
+}
+
+TEST(PrometheusExport, LabelValuesAreEscaped) {
+  MetricsSnapshot snap;
+  snap.counters["serve.records"] = 7;
+  const std::string text =
+      to_prometheus(snap, {{"tenant", "a\"b\\c\nd"}});
+  EXPECT_NE(text.find("vedr_serve_records{tenant=\"a\\\"b\\\\c\\nd\"} 7\n"), std::string::npos)
+      << text;
+  // Exactly two physical lines (TYPE + sample): the raw newline in the label
+  // value must not split the sample line.
+  EXPECT_EQ(count_occurrences(text, "\n"), 2u) << text;
+}
+
+TEST(PrometheusExport, EscapeLabelValueCoversTheExpositionTriple) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("q\"q"), "q\\\"q");
+  EXPECT_EQ(escape_label_value("b\\b"), "b\\\\b");
+  EXPECT_EQ(escape_label_value("n\nn"), "n\\nn");
+  EXPECT_EQ(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(PrometheusExport, GaugeSeriesCarryPerSeriesLabels) {
+  MetricsSnapshot snap;
+  snap.gauges.push_back({"serve.window.p99_ns", {{"window", "10s"}}, 1023.0});
+  snap.gauges.push_back({"serve.window.p99_ns", {{"window", "60s"}}, 2047.0});
+  snap.gauges.push_back({"serve.uptime_seconds", {}, 12.5});
+  const std::string text = to_prometheus(snap, {{"job", "serve"}});
+  // One TYPE line per metric name even with several label variants.
+  EXPECT_EQ(count_occurrences(text, "# TYPE vedr_serve_window_p99_ns gauge"), 1u) << text;
+  EXPECT_NE(text.find("vedr_serve_window_p99_ns{job=\"serve\",window=\"10s\"} 1023\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("vedr_serve_window_p99_ns{job=\"serve\",window=\"60s\"} 2047\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vedr_serve_uptime_seconds{job=\"serve\"} 12.5\n"), std::string::npos);
+}
+
+TEST(JsonExport, GaugesRenderAsSeriesArray) {
+  MetricsSnapshot snap;
+  snap.gauges.push_back({"serve.window.rate", {{"tenant", "t0"}}, 42.0});
+  const std::string json = to_json(snap);
+  EXPECT_NE(json.find("\"gauges\":[{\"name\":\"serve.window.rate\","
+                      "\"labels\":{\"tenant\":\"t0\"},\"value\":42}]"),
+            std::string::npos)
+      << json;
 }
 
 }  // namespace

@@ -97,5 +97,29 @@ TEST(BoundedQueue, ConcurrentProducersLoseNothingUnderBackpressure) {
   EXPECT_LE(s.high_watermark, q.capacity());
 }
 
+TEST(BoundedQueue, TakeHighWatermarkResetsToCurrentSize) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  int v = 0;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(q.try_pop(v));
+
+  // The peak since construction was 5, even though only 2 remain.
+  EXPECT_EQ(q.take_high_watermark(), 5u);
+  // Re-seeded with the *current* size, not zero: the occupancy that exists
+  // right now was observed.
+  EXPECT_EQ(q.take_high_watermark(), 2u);
+  EXPECT_EQ(q.stats().high_watermark, 2u);
+
+  ASSERT_TRUE(q.push(10));
+  EXPECT_EQ(q.take_high_watermark(), 3u);
+
+  // Draining below the seed does not retro-shrink the recorded peak.
+  ASSERT_TRUE(q.try_pop(v));
+  ASSERT_TRUE(q.try_pop(v));
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(q.take_high_watermark(), 3u);
+  EXPECT_EQ(q.take_high_watermark(), 0u);  // now truly empty
+}
+
 }  // namespace
 }  // namespace vedr::common

@@ -2,7 +2,7 @@
 //
 //   vedr_diagnose [--scenario contention|incast|storm|backpressure]
 //                 [--case N] [--system vedrfolnir|hawkeye-max|hawkeye-min|full]
-//                 [--scale F] [--shards N] [--k K]
+//                 [--scale F] [--shards N] [--shard-report] [--k K]
 //                 [--json] [--dot PREFIX] [--record FILE.vtrc]
 //                 [--telemetry exact|sketch] [--sketch-width N]
 //                 [--sketch-depth N] [--sketch-k N]
@@ -16,6 +16,11 @@
 // --obs-metrics writes the case's metric snapshot as Prometheus text (or
 // JSON when the path ends in .json). Both are taps: the diagnosis and its
 // exit code are identical with or without them.
+//
+// --shard-report (requires --shards >= 2) prints the parallel engine's
+// end-of-run introspection table to stderr: per-worker barrier-wait ratios,
+// per-domain event distributions, and handoff-lane occupancy/spills
+// (DESIGN.md §15). Also a tap — digests stay byte-identical with it on.
 //
 // --telemetry sketch runs the fabric's collection plane on the bounded
 // count-min/top-k backend instead of the exact per-flow tables; the sketch
@@ -31,6 +36,7 @@
 #include "eval/experiment.h"
 #include "net/routing.h"
 #include "obs/cli.h"
+#include "sim/shard_report.h"
 #include "telemetry_flags.h"
 
 namespace {
@@ -41,7 +47,7 @@ using namespace vedr;
   std::fprintf(stderr,
                "usage: %s [--scenario contention|incast|storm|backpressure] [--case N]\n"
                "          [--system vedrfolnir|hawkeye-max|hawkeye-min|full] [--scale F]\n"
-               "          [--shards N] [--k K]\n"
+               "          [--shards N] [--shard-report] [--k K]\n"
                "          [--json] [--dot PREFIX] [--record FILE.vtrc]\n"
                "%s"
                "          [--obs-trace FILE.json] [--obs-metrics FILE]\n",
@@ -72,6 +78,7 @@ int main(int argc, char** argv) {
   eval::SystemKind system = eval::SystemKind::kVedrfolnir;
   int case_id = 0;
   int shards = 1;
+  bool shard_report = false;
   int fat_tree_k = 4;
   double scale = 1.0 / 64.0;
   bool as_json = false;
@@ -98,6 +105,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--shards") {
       shards = static_cast<int>(common::parse_i64_or_die("--shards", next()));
       if (shards < 1) usage(argv[0]);
+    } else if (arg == "--shard-report") {
+      shard_report = true;
     } else if (arg == "--k") {
       fat_tree_k = static_cast<int>(common::parse_i64_or_die("--k", next()));
       if (fat_tree_k < 4 || fat_tree_k % 2 != 0) usage(argv[0]);
@@ -129,6 +138,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --record is serial-only; drop --shards\n");
     return 2;
   }
+  if (shard_report && shards < 2) {
+    std::fprintf(stderr, "error: --shard-report requires --shards >= 2\n");
+    return 2;
+  }
 
   eval::RunConfig cfg;
   cfg.netcfg.telemetry = telemetry_opts.params();
@@ -136,6 +149,7 @@ int main(int argc, char** argv) {
   cfg.fat_tree_k = fat_tree_k;
   obs_opts.enable();
   cfg.capture_metrics = obs_opts.want_metrics();
+  cfg.capture_shard_report = shard_report;
   eval::ScenarioParams params;
   params.scale = scale;
   const net::Topology topo = net::make_fat_tree(fat_tree_k, cfg.netcfg);
@@ -180,6 +194,14 @@ int main(int argc, char** argv) {
                 telemetry_opts.sketch() ? "sketch" : "exact",
                 static_cast<long long>(result.telemetry_state_bytes));
     std::printf("\n%s", result.diagnosis.summary().c_str());
+  }
+
+  if (shard_report) {
+    // stderr, like all taps: stdout stays parseable (--json pipelines).
+    if (result.shard_report != nullptr)
+      std::fprintf(stderr, "%s", result.shard_report->table().c_str());
+    else
+      std::fprintf(stderr, "shard report: unavailable (fabric ran serial)\n");
   }
 
   if (!dot_prefix.empty()) {

@@ -13,6 +13,10 @@
 // diagnosis once the stream's footer arrives. --port exposes /metrics
 // (Prometheus), /healthz and /sessions over loopback HTTP (0 picks a free
 // port; the bound port is logged to stderr and written to --port-file).
+// /metrics includes the windowed gauge series (10s/60s rolling quantiles and
+// rates — DESIGN.md §15) next to the lifetime counters; /debug/flight dumps
+// the in-process flight recorder as JSON, and SIGQUIT dumps the same ring to
+// stderr without shutting down.
 //
 // --policy block (default) applies lossless backpressure to the tailer when
 // a session queue fills; drop sheds newest records instead (accounted in
@@ -37,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "serve/http.h"
 #include "serve/server.h"
@@ -50,6 +55,12 @@ using namespace vedr;
 
 volatile std::sig_atomic_t g_signal = 0;
 void on_signal(int) { g_signal = 1; }
+
+// SIGQUIT = "tell me what you were doing" without dying: the main loop sees
+// the flag and dumps the flight recorder to stderr (not from the handler —
+// the dump takes locks and calls fprintf, neither async-signal-safe).
+volatile std::sig_atomic_t g_dump_flight = 0;
+void on_sigquit(int) { g_dump_flight = 1; }
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
@@ -154,9 +165,12 @@ int main(int argc, char** argv) {
     } else if (path == "/sessions") {
       r.content_type = "application/json";
       r.body = server.sessions_json();
+    } else if (path == "/debug/flight") {
+      r.content_type = "application/json";
+      r.body = obs::flight_json();
     } else {
       r.status = 404;
-      r.body = "not found (try /metrics, /healthz, /sessions)\n";
+      r.body = "not found (try /metrics, /healthz, /sessions, /debug/flight)\n";
     }
     return r;
   });
@@ -178,6 +192,7 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+  std::signal(SIGQUIT, on_sigquit);
 
   std::vector<std::unique_ptr<serve::FileTailSource>> sources;
   sources.reserve(follows.size());
@@ -190,6 +205,10 @@ int main(int argc, char** argv) {
                cfg.session.policy == serve::OverflowPolicy::kBlock ? "block" : "drop");
 
   while (g_signal == 0) {
+    if (g_dump_flight != 0) {
+      g_dump_flight = 0;
+      obs::flight_dump_stderr("SIGQUIT");
+    }
     if (oneshot) {
       bool all_done = server.all_finished();
       for (const auto& s : sources)
